@@ -1,0 +1,49 @@
+"""Ablation — partial restructuring vs re-sorting (Section 6, optim. 2).
+
+The Q13 scenario: a relation sorted by (date, customer, package) must
+be re-sorted by (customer, date, package).  FDB swaps two adjacent
+attributes of the factorisation — the package lists stay sorted — while
+the alternatives pay for a full sort or a full rebuild.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import operators as ops
+from repro.core.build import factorise_path
+from repro.core.enumerate import iter_tuples
+from repro.data.workloads import build_workload_database
+from repro.relational.sort import sort_rows
+
+TARGET = ["customer", "date", "package"]
+
+
+@pytest.mark.parametrize(
+    "variant", ["partial-restructure", "flatten-sort", "rebuild"]
+)
+def test_ablation_restructuring(benchmark, workload_db, variant):
+    fact = workload_db.get_factorised("R3")
+    flat = workload_db.flat("R3")
+    benchmark.extra_info.update({"variant": variant})
+
+    if variant == "partial-restructure":
+
+        def run() -> int:
+            current = ops.swap(fact, "customer")
+            return sum(1 for _ in iter_tuples(current))
+
+    elif variant == "flatten-sort":
+
+        def run() -> int:
+            rows = list(iter_tuples(fact))
+            return len(sort_rows(rows, fact.schema(), TARGET))
+
+    else:
+
+        def run() -> int:
+            rebuilt = factorise_path(flat, key="Orders", order=TARGET)
+            return sum(1 for _ in iter_tuples(rebuilt))
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert count == len(flat)

@@ -1,0 +1,32 @@
+"""Beyond f-trees (Section 8): tree vs DAG representation sizes.
+
+The paper's conclusion proposes more succinct representations such as
+decision diagrams as future work; hash-consing equal fragments is the
+first step.  These benches measure the compression pass and record the
+tree-vs-DAG singleton counts on the workload view.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compress import dag_size, hash_cons, sharing_report
+
+
+@pytest.fixture(scope="module")
+def view(workload_db):
+    return workload_db.get_factorised("R1")
+
+
+def test_hash_cons_cost(benchmark, view):
+    compressed = benchmark.pedantic(hash_cons, args=(view,), rounds=3, iterations=1)
+    report = sharing_report(view)
+    benchmark.extra_info["tree_singletons"] = report.tree_singletons
+    benchmark.extra_info["dag_singletons"] = report.dag_singletons
+    benchmark.extra_info["compression_ratio"] = round(report.ratio, 3)
+    assert compressed.size() == view.size()
+
+
+def test_dag_size_cost(benchmark, view):
+    size = benchmark.pedantic(dag_size, args=(view,), rounds=3, iterations=1)
+    assert size <= view.size()

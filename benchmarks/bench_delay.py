@@ -1,0 +1,64 @@
+"""Constant-delay enumeration verification (Section 4.1).
+
+The theoretical core of the ordering results: tuples of a factorised
+result can be enumerated with delay *constant in the data size*.  These
+benches measure the maximum inter-tuple delay while enumerating views
+of different sizes and check it does not grow with scale (the total
+time of course does — linearly).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.enumerate import iter_tuples
+from repro.data.workloads import build_workload_database
+
+SCALES = [0.25, 0.5, 1.0]
+
+
+def _max_delay(iterator, warmup: int = 5) -> float:
+    """Largest gap between consecutive tuples (ignoring warm-up)."""
+    gaps = []
+    last = time.perf_counter()
+    for index, _ in enumerate(iterator):
+        now = time.perf_counter()
+        if index >= warmup:
+            gaps.append(now - last)
+        last = now
+    return max(gaps) if gaps else 0.0
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_enumeration_delay(benchmark, scale):
+    database = build_workload_database(scale=scale)
+    fact = database.get_factorised("R1")
+
+    def run() -> float:
+        return _max_delay(iter_tuples(fact, ["package", "date", "item"]))
+
+    max_delay = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["tuples"] = len(database.flat("R1"))
+    benchmark.extra_info["max_delay_us"] = round(max_delay * 1e6, 1)
+    # Constant delay: even at the largest scale a single step stays far
+    # below any data-size-dependent bound (generous margin for noise).
+    assert max_delay < 0.01
+
+
+def test_delay_does_not_grow_with_scale():
+    """The paper's claim, checked across a 4× scale range."""
+    delays = []
+    for scale in (0.25, 1.0):
+        database = build_workload_database(scale=scale)
+        fact = database.get_factorised("R1")
+        # Take the median of three runs to damp scheduler noise.
+        runs = sorted(
+            _max_delay(iter_tuples(fact, ["package", "date", "item"]))
+            for _ in range(3)
+        )
+        delays.append(runs[1])
+    # 4× the data must not mean 4× the per-tuple delay; allow noise.
+    assert delays[1] < delays[0] * 4 + 0.005

@@ -1,0 +1,44 @@
+"""Figure 4 — effect of dataset scale on performance (Q2, Q3).
+
+One benchmark per (engine, query, scale) cell; the paper's finding is
+that FDB's advantage over the flat engines *widens* with scale on the
+factorised materialised view.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.engines import FDBAdapter, RDBAdapter, SQLiteAdapter
+from repro.bench.harness import env_scales
+from repro.data.workloads import WORKLOAD, build_workload_database
+
+SCALES = env_scales()
+ENGINES = {
+    "FDB": lambda: FDBAdapter(output="flat"),
+    "SQLite": SQLiteAdapter,
+    "RDB-sort": lambda: RDBAdapter(grouping="sort"),
+    "RDB-hash": lambda: RDBAdapter(grouping="hash"),
+}
+
+_DB_CACHE: dict[float, object] = {}
+
+
+def _database(scale: float):
+    if scale not in _DB_CACHE:
+        _DB_CACHE[scale] = build_workload_database(scale=scale)
+    return _DB_CACHE[scale]
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("engine_name", list(ENGINES))
+@pytest.mark.parametrize("query_name", ["Q2", "Q3"])
+def test_fig4(benchmark, scale, engine_name, query_name):
+    adapter = ENGINES[engine_name]()
+    adapter.prepare(_database(scale))
+    query = WORKLOAD[query_name].query
+    benchmark.extra_info.update(
+        {"figure": 4, "engine": engine_name, "query": query_name, "scale": scale}
+    )
+    rows = benchmark.pedantic(adapter.run, args=(query,), rounds=3, iterations=1)
+    assert rows > 0

@@ -1,0 +1,68 @@
+"""Optimiser study — greedy vs exhaustive plan search (Section 5).
+
+The paper reports that the greedy heuristic finds optimal f-plans under
+the asymptotic size-bound metric for the whole workload; these benches
+time both optimisers and assert the greedy plans reach the optimal
+dominant exponent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import Hypergraph, s_parameter
+from repro.core.engine import expand_functions
+from repro.core.optimizer import ExhaustiveOptimizer, GreedyOptimizer, PlanContext
+from repro.data.workloads import AGG_ORD_QUERIES, AGG_QUERIES, WORKLOAD, section6_ftree
+
+HYPERGRAPH = Hypergraph(
+    {
+        "Orders": ("customer", "date", "package"),
+        "Packages": ("package", "item"),
+        "Items": ("item", "price"),
+    }
+)
+
+
+def _context(name: str) -> PlanContext:
+    query = WORKLOAD[name].query
+    aliases = {s.alias for s in query.aggregates}
+    return PlanContext(
+        hypergraph=HYPERGRAPH,
+        kept=frozenset(query.group_by),
+        functions=expand_functions(query.aggregates),
+        order=tuple(k for k in query.order_by if k.attribute not in aliases),
+    )
+
+
+@pytest.mark.parametrize("query_name", AGG_QUERIES + AGG_ORD_QUERIES)
+@pytest.mark.parametrize("strategy", ["greedy", "exhaustive"])
+def test_optimizer(benchmark, query_name, strategy):
+    ftree = section6_ftree()
+    ctx = _context(query_name)
+    optimizer = GreedyOptimizer() if strategy == "greedy" else ExhaustiveOptimizer()
+    benchmark.extra_info.update({"query": query_name, "strategy": strategy})
+    plan = benchmark.pedantic(
+        optimizer.plan, args=(ftree, ctx), rounds=3, iterations=1
+    )
+    trees = plan.simulate(ftree)[1:]
+    exponent = max((s_parameter(t, HYPERGRAPH) for t in trees), default=0.0)
+    benchmark.extra_info["dominant_exponent"] = exponent
+
+
+@pytest.mark.parametrize("query_name", AGG_QUERIES + AGG_ORD_QUERIES)
+def test_greedy_matches_exhaustive_exponent(query_name):
+    """The paper: greedy plans are optimal under the asymptotic metric."""
+    ftree = section6_ftree()
+    ctx = _context(query_name)
+    greedy = GreedyOptimizer().plan(ftree, ctx)
+    exhaustive = ExhaustiveOptimizer().plan(ftree, ctx)
+    greedy_exp = max(
+        (s_parameter(t, HYPERGRAPH) for t in greedy.simulate(ftree)[1:]),
+        default=0.0,
+    )
+    exhaustive_exp = max(
+        (s_parameter(t, HYPERGRAPH) for t in exhaustive.simulate(ftree)[1:]),
+        default=0.0,
+    )
+    assert greedy_exp <= exhaustive_exp + 1e-9

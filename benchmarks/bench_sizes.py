@@ -1,0 +1,50 @@
+"""Representation-size study (Section 6 text).
+
+Regenerates the paper's succinctness claim: the flat join grows
+polynomially faster than its factorisation (paper: s^4 vs s^3 on their
+parameters; see EXPERIMENTS.md for the measured exponents under the
+generator as described in the text).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import env_scales, fit_loglog_slope
+from repro.core.build import factorise
+from repro.data.generator import GeneratorConfig, generate
+from repro.data.workloads import section6_ftree
+from repro.relational.operators import multiway_join
+
+SCALES = env_scales()
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_factorise_r1(benchmark, scale):
+    """Time to build the factorised view (excluded from query timings)."""
+    data = generate(GeneratorConfig(scale=scale))
+    joined = multiway_join(list(data.relations()))
+    fact = benchmark.pedantic(
+        factorise, args=(joined, section6_ftree()), rounds=1, iterations=1
+    )
+    flat_singletons = len(joined) * len(joined.schema)
+    benchmark.extra_info["flat_singletons"] = flat_singletons
+    benchmark.extra_info["fact_singletons"] = fact.size()
+    benchmark.extra_info["gap"] = flat_singletons / fact.size()
+    assert fact.size() < flat_singletons
+
+
+def test_growth_exponents():
+    """The flat representation must grow strictly faster (shape check)."""
+    flat_points, fact_points = [], []
+    for scale in SCALES:
+        data = generate(GeneratorConfig(scale=scale))
+        joined = multiway_join(list(data.relations()))
+        flat_points.append((scale, len(joined) * len(joined.schema)))
+        fact_points.append((scale, factorise(joined, section6_ftree()).size()))
+    flat_slope = fit_loglog_slope(flat_points)
+    fact_slope = fit_loglog_slope(fact_points)
+    assert flat_slope > fact_slope + 0.2, (
+        f"expected a polynomial succinctness gap; measured exponents "
+        f"flat={flat_slope:.2f} fact={fact_slope:.2f}"
+    )

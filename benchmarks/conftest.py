@@ -1,0 +1,28 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The default scale keeps a full ``pytest benchmarks/ --benchmark-only``
+run in the minutes range; raise ``REPRO_BENCH_SCALE`` (and
+``REPRO_BENCH_SCALES``) for a fuller reproduction.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.workloads import build_workload_database
+
+DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def workload_db():
+    """The scaled database with materialised views R1, R2, R3."""
+    return build_workload_database(scale=DEFAULT_SCALE)
+
+
+@pytest.fixture(scope="session")
+def flat_db():
+    """Base relations only (Experiment 2 input)."""
+    return build_workload_database(scale=DEFAULT_SCALE, materialise_views=False)

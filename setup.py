@@ -1,0 +1,21 @@
+"""Setup shim enabling offline editable installs.
+
+The evaluation environment is offline and lacks the `wheel` package,
+which pip's editable-install machinery needs.  When the real package is
+missing we fall back to the vendored shim in ``vendor/wheel`` (see its
+docstring) and register its ``bdist_wheel`` command explicitly, since a
+path-injected package has no entry-point metadata.
+"""
+
+import os
+import sys
+
+from setuptools import setup
+
+try:
+    from wheel.bdist_wheel import bdist_wheel
+except ImportError:  # offline environment: use the vendored shim
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "vendor"))
+    from wheel.bdist_wheel import bdist_wheel
+
+setup(cmdclass={"bdist_wheel": bdist_wheel})

@@ -1,0 +1,73 @@
+"""repro — reproduction of *Aggregation and Ordering in Factorised Databases*.
+
+Bakibayev, Kočiský, Olteanu, Závodný (VLDB 2013, arXiv:1307.0441).
+
+The package provides:
+
+- :mod:`repro.core` — factorised databases: f-trees, factorised
+  representations, the γ aggregation operator, restructuring operators,
+  constant-delay (ordered) enumeration, cost model, query optimisers,
+  and the FDB engine;
+- :mod:`repro.relational` — the flat relational substrate and RDB
+  baseline engine;
+- :mod:`repro.sql` — a SQL front-end compiling to the shared query AST;
+- :mod:`repro.data` — the paper's example database and the synthetic
+  scaled workload generator of Section 6;
+- :mod:`repro.bench` — the benchmark harness regenerating every figure
+  of the paper's evaluation.
+
+Quickstart::
+
+    from repro import Database, Relation, Query, FDBEngine, aggregate
+
+    db = Database([Relation(("a", "b"), [(1, 10), (1, 20), (2, 30)], "R")])
+    query = Query(relations=("R",), group_by=("a",),
+                  aggregates=(aggregate("sum", "b", "total"),))
+    result = FDBEngine().execute(query, db)
+    print(result.to_relation().pretty())
+"""
+
+from repro.database import Database
+from repro.query import (
+    AggregateSpec,
+    Comparison,
+    Equality,
+    Having,
+    Query,
+    QueryError,
+    aggregate,
+)
+from repro.relational.relation import Relation
+from repro.relational.sort import SortKey
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateSpec",
+    "Comparison",
+    "Database",
+    "Equality",
+    "FDBEngine",
+    "Having",
+    "Query",
+    "QueryError",
+    "RDBEngine",
+    "Relation",
+    "SortKey",
+    "aggregate",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Engines are imported lazily to keep the import graph acyclic
+    # (repro.core modules import the relational substrate).
+    if name == "FDBEngine":
+        from repro.core.engine import FDBEngine
+
+        return FDBEngine
+    if name == "RDBEngine":
+        from repro.relational.engine import RDBEngine
+
+        return RDBEngine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

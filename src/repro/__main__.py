@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    Regenerate every evaluation figure (Section 6) and print the tables.
+``sizes``
+    The representation-size study only (fast).
+``query SQL``
+    Run a SQL query on the generated workload database with every
+    engine and report times (``--scale`` selects the dataset size).
+``explain SQL``
+    Show the FDB f-plan and cost bounds for a SQL query.
+``advise``
+    Rank candidate f-trees for the Section 6 view by the size-bound
+    cost metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _build_db(scale: float):
+    from repro.data.workloads import build_workload_database
+
+    return build_workload_database(scale=scale)
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench import experiments
+
+    reports = experiments.run_all(print_tables=True)
+    if args.output:
+        from repro.bench.reporting import save_reports
+
+        csv_path, json_path = save_reports(reports, args.output)
+        print(f"results written to {csv_path} and {json_path}")
+    return 0
+
+
+def cmd_sizes(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import run_sizes
+
+    print(run_sizes(scales=args.scales).table)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.core.engine import FDBEngine
+    from repro.relational.engine import RDBEngine
+    from repro.sql import parse_query
+
+    database = _build_db(args.scale)
+    query = parse_query(args.sql)
+    for engine in (FDBEngine(), RDBEngine("sort"), RDBEngine("hash")):
+        label = getattr(engine, "name", "engine")
+        if isinstance(engine, RDBEngine):
+            label = f"RDB-{engine.grouping}"
+        start = time.perf_counter()
+        result = engine.execute(query, database)
+        elapsed = time.perf_counter() - start
+        print(f"{label:<10} {elapsed * 1000:8.1f} ms  {len(result)} rows")
+    print()
+    print(result.pretty(limit=args.rows))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.engine import FDBEngine
+    from repro.sql import parse_query
+
+    database = _build_db(args.scale)
+    print(FDBEngine().explain(parse_query(args.sql), database))
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import advise
+    from repro.core.cost import Hypergraph
+
+    hypergraph = Hypergraph(
+        {
+            "Orders": ("customer", "date", "package"),
+            "Packages": ("package", "item"),
+            "Items": ("item", "price"),
+        }
+    )
+    ranked = advise(
+        ("customer", "date", "package", "item", "price"),
+        hypergraph,
+        top=args.top,
+    )
+    for index, candidate in enumerate(ranked, 1):
+        print(f"#{index}: {candidate.describe()}")
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Factorised-database reproduction (VLDB 2013) CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="run every figure's experiment"
+    )
+    experiments.add_argument(
+        "--output",
+        default="",
+        help="directory to write results.csv / results.json into",
+    )
+
+    sizes = sub.add_parser("sizes", help="representation-size study")
+    sizes.add_argument(
+        "--scales",
+        type=lambda text: [float(x) for x in text.split(",")],
+        default=[0.25, 0.5, 1.0],
+    )
+
+    query = sub.add_parser("query", help="run a SQL query on all engines")
+    query.add_argument("sql")
+    query.add_argument("--scale", type=float, default=0.5)
+    query.add_argument("--rows", type=int, default=10)
+
+    explain = sub.add_parser("explain", help="show the FDB f-plan")
+    explain.add_argument("sql")
+    explain.add_argument("--scale", type=float, default=0.25)
+
+    advise_cmd = sub.add_parser("advise", help="rank f-trees for the view")
+    advise_cmd.add_argument("--top", type=int, default=3)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "experiments": cmd_experiments,
+        "sizes": cmd_sizes,
+        "query": cmd_query,
+        "explain": cmd_explain,
+        "advise": cmd_advise,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

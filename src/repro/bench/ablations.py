@@ -1,0 +1,132 @@
+"""Ablations of the two optimisations Section 6 credits for FDB's wins.
+
+The paper singles out (1) partial aggregation, which shrinks
+intermediate factorisations before restructuring, and (2) reuse of
+existing sort orders through partial restructuring.  These ablations
+disable each optimisation in turn:
+
+- ``run_ablation_partial_agg`` — evaluates Q2/Q3 with the normal greedy
+  plan (γ before swaps where permissible) against a "lazy" variant that
+  first restructures the *unaggregated* factorisation and only then
+  aggregates, mirroring lazy aggregation in the factorised world;
+- ``run_ablation_restructuring`` — evaluates Q13-style re-sorting by
+  (a) partial restructuring (one swap), (b) flattening the factorisation
+  and sorting the tuples, and (c) rebuilding the factorisation from
+  scratch in the target order.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ExperimentReport
+from repro.bench.harness import (
+    BenchResult,
+    env_repeats,
+    env_scale,
+    render_table,
+    time_call,
+)
+from repro.core import aggregates as agg
+from repro.core import operators as ops
+from repro.core.build import factorise_path
+from repro.core.engine import FDBEngine, expand_functions
+from repro.core.enumerate import iter_group_contexts, restructure_for_grouping, iter_tuples
+from repro.data.workloads import WORKLOAD, build_workload_database
+from repro.query import Query
+
+
+def _lazy_factorised_aggregate(fact, query: Query) -> int:
+    """Aggregate with NO partial aggregation: restructure first.
+
+    The group-by attributes are pushed up on the *unaggregated*
+    factorisation (larger intermediates — that is the point), then each
+    group's whole subtree is aggregated in one go during enumeration.
+    """
+    current = fact
+    for child in restructure_for_grouping(current.ftree, query.group_by):
+        current = ops.swap(current, child)
+    functions = expand_functions(query.aggregates)
+    evaluator = agg.CachedEvaluator()
+    rows = 0
+    for _, leftovers in iter_group_contexts(current, query.group_by):
+        evaluator.components(functions, leftovers)
+        rows += 1
+    return rows
+
+
+def run_ablation_partial_agg(
+    scale: float | None = None, repeats: int | None = None
+) -> ExperimentReport:
+    """Partial aggregation on/off for Q2 and Q3 on the factorised view."""
+    scale = scale if scale is not None else env_scale()
+    repeats = repeats or env_repeats()
+    database = build_workload_database(scale=scale)
+    fact = database.get_factorised("R1")
+    engine = FDBEngine()
+    report = ExperimentReport("ablation_partial_agg")
+    for name in ("Q2", "Q3", "Q4"):
+        query = WORKLOAD[name].query
+        seconds, _ = time_call(lambda: engine.execute(query, database), repeats)
+        report.results.append(
+            BenchResult("partial aggregation (greedy)", name, seconds, 0, scale)
+        )
+        seconds, _ = time_call(
+            lambda: _lazy_factorised_aggregate(fact, query), repeats
+        )
+        report.results.append(
+            BenchResult("no partial aggregation (lazy)", name, seconds, 0, scale)
+        )
+    engines = list(dict.fromkeys(r.engine for r in report.results))
+    cells = {(r.engine, r.query): r.cell() for r in report.results}
+    report.table = render_table(
+        f"Ablation — partial aggregation (scale {scale:g})",
+        engines,
+        ["Q2", "Q3", "Q4"],
+        cells,
+        "variant",
+    )
+    return report
+
+
+def run_ablation_restructuring(
+    scale: float | None = None, repeats: int | None = None
+) -> ExperimentReport:
+    """Partial restructuring vs full re-sorts for the Q13 scenario."""
+    scale = scale if scale is not None else env_scale()
+    repeats = repeats or env_repeats()
+    database = build_workload_database(scale=scale)
+    fact = database.get_factorised("R3")
+    flat = database.flat("R3")
+    target = ["customer", "date", "package"]
+    report = ExperimentReport("ablation_restructuring")
+
+    def partial_restructure() -> int:
+        current = ops.swap(fact, "customer")  # the single swap of Q13
+        return sum(1 for _ in iter_tuples(current))
+
+    def flatten_and_sort() -> int:
+        from repro.relational.sort import sort_rows
+
+        rows = list(iter_tuples(fact))
+        return len(sort_rows(rows, fact.schema(), target))
+
+    def rebuild_from_scratch() -> int:
+        rebuilt = factorise_path(flat, key="Orders", order=target)
+        return sum(1 for _ in iter_tuples(rebuilt))
+
+    variants = [
+        ("partial restructuring (1 swap)", partial_restructure),
+        ("flatten + sort", flatten_and_sort),
+        ("rebuild factorisation", rebuild_from_scratch),
+    ]
+    for label, call in variants:
+        seconds, _ = time_call(call, repeats)
+        report.results.append(BenchResult(label, "Q13", seconds, 0, scale))
+    cells = {(r.engine, r.query): r.cell() for r in report.results}
+    report.table = render_table(
+        f"Ablation — partial restructuring for Q13 (scale {scale:g})",
+        [label for label, _ in variants],
+        ["Q13"],
+        cells,
+        "variant",
+    )
+    return report

@@ -1,0 +1,154 @@
+"""Uniform engine adapters for the benchmark harness.
+
+Every adapter exposes ``prepare(database)`` (one-off loading, excluded
+from timings, like the paper excludes data import) and ``run(query)``
+(executes and fully consumes the result, returning the row count).
+
+Engine mapping to the paper:
+
+====================  ======================================================
+paper                 this repository
+====================  ======================================================
+FDB                   :class:`FDBAdapter` (flat output)
+FDB f/o               :class:`FDBAdapter` ``output="factorised"``
+SQLite                :class:`SQLiteAdapter` (the real ``sqlite3``)
+PostgreSQL            :class:`RDBAdapter` ``grouping="hash"`` ("PSQL-sim":
+                      hash aggregation in the same runtime as FDB; see
+                      DESIGN.md substitutions)
+RDB (Experiment 5)    :class:`RDBAdapter` ``grouping="sort"``
+SQLite man / PSQL man :class:`SQLiteEagerAdapter` / :class:`RDBEagerAdapter`
+====================  ======================================================
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable
+
+from repro.core.engine import FactorisedResult, FDBEngine
+from repro.database import Database
+from repro.query import Query
+from repro.relational.engine import RDBEngine
+from repro.relational.plans import eager_aggregation
+from repro.sql.generator import eager_query_to_sql, query_to_sql
+
+
+class EngineAdapter:
+    """Common interface: prepare once, run many."""
+
+    name = "engine"
+
+    def prepare(self, database: Database) -> None:
+        self.database = database
+
+    def run(self, query: Query) -> int:
+        """Execute the query, consume the result, return the row count."""
+        raise NotImplementedError
+
+
+class FDBAdapter(EngineAdapter):
+    """The factorised engine; ``output`` selects FDB vs FDB f/o.
+
+    In factorised-output mode the result stays a factorisation — the
+    returned count is its singleton count, mirroring the paper's FDB f/o
+    timings that exclude tuple enumeration.
+    """
+
+    def __init__(self, output: str = "flat", optimizer: str = "greedy") -> None:
+        self.engine = FDBEngine(output=output, optimizer=optimizer)
+        self.name = "FDB" if output == "flat" else "FDB f/o"
+
+    def run(self, query: Query) -> int:
+        result = self.engine.execute(query, self.database)
+        if isinstance(result, FactorisedResult):
+            return result.size()
+        return len(result)
+
+
+class RDBAdapter(EngineAdapter):
+    """The flat baseline; sort grouping models SQLite, hash models PSQL."""
+
+    def __init__(self, grouping: str = "sort") -> None:
+        self.engine = RDBEngine(grouping=grouping)
+        self.name = "RDB-sort" if grouping == "sort" else "RDB-hash (PSQL-sim)"
+
+    def run(self, query: Query) -> int:
+        return len(self.engine.execute(query, self.database))
+
+
+class RDBEagerAdapter(EngineAdapter):
+    """RDB with the Yan–Larson eager-aggregation rewrite ("man" plans)."""
+
+    def __init__(self, grouping: str = "hash") -> None:
+        self.grouping = grouping
+        self.name = (
+            "RDB-hash man (PSQL-sim)" if grouping == "hash" else "RDB-sort man"
+        )
+
+    def run(self, query: Query) -> int:
+        plan = eager_aggregation(query, self.database, grouping=self.grouping)
+        return len(plan.execute(self.database))
+
+
+class SQLiteAdapter(EngineAdapter):
+    """The real SQLite, in-memory, loaded once per database."""
+
+    name = "SQLite"
+
+    def __init__(self, eager: bool = False) -> None:
+        self.eager = eager
+        if eager:
+            self.name = "SQLite man"
+        self.connection: sqlite3.Connection | None = None
+
+    def prepare(self, database: Database) -> None:
+        super().prepare(database)
+        self.connection = sqlite3.connect(":memory:")
+        for name in database.names():
+            relation = database.flat(name)
+            columns = ", ".join(f'"{a}"' for a in relation.schema)
+            self.connection.execute(f'CREATE TABLE "{name}" ({columns})')
+            marks = ",".join("?" * len(relation.schema))
+            self.connection.executemany(
+                f'INSERT INTO "{name}" VALUES ({marks})', relation.rows
+            )
+        self.connection.commit()
+
+    def run(self, query: Query) -> int:
+        if self.connection is None:
+            raise RuntimeError("adapter not prepared")
+        sql = (
+            eager_query_to_sql(query, self.database)
+            if self.eager
+            else query_to_sql(query)
+        )
+        return len(self.connection.execute(sql).fetchall())
+
+
+class SQLiteEagerAdapter(SQLiteAdapter):
+    """SQLite running the manually optimised (eager) plans."""
+
+    def __init__(self) -> None:
+        super().__init__(eager=True)
+
+
+def default_engines(
+    include_eager: bool = False, include_fo: bool = True
+) -> list[EngineAdapter]:
+    """The paper's engine line-up for one experiment."""
+    engines: list[EngineAdapter] = []
+    if include_fo:
+        engines.append(FDBAdapter(output="factorised"))
+    engines.append(FDBAdapter(output="flat"))
+    engines.append(SQLiteAdapter())
+    engines.append(RDBAdapter(grouping="sort"))
+    engines.append(RDBAdapter(grouping="hash"))
+    if include_eager:
+        engines.append(SQLiteEagerAdapter())
+        engines.append(RDBEagerAdapter(grouping="hash"))
+    return engines
+
+
+def prepare_all(engines: Iterable[EngineAdapter], database: Database) -> None:
+    for engine in engines:
+        engine.prepare(database)

@@ -1,0 +1,411 @@
+"""The experiments of Section 6, one entry point per figure.
+
+Each ``run_*`` function builds the workload database(s), times every
+engine on the relevant queries, prints a paper-style table and returns
+the raw measurements so tests and EXPERIMENTS.md generation can assert
+on the *shape* of the results (who wins, by what factor) without
+hard-coding absolute times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.engines import (
+    EngineAdapter,
+    FDBAdapter,
+    RDBAdapter,
+    RDBEagerAdapter,
+    SQLiteAdapter,
+    SQLiteEagerAdapter,
+)
+from repro.bench.harness import (
+    BenchResult,
+    Series,
+    env_repeats,
+    env_scale,
+    env_scales,
+    fit_loglog_slope,
+    render_series,
+    render_table,
+    time_call,
+)
+from repro.core.build import factorise
+from repro.data.generator import GeneratorConfig, generate
+from repro.data.workloads import (
+    AGG_ORD_QUERIES,
+    AGG_QUERIES,
+    ORD_QUERIES,
+    WORKLOAD,
+    build_workload_database,
+    section6_ftree,
+)
+from repro.database import Database
+from repro.relational.operators import multiway_join
+
+
+@dataclass
+class ExperimentReport:
+    """Measurements plus the rendered table of one experiment."""
+
+    name: str
+    results: list[BenchResult] = field(default_factory=list)
+    table: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def seconds(self, engine: str, query: str) -> float:
+        for result in self.results:
+            if result.engine == engine and result.query == query:
+                return result.seconds
+        raise KeyError((engine, query))
+
+
+def _measure(
+    engines: Sequence[EngineAdapter],
+    database: Database,
+    query_names: Sequence[str],
+    repeats: int,
+    scale: float | None = None,
+) -> list[BenchResult]:
+    results = []
+    for engine in engines:
+        engine.prepare(database)
+        for name in query_names:
+            query = WORKLOAD[name].query
+            seconds, rows = time_call(lambda: engine.run(query), repeats)
+            results.append(
+                BenchResult(engine.name, name, seconds, rows or 0, scale)
+            )
+    return results
+
+
+def _table(report: ExperimentReport, queries: Sequence[str], title: str) -> None:
+    engines = list(dict.fromkeys(r.engine for r in report.results))
+    cells = {
+        (r.engine, r.query): r.cell() for r in report.results
+    }
+    report.table = render_table(title, engines, list(queries), cells, "engine")
+
+
+# ---------------------------------------------------------------------------
+# Representation sizes (Section 6, text): s^4 vs s^3 growth claim
+# ---------------------------------------------------------------------------
+def run_sizes(scales: Sequence[float] | None = None, seed: int = 2013) -> ExperimentReport:
+    """Singleton counts of flat vs factorised R1 across scales.
+
+    The paper reports the join growing as s^4 against s^3 for its
+    factorisation (a gap linear in s); with the generator parameters as
+    stated in the text the measured gap is the items-per-package factor
+    (≈ 20·√s).  The report records the fitted log-log growth exponents
+    so the shape claim — polynomially growing gap — is checked, not
+    assumed.
+    """
+    scales = list(scales or env_scales())
+    report = ExperimentReport("sizes")
+    flat_series = Series("flat singletons")
+    fact_series = Series("factorised singletons")
+    gap_series = Series("gap (flat/fact)")
+    for scale in scales:
+        data = generate(GeneratorConfig(scale=scale, seed=seed))
+        joined = multiway_join(list(data.relations()))
+        flat = len(joined) * len(joined.schema)
+        fact = factorise(joined, section6_ftree()).size()
+        flat_series.add(scale, flat)
+        fact_series.add(scale, fact)
+        gap_series.add(scale, flat / fact)
+    report.extras["flat_exponent"] = fit_loglog_slope(flat_series.points)
+    report.extras["fact_exponent"] = fit_loglog_slope(fact_series.points)
+    report.table = render_series(
+        "Representation sizes of R1 (singletons) — paper: join ~s^4 vs "
+        "factorisation ~s^3",
+        [flat_series, fact_series, gap_series],
+        "scale",
+    ) + (
+        f"\n  fitted exponents: flat {report.extras['flat_exponent']:.2f}, "
+        f"factorised {report.extras['fact_exponent']:.2f}"
+    )
+    report.extras["series"] = [flat_series, fact_series, gap_series]
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1 / Figure 4: dataset scale vs performance (Q2, Q3)
+# ---------------------------------------------------------------------------
+def run_fig4(
+    scales: Sequence[float] | None = None, repeats: int | None = None
+) -> ExperimentReport:
+    """Wall-clock of Q2 and Q3 on the factorised view across scales."""
+    scales = list(scales or env_scales())
+    repeats = repeats or env_repeats()
+    report = ExperimentReport("fig4")
+    engines = [
+        FDBAdapter(output="flat"),
+        SQLiteAdapter(),
+        RDBAdapter(grouping="sort"),
+        RDBAdapter(grouping="hash"),
+    ]
+    series: dict[str, Series] = {}
+    for scale in scales:
+        database = build_workload_database(scale=scale)
+        results = _measure(engines, database, ("Q2", "Q3"), repeats, scale)
+        report.results.extend(results)
+        for result in results:
+            label = f"{result.engine}: {result.query}"
+            series.setdefault(label, Series(label)).add(scale, result.seconds)
+    report.table = render_series(
+        "Figure 4 — effect of dataset scale on performance (seconds)",
+        list(series.values()),
+        "scale",
+    )
+    report.extras["series"] = series
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Experiment 1 / Figure 5: AGG queries on the factorised view
+# ---------------------------------------------------------------------------
+def run_fig5(
+    scale: float | None = None, repeats: int | None = None
+) -> ExperimentReport:
+    """AGG Q1-Q5 on the materialised (factorised) view R1."""
+    scale = scale if scale is not None else env_scale()
+    repeats = repeats or env_repeats()
+    database = build_workload_database(scale=scale)
+    engines = [
+        FDBAdapter(output="factorised"),
+        FDBAdapter(output="flat"),
+        SQLiteAdapter(),
+        RDBAdapter(grouping="sort"),
+        RDBAdapter(grouping="hash"),
+    ]
+    report = ExperimentReport("fig5")
+    report.results = _measure(engines, database, AGG_QUERIES, repeats, scale)
+    _table(
+        report,
+        AGG_QUERIES,
+        f"Figure 5 — AGG queries on factorised view R1 (scale {scale:g})",
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Experiment 2 / Figure 6: AGG queries on flat input (± manual plans)
+# ---------------------------------------------------------------------------
+def run_fig6(
+    scale: float | None = None, repeats: int | None = None
+) -> ExperimentReport:
+    """AGG Q1-Q5 computed from the flat base relations.
+
+    The multi-relation form of each query (natural join of the three
+    base relations) replaces the view reference, as in the paper's
+    Experiment 2; "man" engines use eager aggregation.
+    """
+    scale = scale if scale is not None else env_scale()
+    repeats = repeats or env_repeats()
+    database = build_workload_database(scale=scale, materialise_views=False)
+    from dataclasses import replace
+
+    flat_queries = {}
+    for name in AGG_QUERIES:
+        query = WORKLOAD[name].query
+        flat_queries[name] = replace(
+            query, relations=("Orders", "Packages", "Items")
+        )
+    engines = [
+        FDBAdapter(output="factorised"),
+        FDBAdapter(output="flat"),
+        SQLiteAdapter(),
+        SQLiteEagerAdapter(),
+        RDBAdapter(grouping="hash"),
+        RDBEagerAdapter(grouping="hash"),
+    ]
+    report = ExperimentReport("fig6")
+    for engine in engines:
+        engine.prepare(database)
+        for name in AGG_QUERIES:
+            seconds, rows = time_call(
+                lambda: engine.run(flat_queries[name]), repeats
+            )
+            report.results.append(
+                BenchResult(engine.name, name, seconds, rows or 0, scale)
+            )
+    _table(
+        report,
+        AGG_QUERIES,
+        f"Figure 6 — AGG queries on flat input (scale {scale:g}); "
+        "'man' = manually optimised (eager) plans",
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Experiment 3 / Figure 7: AGG+ORD queries on the factorised view
+# ---------------------------------------------------------------------------
+def run_fig7(
+    scale: float | None = None, repeats: int | None = None
+) -> ExperimentReport:
+    """Q6-Q9: order-by on top of the aggregate queries."""
+    scale = scale if scale is not None else env_scale()
+    repeats = repeats or env_repeats()
+    database = build_workload_database(scale=scale)
+    engines = [
+        FDBAdapter(output="flat"),
+        SQLiteAdapter(),
+        RDBAdapter(grouping="sort"),
+        RDBAdapter(grouping="hash"),
+    ]
+    report = ExperimentReport("fig7")
+    report.results = _measure(
+        engines, database, AGG_QUERIES[1:3] + AGG_ORD_QUERIES, repeats, scale
+    )
+    _table(
+        report,
+        AGG_QUERIES[1:3] + AGG_ORD_QUERIES,
+        f"Figure 7 — AGG+ORD queries on factorised view R1 (scale {scale:g}) "
+        "(Q2/Q3 shown for the no-order baseline)",
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Experiment 4 / Figure 8: ORD queries, with and without LIMIT 10
+# ---------------------------------------------------------------------------
+def run_fig8(
+    scale: float | None = None, repeats: int | None = None
+) -> ExperimentReport:
+    """Q10-Q13 on the sorted views, plus their LIMIT-10 variants."""
+    scale = scale if scale is not None else env_scale()
+    repeats = repeats or env_repeats()
+    database = build_workload_database(scale=scale)
+    engines = [
+        FDBAdapter(output="flat"),
+        SQLiteAdapter(),
+        RDBAdapter(grouping="sort"),
+    ]
+    report = ExperimentReport("fig8")
+    for engine in engines:
+        engine.prepare(database)
+        for name in ORD_QUERIES:
+            query = WORKLOAD[name].query
+            seconds, _ = time_call(lambda: engine.run(query), repeats)
+            report.results.append(
+                BenchResult(engine.name, name, seconds, 0, scale)
+            )
+            limited = query.with_limit(10)
+            seconds, _ = time_call(lambda: engine.run(limited), repeats)
+            report.results.append(
+                BenchResult(f"{engine.name} lim", name, seconds, 0, scale)
+            )
+    _table(
+        report,
+        ORD_QUERIES,
+        f"Figure 8 — ORD queries ± LIMIT 10 (scale {scale:g})",
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Optimiser study (Section 5; the paper's online appendix)
+# ---------------------------------------------------------------------------
+def run_optimizer_study(scale: float = 0.25) -> ExperimentReport:
+    """Greedy vs exhaustive plan costs on the AGG workload.
+
+    The paper states that for all benchmark queries the greedy heuristic
+    finds plans that are optimal under the asymptotic size-bound metric;
+    this study recomputes both and compares their costs.
+    """
+    from repro.core.cost import Hypergraph, plan_cost, s_parameter
+    from repro.core.optimizer import ExhaustiveOptimizer, GreedyOptimizer, PlanContext
+    from repro.core.engine import expand_functions
+
+    database = build_workload_database(scale=scale)
+    fact = database.get_factorised("R1")
+    hypergraph = Hypergraph(
+        {
+            "Orders": ("customer", "date", "package"),
+            "Packages": ("package", "item"),
+            "Items": ("item", "price"),
+        }
+    )
+    report = ExperimentReport("optimizer")
+    cells = {}
+    rows = []
+    for name in AGG_QUERIES + AGG_ORD_QUERIES:
+        query = WORKLOAD[name].query
+        aliases = {s.alias for s in query.aggregates}
+        ctx = PlanContext(
+            hypergraph=hypergraph,
+            kept=frozenset(query.group_by),
+            functions=expand_functions(query.aggregates),
+            order=tuple(
+                k for k in query.order_by if k.attribute not in aliases
+            ),
+        )
+        greedy_plan = GreedyOptimizer().plan(fact.ftree, ctx)
+        exhaustive_plan = ExhaustiveOptimizer().plan(fact.ftree, ctx)
+        greedy_trees = greedy_plan.simulate(fact.ftree)[1:]
+        exhaustive_trees = exhaustive_plan.simulate(fact.ftree)[1:]
+        greedy_cost = plan_cost(greedy_trees, hypergraph)
+        exhaustive_cost = plan_cost(exhaustive_trees, hypergraph)
+        # The paper's optimality claim is under the *asymptotic* bounds
+        # metric: the dominant exponent across intermediate results.
+        greedy_exp = max(
+            (s_parameter(t, hypergraph) for t in greedy_trees), default=0.0
+        )
+        exhaustive_exp = max(
+            (s_parameter(t, hypergraph) for t in exhaustive_trees), default=0.0
+        )
+        rows.append(name)
+        cells[(name, "greedy steps")] = str(len(greedy_plan))
+        cells[(name, "greedy cost")] = f"{greedy_cost:.3g}"
+        cells[(name, "exhaustive cost")] = f"{exhaustive_cost:.3g}"
+        cells[(name, "greedy exp")] = f"{greedy_exp:.2f}"
+        cells[(name, "exhaustive exp")] = f"{exhaustive_exp:.2f}"
+        cells[(name, "greedy optimal")] = str(
+            greedy_exp <= exhaustive_exp + 1e-9
+        )
+        report.extras[name] = {
+            "greedy_cost": greedy_cost,
+            "exhaustive_cost": exhaustive_cost,
+            "greedy_exponent": greedy_exp,
+            "exhaustive_exponent": exhaustive_exp,
+        }
+    report.table = render_table(
+        "Optimiser study — greedy vs exhaustive (size-bound metric; "
+        "optimality is under the asymptotic exponent, as in the paper)",
+        rows,
+        [
+            "greedy steps",
+            "greedy cost",
+            "exhaustive cost",
+            "greedy exp",
+            "exhaustive exp",
+            "greedy optimal",
+        ],
+        cells,
+        "query",
+    )
+    return report
+
+
+def run_all(print_tables: bool = True) -> dict[str, ExperimentReport]:
+    """Run every experiment; used to regenerate EXPERIMENTS.md numbers."""
+    reports = {
+        "sizes": run_sizes(),
+        "fig4": run_fig4(),
+        "fig5": run_fig5(),
+        "fig6": run_fig6(),
+        "fig7": run_fig7(),
+        "fig8": run_fig8(),
+        "optimizer": run_optimizer_study(),
+    }
+    if print_tables:
+        for report in reports.values():
+            print(report.table)
+            print()
+    return reports
+
+
+if __name__ == "__main__":
+    run_all()

@@ -1,0 +1,120 @@
+"""Timing and reporting utilities for the experiments."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+@dataclass
+class BenchResult:
+    """One measured cell: engine × query (× scale)."""
+
+    engine: str
+    query: str
+    seconds: float
+    rows: int = 0
+    scale: float | None = None
+
+    def cell(self) -> str:
+        return f"{self.seconds:.4f}s"
+
+
+@dataclass
+class Series:
+    """A labelled series of (x, y) points (Figure 4-style plots)."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+
+def time_call(call: Callable[[], Any], repeats: int = 3) -> tuple[float, Any]:
+    """Best-of-N wall-clock time (the paper times warmed-up runs)."""
+    best = float("inf")
+    result: Any = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = call()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def render_table(
+    title: str,
+    row_labels: Sequence[str],
+    column_labels: Sequence[str],
+    cells: dict[tuple[str, str], str],
+    row_header: str = "",
+) -> str:
+    """ASCII table matching the paper's per-figure layout."""
+    widths = [max(len(row_header), *(len(r) for r in row_labels))]
+    for column in column_labels:
+        column_cells = [cells.get((row, column), "-") for row in row_labels]
+        widths.append(max(len(column), *(len(c) for c in column_cells)))
+    header = [row_header.ljust(widths[0])] + [
+        c.rjust(w) for c, w in zip(column_labels, widths[1:])
+    ]
+    lines = [title, "  " + " | ".join(header)]
+    lines.append("  " + "-+-".join("-" * w for w in widths))
+    for row in row_labels:
+        line = [row.ljust(widths[0])] + [
+            cells.get((row, column), "-").rjust(w)
+            for column, w in zip(column_labels, widths[1:])
+        ]
+        lines.append("  " + " | ".join(line))
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Sequence[Series], x_label: str) -> str:
+    """Numeric series table (stands in for the paper's log-log plots)."""
+    xs = sorted({x for s in series for x, _ in s.points})
+    cells = {}
+    for s in series:
+        lookup = dict(s.points)
+        for x in xs:
+            if x in lookup:
+                cells[(s.label, f"{x:g}")] = f"{lookup[x]:.4f}"
+    return render_table(
+        title,
+        [s.label for s in series],
+        [f"{x:g}" for x in xs],
+        cells,
+        row_header=x_label,
+    )
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Single-scale experiments honour REPRO_BENCH_SCALE."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def env_scales(default: str = "0.25,0.5,1,2") -> list[float]:
+    """Sweep experiments honour REPRO_BENCH_SCALES."""
+    raw = os.environ.get("REPRO_BENCH_SCALES", default)
+    return [float(part) for part in raw.split(",") if part.strip()]
+
+
+def env_repeats(default: int = 3) -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", default))
+
+
+def fit_loglog_slope(points: Sequence[tuple[float, float]]) -> float:
+    """Least-squares slope of log(y) against log(x) (growth exponent)."""
+    import math
+
+    xs = [math.log(x) for x, _ in points]
+    ys = [math.log(y) for _, y in points]
+    n = len(points)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,212 @@
+"""View advisor: choosing a good f-tree for a materialised view.
+
+The paper (and [5], [22]) uses asymptotic size bounds over f-trees as a
+cost metric "for choosing a good f-tree representing the structure of
+the factorised query result" (Section 2.1).  This module makes that
+concrete: it enumerates every f-tree that is valid for a join query's
+dependency structure (the path constraint over the query hypergraph)
+and ranks them with :func:`repro.core.cost.ftree_cost`.
+
+Enumeration is exponential in the number of attributes — fine for the
+view schemas of the paper (five attributes, a few hundred candidates)
+and guarded by a cap for larger schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.cost import Hypergraph, ftree_cost, s_parameter
+from repro.core.ftree import FNode, FTree
+
+
+class AdvisorError(ValueError):
+    """Raised when no valid f-tree exists or the cap is exceeded."""
+
+
+@dataclass(frozen=True)
+class RankedTree:
+    """One candidate f-tree with its cost metrics."""
+
+    ftree: FTree
+    cost: float
+    exponent: float
+
+    def describe(self) -> str:
+        return (
+            f"s(T) = {self.exponent:.2f}, cost = {self.cost:.3g}\n"
+            f"{self.ftree.pretty()}"
+        )
+
+
+def attribute_keys(hypergraph: Hypergraph) -> dict[str, frozenset[str]]:
+    """Dependency keys per attribute: the relations covering it."""
+    keys: dict[str, set[str]] = {}
+    for relation, attrs in hypergraph.edges.items():
+        for attribute in attrs:
+            keys.setdefault(attribute, set()).add(relation)
+    return {a: frozenset(k) for a, k in keys.items()}
+
+
+def enumerate_ftrees(
+    attributes: Sequence[str],
+    hypergraph: Hypergraph,
+    cap: int = 100_000,
+) -> Iterator[FTree]:
+    """All path-constraint-valid f-trees over single-attribute nodes.
+
+    Trees are built top-down: at each step one remaining attribute is
+    attached under a parent (or as a new root) such that every relation
+    containing it is "open" on that path — the standard validity check
+    that dependent attributes share a root-to-leaf path.
+    """
+    keys = attribute_keys(hypergraph)
+    missing = [a for a in attributes if a not in keys]
+    if missing:
+        raise AdvisorError(f"attributes not covered by any relation: {missing}")
+    count = 0
+    seen: set = set()
+    visited_states: set = set()
+
+    def canonical(forest: list) -> tuple:
+        return tuple(sorted(_spec(node) for node in forest))
+
+    def grow(
+        forest: list,  # list of mutable node dicts {name, children}
+        remaining: tuple[str, ...],
+    ) -> Iterator[FTree]:
+        nonlocal count
+        state = (canonical(forest), frozenset(remaining))
+        if state in visited_states:
+            return
+        visited_states.add(state)
+        if not remaining:
+            signature = canonical(forest)
+            if signature in seen:
+                return
+            seen.add(signature)
+            count += 1
+            if count > cap:
+                raise AdvisorError(
+                    f"more than {cap} candidate f-trees; raise the cap "
+                    "or restrict the schema"
+                )
+            yield _to_ftree(forest, keys)
+            return
+        # Branch over which attribute is placed next: different orders
+        # reach different shapes (e.g. only an early placement can put a
+        # given attribute at the root).
+        for index, attribute in enumerate(remaining):
+            rest = remaining[:index] + remaining[index + 1 :]
+            # Option 1: new root.
+            if _independent_of_forest(attribute, forest, keys):
+                forest.append({"name": attribute, "children": []})
+                yield from grow(forest, rest)
+                forest.pop()
+            # Option 2: child of any existing node whose path covers the
+            # dependencies shared with nodes off that path.
+            for parent in list(_all_nodes(forest)):
+                if _valid_under(attribute, parent, forest, keys):
+                    parent["children"].append(
+                        {"name": attribute, "children": []}
+                    )
+                    yield from grow(forest, rest)
+                    parent["children"].pop()
+
+    yield from grow([], tuple(attributes))
+
+
+def _spec(node: dict) -> tuple:
+    return (node["name"], tuple(sorted(_spec(c) for c in node["children"])))
+
+
+def _all_nodes(forest: list) -> Iterator[dict]:
+    stack = list(forest)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node["children"])
+
+
+def _path_of(target: dict, forest: list) -> list[dict] | None:
+    for root in forest:
+        path = _path_in(root, target)
+        if path is not None:
+            return path
+    return None
+
+
+def _path_in(node: dict, target: dict) -> list[dict] | None:
+    if node is target:
+        return [node]
+    for child in node["children"]:
+        path = _path_in(child, target)
+        if path is not None:
+            return [node] + path
+    return None
+
+
+def _independent_of_forest(attribute: str, forest: list, keys) -> bool:
+    mine = keys[attribute]
+    return all(
+        not (keys[node["name"]] & mine) for node in _all_nodes(forest)
+    )
+
+
+def _valid_under(attribute: str, parent: dict, forest: list, keys) -> bool:
+    """Placing ``attribute`` under ``parent`` keeps dependents on paths.
+
+    Every already-placed node dependent on ``attribute`` must be an
+    ancestor of the new position, i.e. on the path to ``parent``.
+    """
+    mine = keys[attribute]
+    path = _path_of(parent, forest)
+    on_path = {id(node) for node in path}
+    for node in _all_nodes(forest):
+        if keys[node["name"]] & mine and id(node) not in on_path:
+            return False
+    return True
+
+
+def _to_ftree(forest: list, keys) -> FTree:
+    def build(node: dict) -> FNode:
+        return FNode(
+            (node["name"],),
+            [build(child) for child in node["children"]],
+            keys[node["name"]],
+        )
+
+    return FTree([build(node) for node in forest])
+
+
+def advise(
+    attributes: Sequence[str],
+    hypergraph: Hypergraph,
+    scale: float = 1024.0,
+    top: int = 3,
+    cap: int = 100_000,
+) -> list[RankedTree]:
+    """The ``top`` cheapest valid f-trees under the size-bound metric."""
+    ranked = [
+        RankedTree(
+            tree,
+            ftree_cost(tree, hypergraph, scale),
+            s_parameter(tree, hypergraph),
+        )
+        for tree in enumerate_ftrees(attributes, hypergraph, cap)
+    ]
+    if not ranked:
+        raise AdvisorError("no valid f-tree exists for this hypergraph")
+    ranked.sort(key=lambda candidate: candidate.cost)
+    return ranked[:top]
+
+
+def best_ftree(
+    attributes: Sequence[str],
+    hypergraph: Hypergraph,
+    scale: float = 1024.0,
+    cap: int = 100_000,
+) -> FTree:
+    """Convenience wrapper: the single cheapest valid f-tree."""
+    return advise(attributes, hypergraph, scale, top=1, cap=cap)[0].ftree

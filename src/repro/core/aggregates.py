@@ -1,0 +1,390 @@
+"""The recursive aggregation algorithms of Section 3.2.
+
+These evaluators compute an aggregation function over the relation
+*represented* by a factorisation fragment, in time linear in the size of
+the fragment — even though the represented relation can be exponentially
+larger.  The four cases of each paper algorithm map onto our structure
+as follows: a singleton is an entry's value; a union is the list of
+entries of a node; a product is an entry's tuple of child fragments
+(plus the product across forest roots).
+
+Aggregate attributes are interpreted as pre-aggregated relations
+(Example 6): a ⟨count(X): c⟩ singleton counts as ``c`` tuples, and a
+⟨sum_A(X): s⟩ singleton contributes ``s`` to a later sum over A.
+Illegal compositions — e.g. counting over a fragment that only retains
+sums — raise :class:`CompositionError`, mirroring the side conditions
+of Proposition 2.
+
+The module also provides :func:`evaluate_components` (composite
+aggregation functions, Section 3.2.4: all components in one pass with a
+shared count) and the Proposition 2 composition predicates used by the
+optimiser.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.frep import FRNode
+from repro.core.ftree import AggregateAttribute, FNode
+
+#: A fragment is a node together with its union of entries.
+FragmentItem = tuple[FNode, list]
+
+
+class CompositionError(ValueError):
+    """An aggregation cannot be evaluated over a fragment (Prop. 2)."""
+
+
+class EmptyAggregateError(ValueError):
+    """sum/min/max over an empty represented relation."""
+
+
+# ---------------------------------------------------------------------------
+# count (Section 3.2.1)
+# ---------------------------------------------------------------------------
+def count_union(node: FNode, union: list[FRNode]) -> int:
+    """|⟦E⟧| for the fragment of ``node``: Σ over entries (disjoint union)."""
+    total = 0
+    for entry in union:
+        total += _entry_multiplicity(node, entry) * _children_count(node, entry)
+    return total
+
+
+def count_forest(items: Sequence[FragmentItem]) -> int:
+    """|⟦E1 × ... × Ek⟧| = Π |⟦Ei⟧| (product of independent fragments)."""
+    product = 1
+    for node, union in items:
+        product *= count_union(node, union)
+    return product
+
+
+def _children_count(node: FNode, entry: FRNode) -> int:
+    product = 1
+    for child, child_union in zip(node.children, entry.children):
+        product *= count_union(child, child_union)
+    return product
+
+
+def _entry_multiplicity(node: FNode, entry: FRNode) -> int:
+    """Tuples represented by one singleton: 1, or c for ⟨count(X):c⟩."""
+    if node.aggregate is None:
+        return 1
+    component = node.aggregate.count_component
+    if component is None:
+        raise CompositionError(
+            f"cannot count over aggregate attribute {node.aggregate} "
+            "that retains no count component (illegal composition, Prop. 2)"
+        )
+    return entry.value[component]
+
+
+# ---------------------------------------------------------------------------
+# sum_A (Section 3.2.2)
+# ---------------------------------------------------------------------------
+def sum_union(attribute: str, node: FNode, union: list[FRNode]) -> Any:
+    """Σ of ``attribute`` over ⟦fragment⟧."""
+    carrier = _carries(node, attribute, "sum")
+    total: Any = 0
+    if carrier == "here":
+        component = (
+            None
+            if node.aggregate is None
+            else node.aggregate.sum_component(attribute)
+        )
+        for entry in union:
+            value = entry.value if component is None else entry.value[component]
+            total += value * _children_count(node, entry)
+        return total
+    # The attribute lives deeper: Σ over entries of mult · sum(children).
+    for entry in union:
+        total += _entry_multiplicity(node, entry) * sum_forest(
+            attribute, list(zip(node.children, entry.children))
+        )
+    return total
+
+
+def sum_forest(attribute: str, items: Sequence[FragmentItem]) -> Any:
+    """Σ of ``attribute`` over a product: sum in its fragment × counts."""
+    carrier_index = _locate(items, attribute, "sum")
+    node, union = items[carrier_index]
+    total = sum_union(attribute, node, union)
+    for index, (other_node, other_union) in enumerate(items):
+        if index != carrier_index:
+            total *= count_union(other_node, other_union)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# min_A / max_A (Section 3.2.3)
+# ---------------------------------------------------------------------------
+def extremum_union(
+    function: str, attribute: str, node: FNode, union: list[FRNode]
+) -> Any:
+    """min/max of ``attribute`` over ⟦fragment⟧ (multiplicity-free)."""
+    pick = min if function == "min" else max
+    if not union:
+        raise EmptyAggregateError(f"{function} over an empty fragment")
+    carrier = _carries(node, attribute, function)
+    if carrier == "here":
+        component = (
+            None
+            if node.aggregate is None
+            else node.aggregate.component(function, attribute)
+        )
+        return pick(
+            entry.value if component is None else entry.value[component]
+            for entry in union
+        )
+    return pick(
+        extremum_forest(function, attribute, list(zip(node.children, entry.children)))
+        for entry in union
+    )
+
+
+def extremum_forest(
+    function: str, attribute: str, items: Sequence[FragmentItem]
+) -> Any:
+    """min/max over a product: only the carrying fragment matters."""
+    carrier_index = _locate(items, attribute, function)
+    node, union = items[carrier_index]
+    return extremum_union(function, attribute, node, union)
+
+
+# ---------------------------------------------------------------------------
+# Attribute location helpers
+# ---------------------------------------------------------------------------
+def subtree_carries(node: FNode, attribute: str, function: str) -> bool:
+    """Whether ``node``'s subtree can supply ``function`` over ``attribute``.
+
+    True if the subtree holds the atomic attribute or an aggregate
+    attribute with a matching partial component.  An aggregate attribute
+    that merely *covers* the attribute (aggregated it away without
+    keeping the right component) makes a later evaluation illegal; that
+    is reported by the evaluators, not here.
+    """
+    for current in node.walk():
+        if attribute in current.attributes:
+            return True
+        if current.aggregate is not None:
+            partial = "sum" if function == "sum" else function
+            if current.aggregate.component(partial, attribute) is not None:
+                return True
+            if current.aggregate.covers(attribute):
+                return True
+    return False
+
+
+def _carries(node: FNode, attribute: str, function: str) -> str:
+    """'here' if the node itself supplies the value, 'below' otherwise."""
+    if attribute in node.attributes:
+        return "here"
+    if node.aggregate is not None:
+        if node.aggregate.component(function, attribute) is not None:
+            return "here"
+        if node.aggregate.covers(attribute):
+            raise CompositionError(
+                f"aggregate attribute {node.aggregate} covers {attribute!r} "
+                f"but retains no {function} component (illegal composition)"
+            )
+    for child in node.children:
+        if subtree_carries(child, attribute, function):
+            return "below"
+    raise CompositionError(
+        f"attribute {attribute!r} is not available under node "
+        f"{node.label()!r}"
+    )
+
+
+def _locate(items: Sequence[FragmentItem], attribute: str, function: str) -> int:
+    carriers = [
+        index
+        for index, (node, _) in enumerate(items)
+        if subtree_carries(node, attribute, function)
+    ]
+    if len(carriers) != 1:
+        raise CompositionError(
+            f"attribute {attribute!r} must occur in exactly one fragment of "
+            f"a product; found {len(carriers)}"
+        )
+    return carriers[0]
+
+
+# ---------------------------------------------------------------------------
+# Composite aggregation functions (Section 3.2.4)
+# ---------------------------------------------------------------------------
+def evaluate_components(
+    functions: Sequence[tuple[str, str | None]],
+    items: Sequence[FragmentItem],
+) -> tuple:
+    """Evaluate several aggregation functions over one fragment forest.
+
+    Shared work: the count is computed once even when several components
+    need it (the paper notes the two count computations of an avg are
+    shared).  Returns the tuple of component values aligned with
+    ``functions``.
+    """
+    count_cache: int | None = None
+
+    def counted() -> int:
+        nonlocal count_cache
+        if count_cache is None:
+            count_cache = count_forest(items)
+        return count_cache
+
+    values = []
+    for function, attribute in functions:
+        if function == "count":
+            values.append(counted())
+        elif function == "sum":
+            values.append(sum_forest(attribute, items))
+        elif function in ("min", "max"):
+            values.append(extremum_forest(function, attribute, items))
+        else:
+            raise CompositionError(f"unknown aggregation function {function!r}")
+    return tuple(values)
+
+
+class CachedEvaluator:
+    """Memoising wrapper over the recursive evaluators.
+
+    During group-context enumeration (Example 1, case 3) the same
+    partial-aggregate fragments recur under many group assignments;
+    caching per fragment keeps the on-the-fly combination constant-time
+    per tuple after the first visit.  Cache keys pin the union objects
+    so ``id`` reuse cannot alias entries.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, Any] = {}
+        self._pins: list = []
+
+    def _memo(self, key: tuple, union: list, compute) -> Any:
+        if key not in self._cache:
+            self._cache[key] = compute()
+            self._pins.append(union)
+        return self._cache[key]
+
+    def count_item(self, node: FNode, union: list[FRNode]) -> int:
+        return self._memo(
+            ("count", id(union)), union, lambda: count_union(node, union)
+        )
+
+    def sum_item(self, attribute: str, node: FNode, union: list[FRNode]) -> Any:
+        return self._memo(
+            ("sum", attribute, id(union)),
+            union,
+            lambda: sum_union(attribute, node, union),
+        )
+
+    def extremum_item(
+        self, function: str, attribute: str, node: FNode, union: list[FRNode]
+    ) -> Any:
+        return self._memo(
+            (function, attribute, id(union)),
+            union,
+            lambda: extremum_union(function, attribute, node, union),
+        )
+
+    def components(
+        self,
+        functions: Sequence[tuple[str, str | None]],
+        items: Sequence[FragmentItem],
+    ) -> tuple:
+        """Composite evaluation over a forest with per-fragment caching."""
+        count_total: int | None = None
+
+        def counted() -> int:
+            nonlocal count_total
+            if count_total is None:
+                product = 1
+                for node, union in items:
+                    product *= self.count_item(node, union)
+                count_total = product
+            return count_total
+
+        values = []
+        for function, attribute in functions:
+            if function == "count":
+                values.append(counted())
+            elif function == "sum":
+                carrier = _locate(items, attribute, "sum")
+                node, union = items[carrier]
+                total = self.sum_item(attribute, node, union)
+                for index, (other_node, other_union) in enumerate(items):
+                    if index != carrier:
+                        total *= self.count_item(other_node, other_union)
+                values.append(total)
+            elif function in ("min", "max"):
+                carrier = _locate(items, attribute, function)
+                node, union = items[carrier]
+                values.append(
+                    self.extremum_item(function, attribute, node, union)
+                )
+            else:
+                raise CompositionError(
+                    f"unknown aggregation function {function!r}"
+                )
+        return tuple(values)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 2: composition rules
+# ---------------------------------------------------------------------------
+def partial_functions_for(
+    query_functions: Sequence[tuple[str, str | None]],
+    subtree_attributes: set[str],
+) -> tuple[tuple[str, str | None], ...]:
+    """Which partial components a γ over ``subtree_attributes`` must keep.
+
+    Per Proposition 2, a later ``sum_A`` composes with earlier ``sum_A``
+    (when the subtree holds A) or ``count`` (when it does not); ``count``
+    composes with ``count``; ``min``/``max`` compose with themselves and
+    only apply to subtrees holding their attribute.  The returned tuple
+    is deduplicated with counts shared across components.
+    """
+    needed: list[tuple[str, str | None]] = []
+
+    def want(component: tuple[str, str | None]) -> None:
+        if component not in needed:
+            needed.append(component)
+
+    for function, attribute in query_functions:
+        if function == "count":
+            want(("count", None))
+        elif function in ("sum", "avg"):
+            if attribute in subtree_attributes:
+                want(("sum", attribute))
+                if function == "avg":
+                    want(("count", None))
+            else:
+                want(("count", None))
+        elif function in ("min", "max"):
+            if attribute in subtree_attributes:
+                want((function, attribute))
+            # A min/max never needs partials from attribute-free subtrees:
+            # multiplicities do not affect extrema.
+    return tuple(needed)
+
+
+def composable(
+    outer: tuple[str, str | None], inner: AggregateAttribute
+) -> bool:
+    """Can ``outer`` be evaluated over a fragment holding ``inner``?
+
+    Encodes Proposition 2: F(U)∘F(V) for equal functions; sum_A over an
+    earlier count when A is outside the counted subtree; commuting cases
+    are handled by the optimiser keeping disjoint subtrees independent.
+    """
+    function, attribute = outer
+    if function == "count":
+        return inner.count_component is not None
+    if function == "sum":
+        if attribute in inner.over:
+            return inner.sum_component(attribute) is not None
+        return inner.count_component is not None
+    if function in ("min", "max"):
+        if attribute in inner.over:
+            return inner.component(function, attribute) is not None
+        return True  # extrema ignore independent fragments entirely
+    return False

@@ -1,0 +1,134 @@
+"""Beyond f-trees: DAG compression of factorisations (Section 8).
+
+The paper's conclusion points at "more succinct representations such as
+decision diagrams" as future work.  The first step beyond tree-shaped
+factorisations is sharing *equal* fragments: when two contexts hold
+structurally identical unions (e.g. many packages with the same item
+list, or the pizzeria's shared topping lists), a single copy can serve
+both — turning the parse tree of the representation into a DAG, in the
+spirit of the d-representations later developed in this line of work.
+
+Because :class:`repro.core.frep.FRNode` fragments are immutable, the
+sharing is transparent to every consumer: enumeration, aggregation and
+the operators keep working unchanged on a compressed factorisation.
+This module provides
+
+- :func:`hash_cons` — rebuild a factorisation with maximal sharing;
+- :func:`dag_size` — the number of *distinct* singletons, i.e. the size
+  of the DAG representation (``Factorisation.size`` keeps counting the
+  tree size);
+- :func:`sharing_report` — tree-vs-DAG size accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.core.frep import Factorisation, FRNode
+
+
+@dataclass(frozen=True)
+class SharingReport:
+    """Tree-vs-DAG size accounting for one factorisation."""
+
+    tree_singletons: int
+    dag_singletons: int
+    shared_fragments: int
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (≥ 1; higher means more sharing)."""
+        if self.dag_singletons == 0:
+            return 1.0
+        return self.tree_singletons / self.dag_singletons
+
+
+def hash_cons(fact: Factorisation) -> Factorisation:
+    """Maximal sharing: structurally equal fragments become one object.
+
+    Runs bottom-up with memoisation on a structural signature; the
+    result represents the same relation over the same f-tree, but equal
+    subtrees are physically shared, so the in-memory footprint matches
+    :func:`dag_size` rather than ``size()``.
+    """
+    entry_cache: dict[tuple, FRNode] = {}
+    union_cache: dict[tuple, list[FRNode]] = {}
+
+    def intern_union(union: list[FRNode]) -> tuple[tuple, list[FRNode]]:
+        signatures = []
+        interned_entries = []
+        for entry in union:
+            signature, interned = intern_entry(entry)
+            signatures.append(signature)
+            interned_entries.append(interned)
+        key = tuple(signatures)
+        cached = union_cache.get(key)
+        if cached is None:
+            cached = interned_entries
+            union_cache[key] = cached
+        return key, cached
+
+    def intern_entry(entry: FRNode) -> tuple[tuple, FRNode]:
+        child_keys = []
+        interned_children = []
+        for child in entry.children:
+            child_key, interned = intern_union(child)
+            child_keys.append(child_key)
+            interned_children.append(interned)
+        key = (entry.value, tuple(child_keys))
+        cached = entry_cache.get(key)
+        if cached is None:
+            cached = FRNode(entry.value, tuple(interned_children))
+            entry_cache[key] = cached
+        return key, cached
+
+    roots = [intern_union(union)[1] for union in fact.roots]
+    return Factorisation(fact.ftree, roots)
+
+
+def dag_size(fact: Factorisation) -> int:
+    """Number of distinct singletons under maximal sharing.
+
+    Counts each structurally distinct fragment entry once — the size of
+    the DAG (decision-diagram-style) representation of the same data.
+    """
+    seen: set[tuple] = set()
+
+    def walk_union(union: list[FRNode]) -> tuple:
+        return tuple(walk_entry(entry) for entry in union)
+
+    def walk_entry(entry: FRNode) -> tuple:
+        key = (entry.value, tuple(walk_union(c) for c in entry.children))
+        seen.add(key)
+        return key
+
+    for union in fact.roots:
+        walk_union(union)
+    return len(seen)
+
+
+def physical_singletons(fact: Factorisation) -> int:
+    """Singletons counted by object identity (measures actual sharing)."""
+    seen: set[int] = set()
+
+    def walk(union: list[FRNode]) -> None:
+        for entry in union:
+            if id(entry) in seen:
+                continue
+            seen.add(id(entry))
+            for child in entry.children:
+                walk(child)
+
+    for union in fact.roots:
+        walk(union)
+    return len(seen)
+
+
+def sharing_report(fact: Factorisation) -> SharingReport:
+    """Compare the tree size with the DAG size of a factorisation."""
+    tree = fact.size()
+    dag = dag_size(fact)
+    return SharingReport(
+        tree_singletons=tree,
+        dag_singletons=dag,
+        shared_fragments=tree - dag,
+    )

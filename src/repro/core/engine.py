@@ -1,0 +1,856 @@
+"""The FDB query engine: queries with aggregates and ordering on
+factorised databases.
+
+``FDBEngine.execute`` runs the full pipeline of the paper:
+
+1. *inputs* — registered factorised views are used directly; flat
+   relations are factorised over path f-trees on the fly (with join
+   attributes near the root).  Multiple inputs are combined with the
+   product operator; natural joins over shared attribute names are
+   canonicalised into explicit equality selections with renames, as in
+   the paper's formulation (Section 5.1);
+2. *constant selections* — evaluated in one traversal each;
+3. *f-plan* — the optimiser (greedy by default, Section 5.2) compiles
+   equality selections, partial aggregation and restructuring into a
+   plan, which is executed operator by operator;
+4. *output shaping* —
+
+   - flat output (the paper's "FDB"): group assignments are enumerated
+     with constant delay and the remaining partial aggregates are
+     combined on the fly (Example 1, case 3); order-by and limit ride on
+     the sorted unions (Theorems 1-2);
+   - factorised output ("FDB f/o"): the partial aggregates are collapsed
+     into a single aggregate attribute under a linearised group-by path,
+     yielding a factorisation of the query result.
+
+The engine is read-only with respect to the database: operators share
+unchanged fragments instead of mutating them.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+
+from repro.core import aggregates as agg
+from repro.core import operators as ops
+from repro.core.build import factorise_path
+from repro.core.cost import Hypergraph
+from repro.core.enumerate import (
+    iter_group_contexts,
+    iter_tuples,
+    restructure_for_order,
+    supports_order,
+)
+from repro.core.fplan import ExecutionTrace, FPlan, SelectStep
+from repro.core.frep import Factorisation, FRNode
+from repro.core.ftree import AggregateAttribute, FNode, FTree, fresh_aggregate_name
+from repro.core.optimizer import (
+    ExhaustiveOptimizer,
+    GreedyOptimizer,
+    PlanContext,
+)
+from repro.query import AggregateSpec, Query, QueryError, natural_equalities
+from repro.relational.relation import Relation
+from repro.relational.sort import SortKey, normalise_order, sort_rows
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.database import Database
+
+
+class FactorisedResult:
+    """Factorised query output (the FDB f/o mode).
+
+    Wraps the result factorisation together with the query's output
+    schema; tuples can be enumerated (optionally ordered/limited)
+    without flattening the representation.
+    """
+
+    def __init__(
+        self,
+        factorisation: Factorisation,
+        output_schema: Sequence[str],
+        aggregate_node: str | None = None,
+        specs: Sequence[AggregateSpec] = (),
+        order: Sequence[SortKey] = (),
+        limit: int | None = None,
+    ) -> None:
+        self.factorisation = factorisation
+        self.output_schema = tuple(output_schema)
+        self.aggregate_node = aggregate_node
+        self.specs = tuple(specs)
+        self.order = tuple(order)
+        self.limit = limit
+
+    def size(self) -> int:
+        """Singleton count of the result representation."""
+        return self.factorisation.size()
+
+    def iter_tuples(self) -> Iterator[tuple]:
+        """Enumerate result tuples in the query's order."""
+        fact = self.factorisation
+        inner_order = [
+            key for key in self.order if key.attribute in fact.ftree
+        ]
+        raw_schema = fact.schema()
+        aliases = {spec.alias: spec for spec in self.specs}
+        positions = []
+        component_of: dict[int, AggregateSpec] = {}
+        for out_index, name in enumerate(self.output_schema):
+            if self.aggregate_node is not None and name in aliases:
+                # An aggregate alias: resolved from the aggregate node's
+                # component tuple (the node may itself carry the alias).
+                positions.append(raw_schema.index(self.aggregate_node))
+                component_of[out_index] = aliases[name]
+            else:
+                positions.append(raw_schema.index(name))
+
+        node = (
+            fact.ftree.node(self.aggregate_node)
+            if self.aggregate_node is not None
+            else None
+        )
+        functions = node.aggregate.functions if node is not None else ()
+
+        def shape(row: tuple) -> tuple:
+            out = []
+            for out_index, position in enumerate(positions):
+                value = row[position]
+                if out_index in component_of:
+                    value = _spec_value(component_of[out_index], functions, value)
+                out.append(value)
+            return tuple(out)
+
+        iterator = (shape(row) for row in iter_tuples(fact, inner_order))
+        if self.limit is not None:
+            iterator = islice(iterator, self.limit)
+        return iterator
+
+    def to_relation(self, name: str = "") -> Relation:
+        return Relation(
+            self.output_schema, list(self.iter_tuples()), name=name or "result"
+        )
+
+
+def _spec_value(
+    spec: AggregateSpec,
+    functions: Sequence[tuple[str, str | None]],
+    value: tuple,
+) -> Any:
+    """Extract one aggregate alias from a composite component tuple."""
+    if spec.function == "avg":
+        total = value[list(functions).index(("sum", spec.attribute))]
+        count = value[list(functions).index(("count", None))]
+        return total / count
+    index = list(functions).index(
+        (spec.function if spec.function != "avg" else "sum", spec.attribute)
+        if spec.function != "count"
+        else ("count", None)
+    )
+    return value[index]
+
+
+class FDBEngine:
+    """Main-memory engine for queries on factorised databases.
+
+    Parameters
+    ----------
+    output:
+        ``"flat"`` enumerates result tuples (the paper's FDB);
+        ``"factorised"`` returns a :class:`FactorisedResult` (FDB f/o).
+    optimizer:
+        ``"greedy"`` (Section 5.2) or ``"exhaustive"`` (Section 5.1).
+    """
+
+    name = "FDB"
+
+    def __init__(self, output: str = "flat", optimizer: str = "greedy") -> None:
+        if output not in ("flat", "factorised"):
+            raise ValueError(f"unknown output mode {output!r}")
+        self.output = output
+        self.optimizer = (
+            GreedyOptimizer() if optimizer == "greedy" else ExhaustiveOptimizer()
+        )
+        self.last_trace: ExecutionTrace | None = None
+        self.last_plan: FPlan | None = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(self, query: Query, database: "Database"):
+        """Run ``query``; returns a Relation or FactorisedResult."""
+        query = _with_effective_projection(query, database)
+        fact, hypergraph, equalities = self._prepare_inputs(query, database)
+        trace = ExecutionTrace()
+
+        # Constant selections first (Section 5.1: evaluated in one pass).
+        select_plan = FPlan([SelectStep(c) for c in query.comparisons])
+        fact = select_plan.execute(fact, trace)
+
+        ctx = self._plan_context(query, fact.ftree, hypergraph, equalities)
+        plan = self.optimizer.plan(fact.ftree, ctx)
+        self.last_plan = plan
+        fact = plan.execute(fact, trace)
+        self.last_trace = trace
+
+        if query.aggregates:
+            return self._shape_aggregate_output(query, fact)
+        return self._shape_spj_output(query, fact)
+
+    def explain(self, query: Query, database: "Database") -> str:
+        """Compile the query and describe the plan without executing it.
+
+        Shows the input f-tree, each f-plan step with the size-bound
+        exponent of its output (the optimisation metric of Section 5),
+        and the output shaping the engine would apply.
+        """
+        from repro.core.cost import s_parameter
+
+        query = _with_effective_projection(query, database)
+        fact, hypergraph, equalities = self._prepare_inputs(query, database)
+        ctx = self._plan_context(query, fact.ftree, hypergraph, equalities)
+        plan = self.optimizer.plan(fact.ftree, ctx)
+        trees = plan.simulate(fact.ftree)
+        lines = [f"query: {query}", "input f-tree:"]
+        lines.extend("  " + line for line in fact.ftree.pretty().splitlines())
+        if query.comparisons:
+            conditions = " ∧ ".join(str(c) for c in query.comparisons)
+            lines.append(f"σ[{conditions}]  (one traversal)")
+        for step, tree in zip(plan, trees[1:]):
+            exponent = s_parameter(tree, hypergraph)
+            lines.append(f"{str(step):<44} bound O(|D|^{exponent:.2f})")
+        if query.aggregates:
+            mode = (
+                "finalise into a single aggregate attribute (f/o)"
+                if self.output == "factorised"
+                else "enumerate groups, combining partial aggregates on the fly"
+            )
+            lines.append(f"output: {mode}")
+        elif query.order_by:
+            lines.append(
+                "output: ordered constant-delay enumeration "
+                f"by ({', '.join(str(k) for k in query.order_by)})"
+            )
+        else:
+            lines.append("output: constant-delay enumeration")
+        if query.limit is not None:
+            lines.append(f"limit: first {query.limit} tuples (λ)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Input preparation
+    # ------------------------------------------------------------------
+    def _prepare_inputs(
+        self, query: Query, database: "Database"
+    ) -> tuple[Factorisation, Hypergraph, tuple]:
+        schemas = {name: database.schema(name) for name in query.relations}
+        renames, natural = natural_equalities(schemas, query.relations)
+
+        facts = []
+        hyperedges: dict[str, set[str]] = {}
+        join_attrs = set()
+        for eq in list(natural) + list(query.equalities):
+            join_attrs.update((eq.left, eq.right))
+
+        for name in query.relations:
+            mapping = renames[name]
+            registered = database.get_factorised(name)
+            if registered is not None:
+                fact = registered
+                for old, new in mapping.items():
+                    fact = ops.rename(fact, old, new)
+            else:
+                relation = database.flat(name)
+                if mapping:
+                    relation = relation.rename(mapping)
+                schema = relation.schema
+                order = sorted(
+                    schema,
+                    key=lambda a: (a not in join_attrs, schema.index(a)),
+                )
+                fact = factorise_path(relation, key=name, order=order)
+            facts.append(fact)
+            hyperedges[name] = {
+                mapping.get(a, a) for a in schemas[name]
+            }
+
+        fact = facts[0]
+        for other in facts[1:]:
+            fact = ops.product(fact, other)
+
+        equalities = tuple(natural) + tuple(query.equalities)
+        classes = _equivalence_classes(equalities)
+        hypergraph = Hypergraph(hyperedges).with_equivalences(classes)
+        return fact, hypergraph, equalities
+
+    # ------------------------------------------------------------------
+    # Planning context
+    # ------------------------------------------------------------------
+    def _plan_context(
+        self,
+        query: Query,
+        ftree: FTree,
+        hypergraph: Hypergraph,
+        equalities: tuple,
+    ) -> PlanContext:
+        aliases = {spec.alias for spec in query.aggregates}
+        order = tuple(
+            key for key in query.order_by if key.attribute not in aliases
+        )
+        if query.aggregates:
+            kept = frozenset(query.group_by)
+            functions = expand_functions(query.aggregates)
+        else:
+            kept_list = (
+                query.projection
+                if query.projection is not None
+                else tuple(query.group_by) or tuple(ftree.attribute_names())
+            )
+            kept = frozenset(kept_list) | {key.attribute for key in order}
+            functions = ()
+        for attribute in kept | {k.attribute for k in order}:
+            if attribute not in ftree:
+                raise QueryError(
+                    f"query references unknown attribute {attribute!r}"
+                )
+        return PlanContext(
+            hypergraph=hypergraph,
+            equalities=equalities,
+            kept=kept,
+            functions=functions,
+            order=order,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate output
+    # ------------------------------------------------------------------
+    def _shape_aggregate_output(self, query: Query, fact: Factorisation):
+        aliases = {spec.alias for spec in query.aggregates}
+        order_has_alias = any(
+            key.attribute in aliases for key in query.order_by
+        )
+        if self.output == "factorised":
+            return self._finalised_result(query, fact)
+        if order_has_alias:
+            if len(query.aggregates) == 1:
+                # The paper's route: finalise, promote the aggregate node
+                # (a swap), enumerate in sorted order.
+                return self._finalised_result(query, fact).to_relation(
+                    query.name
+                )
+            # Several aggregates ordered by one alias: combine on the fly
+            # and sort the (small) aggregated result.
+            from dataclasses import replace
+
+            unordered = replace(query, order_by=(), limit=None)
+            result = self._flat_aggregate_output(unordered, fact)
+            rows = sort_rows(result.rows, result.schema, query.order_by)
+            if query.limit is not None:
+                rows = rows[: query.limit]
+            return Relation(result.schema, rows, name=query.name or "result")
+        return self._flat_aggregate_output(query, fact)
+
+    def _flat_aggregate_output(self, query: Query, fact: Factorisation) -> Relation:
+        """Enumerate groups, combining partial aggregates on the fly."""
+        functions = expand_functions(query.aggregates)
+        order = [
+            key
+            for key in query.order_by
+            if key.attribute in query.group_by
+        ]
+        evaluator = agg.CachedEvaluator()
+        having = [
+            (h.target, h) for h in query.having
+        ]
+        schema = query.output_schema
+        alias_index = {
+            spec.alias: i for i, spec in enumerate(query.aggregates)
+        }
+        rows: list[tuple] = []
+        want = query.limit if (query.limit is not None and not query.having) else None
+        group_sources = {
+            attr
+            for _, attr in functions
+            if attr is not None and attr in query.group_by
+        }
+        for assignment, leftovers in iter_group_contexts(
+            fact, query.group_by, order
+        ):
+            if group_sources:
+                # An aggregate over a grouping attribute (e.g. SUM(g) ...
+                # GROUP BY g): the group's fixed value joins the forest
+                # as a one-entry fragment.  These fragments are fresh per
+                # context, so bypass the cache for them.
+                items = leftovers + _group_value_fragments(
+                    group_sources, assignment
+                )
+                components = agg.evaluate_components(functions, items)
+            else:
+                components = evaluator.components(functions, leftovers)
+            values = tuple(
+                _component_value(spec, functions, components)
+                for spec in query.aggregates
+            )
+            row = tuple(assignment[g] for g in query.group_by) + values
+            if having:
+                lookup = dict(zip(schema, row))
+                if not all(h.test(lookup[target]) for target, h in having):
+                    continue
+            rows.append(row)
+            if want is not None and len(rows) >= want:
+                break
+        if query.limit is not None and len(rows) > query.limit:
+            rows = rows[: query.limit]
+        return Relation(schema, rows, name=query.name or "result")
+
+    def _finalised_result(self, query: Query, fact: Factorisation) -> FactorisedResult:
+        """Collapse partial aggregates into a single aggregate node."""
+        functions = expand_functions(query.aggregates)
+        aliases = {spec.alias for spec in query.aggregates}
+        group_order = _group_path_order(query)
+        fact = _linearise_group(fact, group_order)
+        fact, node_name = _collapse_partials(fact, group_order, functions)
+
+        # Ordering: group-attribute keys are honoured by the linearised
+        # path; an alias key requires promoting the aggregate node.
+        order = tuple(query.order_by)
+        if any(key.attribute in aliases for key in order):
+            if len(query.aggregates) > 1:
+                raise QueryError(
+                    "ordering by an alias of a multi-aggregate query is "
+                    "not supported in factorised output"
+                )
+            fact = ops.rename(fact, node_name, query.aggregates[0].alias)
+            node_name = query.aggregates[0].alias
+            order_names = [
+                key.attribute if key.attribute not in aliases else node_name
+                for key in order
+            ]
+            keyed = [
+                SortKey(name, key.descending)
+                for name, key in zip(order_names, order)
+            ]
+            for child in restructure_for_order(fact.ftree, keyed):
+                fact = ops.swap(fact, child)
+            order = tuple(keyed)
+        if query.having:
+            fact = self._apply_having_factorised(query, fact, node_name)
+        return FactorisedResult(
+            fact,
+            query.output_schema,
+            aggregate_node=node_name,
+            specs=query.aggregates,
+            order=order,
+            limit=query.limit,
+        )
+
+    def _apply_having_factorised(
+        self, query: Query, fact: Factorisation, node_name: str
+    ) -> Factorisation:
+        node = fact.ftree.node(node_name)
+        functions = node.aggregate.functions
+        for condition in query.having:
+            if condition.target in query.group_by:
+                # HAVING over a grouping attribute is a plain selection.
+                fact = ops.select_constant(fact, _comparison(condition))
+                continue
+            spec = next(
+                s for s in query.aggregates if s.alias == condition.target
+            )
+            fact = _select_component(fact, node_name, spec, functions, condition)
+        return fact
+
+    # ------------------------------------------------------------------
+    # SPJ output
+    # ------------------------------------------------------------------
+    def _shape_spj_output(self, query: Query, fact: Factorisation):
+        kept = (
+            set(query.projection)
+            if query.projection is not None
+            else set(query.group_by) or None
+        )
+        if kept is not None:
+            kept |= {key.attribute for key in query.order_by}
+            fact = _project_to(fact, kept)
+        if self.output == "factorised":
+            schema = (
+                tuple(query.projection)
+                if query.projection is not None
+                else tuple(fact.schema())
+            )
+            return FactorisedResult(
+                fact, schema, order=query.order_by, limit=query.limit
+            )
+        order = normalise_order(query.order_by)
+        if order and not supports_order(fact.ftree, order):
+            for child in restructure_for_order(fact.ftree, order):
+                fact = ops.swap(fact, child)
+        raw_schema = fact.schema()
+        out_schema = (
+            list(query.projection)
+            if query.projection is not None
+            else raw_schema
+        )
+        positions = [raw_schema.index(a) for a in out_schema]
+        rows = (
+            tuple(row[p] for p in positions)
+            for row in iter_tuples(fact, order)
+        )
+        if query.limit is not None:
+            rows = islice(rows, query.limit)
+        return Relation(out_schema, list(rows), name=query.name or "result")
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+def expand_functions(
+    specs: Sequence[AggregateSpec],
+) -> tuple[tuple[str, str | None], ...]:
+    """Query aggregates as γ components, avg expanded to sum+count.
+
+    Components are deduplicated so shared counts are computed once
+    (Section 3.2.4).
+    """
+    components: list[tuple[str, str | None]] = []
+
+    def want(component: tuple[str, str | None]) -> None:
+        if component not in components:
+            components.append(component)
+
+    for spec in specs:
+        if spec.function == "count":
+            want(("count", None))
+        elif spec.function == "avg":
+            want(("sum", spec.attribute))
+            want(("count", None))
+        else:
+            want((spec.function, spec.attribute))
+    return tuple(components)
+
+
+def _component_value(
+    spec: AggregateSpec,
+    functions: Sequence[tuple[str, str | None]],
+    components: tuple,
+) -> Any:
+    functions = list(functions)
+    if spec.function == "avg":
+        total = components[functions.index(("sum", spec.attribute))]
+        count = components[functions.index(("count", None))]
+        return total / count
+    if spec.function == "count":
+        return components[functions.index(("count", None))]
+    return components[functions.index((spec.function, spec.attribute))]
+
+
+def _comparison(condition) -> "Comparison":
+    from repro.query import Comparison
+
+    return Comparison(condition.target, condition.op, condition.value)
+
+
+def _select_component(
+    fact: Factorisation,
+    node_name: str,
+    spec: AggregateSpec,
+    functions: Sequence[tuple[str, str | None]],
+    condition,
+) -> Factorisation:
+    """HAVING on an aggregate alias: filter the final node's entries."""
+    functions = list(functions)
+    if spec.function == "avg":
+        sum_index = functions.index(("sum", spec.attribute))
+        count_index = functions.index(("count", None))
+
+        def extract(value: tuple) -> Any:
+            return value[sum_index] / value[count_index]
+
+    else:
+        index = functions.index(
+            ("count", None)
+            if spec.function == "count"
+            else (spec.function, spec.attribute)
+        )
+
+        def extract(value: tuple) -> Any:
+            return value[index]
+
+    from repro.core.frep import map_union_at
+
+    root_index, steps = fact.ftree.path_to(node_name)
+
+    def transform(_: FNode, union: list[FRNode]) -> list[FRNode]:
+        return [e for e in union if condition.test(extract(e.value))]
+
+    return map_union_at(fact, root_index, steps, transform, fact.ftree)
+
+
+def _with_effective_projection(query: Query, database: "Database") -> Query:
+    """Natural-join output schema for star queries over several inputs.
+
+    Without an explicit projection, a multi-relation query outputs every
+    attribute once under its first-occurrence name (natural-join
+    semantics); the renamed duplicates are projected away.
+    """
+    from dataclasses import replace
+
+    if query.projection is not None or query.aggregates or len(query.relations) == 1:
+        return query
+    seen: list[str] = []
+    for name in query.relations:
+        for attribute in database.schema(name):
+            if attribute not in seen:
+                seen.append(attribute)
+    return replace(query, projection=tuple(seen))
+
+
+def _group_value_fragments(
+    attributes: Iterable[str], assignment: dict[str, Any]
+) -> list:
+    """One-entry fragments exposing fixed group values to the evaluators."""
+    return [
+        (FNode((attr,)), [FRNode(assignment[attr], ())])
+        for attr in sorted(attributes)
+    ]
+
+
+def _equivalence_classes(equalities) -> list[set[str]]:
+    """Union-find over equality selections."""
+    parent: dict[str, str] = {}
+
+    def find(x: str) -> str:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for eq in equalities:
+        ra, rb = find(eq.left), find(eq.right)
+        if ra != rb:
+            parent[ra] = rb
+    classes: dict[str, set[str]] = {}
+    for attr in parent:
+        classes.setdefault(find(attr), set()).add(attr)
+    return [cls for cls in classes.values() if len(cls) > 1]
+
+
+def _group_path_order(query: Query) -> list[str]:
+    """Order of group attributes along the linearised result path.
+
+    Order-by attributes (that are group attributes) come first, in
+    order-by order; the rest follow in group-by order.
+    """
+    ordered = [
+        key.attribute
+        for key in query.order_by
+        if key.attribute in query.group_by
+    ]
+    for attribute in query.group_by:
+        if attribute not in ordered:
+            ordered.append(attribute)
+    return ordered
+
+
+def _linearise_group(fact: Factorisation, group_order: list[str]) -> Factorisation:
+    """Make the group-by region a single path in the given order.
+
+    For each attribute in turn: swap it upward until its parent is its
+    path predecessor.  When the ascent is blocked — the attribute sits
+    in a sibling branch of the path, or in a different tree of the
+    forest — the independent fragment is *nested* below the path
+    instead (sharing, not copying, the fragment), which is exactly the
+    cross-product structure the result relation requires.
+    """
+    for index, name in enumerate(group_order):
+        path_rank = {g: r for r, g in enumerate(group_order[:index])}
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 10_000:
+                raise QueryError("group linearisation did not converge")
+            node = fact.ftree.node(name)
+            parent = fact.ftree.parent(node)
+            if index == 0:
+                if parent is None:
+                    break
+                fact = ops.swap(fact, name)
+                continue
+            predecessor = group_order[index - 1]
+            if parent is not None and predecessor in set(parent.all_names):
+                break
+            if parent is None:
+                # Root of another tree: hang it below the predecessor.
+                fact = ops.nest_root_under(fact, name, predecessor)
+                break
+            parent_path = [
+                g for g in parent.all_names if g in path_rank
+            ]
+            if parent_path:
+                # Sibling branch of the path: hop below the next path
+                # attribute instead of swapping above an earlier one.
+                rank = path_rank[parent_path[0]]
+                fact = ops.nest_under(fact, name, group_order[rank + 1])
+                continue
+            fact = ops.swap(fact, name)
+    return fact
+
+
+def _collapse_partials(
+    fact: Factorisation,
+    group_order: list[str],
+    functions: Sequence[tuple[str, str | None]],
+) -> tuple[Factorisation, str]:
+    """Replace leftover fragments with one final aggregate node.
+
+    Walks the linearised group path; fragments hanging off the path are
+    accumulated as pending partials and folded into a single value per
+    deepest group context using the cached evaluators.
+    """
+    tree = fact.ftree
+    group_set = set(group_order)
+    evaluator = agg.CachedEvaluator()
+    name = fresh_aggregate_name("final")
+    over: set[str] = set()
+    for node in tree.nodes():
+        if node.aggregate is not None:
+            over |= set(node.aggregate.over)
+        else:
+            over |= {a for a in node.attributes if a not in group_set}
+
+    def is_group(node: FNode) -> bool:
+        return bool(set(node.all_names) & group_set)
+
+    # Split roots into the group path root and context-free partials.
+    path_roots = [
+        (node, union)
+        for node, union in zip(tree.roots, fact.roots)
+        if is_group(node)
+    ]
+    free_items = [
+        (node, union)
+        for node, union in zip(tree.roots, fact.roots)
+        if not is_group(node)
+    ]
+    if len(path_roots) > 1:
+        raise QueryError("group region is not linearised")
+
+    functions = tuple(functions)
+    fresh_key = f"__dep_final_{name}"
+    group_sources = {
+        attr
+        for _, attr in functions
+        if attr is not None and attr in group_set
+    }
+    assignment: dict[str, Any] = {}
+
+    def rebuild(node: FNode, union: list[FRNode], pending) -> tuple[FNode, list[FRNode]]:
+        group_children = [i for i, c in enumerate(node.children) if is_group(c)]
+        other_children = [i for i, c in enumerate(node.children) if not is_group(c)]
+        new_union: list[FRNode] = []
+        new_child_node: FNode | None = None
+        for entry in union:
+            for attr in node.attributes:
+                if attr in group_sources:
+                    assignment[attr] = entry.value
+            entry_pending = pending + [
+                (node.children[i], entry.children[i]) for i in other_children
+            ]
+            if group_children:
+                child_index = group_children[0]
+                child_node, child_union = (
+                    node.children[child_index],
+                    entry.children[child_index],
+                )
+                new_child_node, new_child_union = rebuild(
+                    child_node, child_union, entry_pending
+                )
+                if not new_child_union:
+                    continue
+                new_union.append(FRNode(entry.value, (new_child_union,)))
+            else:
+                items = entry_pending
+                if group_sources:
+                    # Aggregates over grouping attributes read the fixed
+                    # path values (cannot be cached across contexts).
+                    items = entry_pending + _group_value_fragments(
+                        group_sources, assignment
+                    )
+                    value = agg.evaluate_components(functions, items)
+                else:
+                    value = evaluator.components(functions, items)
+                new_union.append(
+                    FRNode(entry.value, ([FRNode(value, ())],))
+                )
+                new_child_node = FNode(
+                    AggregateAttribute(functions, frozenset(over), name),
+                    (),
+                    {fresh_key},
+                )
+        if new_child_node is None:
+            # Empty union: still need a consistent node shape.
+            new_child_node = FNode(
+                AggregateAttribute(functions, frozenset(over), name),
+                (),
+                {fresh_key},
+            )
+        rebuilt = FNode(
+            node.attributes if node.aggregate is None else node.aggregate,
+            (new_child_node,),
+            node.keys | {fresh_key},
+        )
+        return rebuilt, new_union
+
+    if not group_order:
+        value = evaluator.components(functions, free_items)
+        node = FNode(
+            AggregateAttribute(functions, frozenset(over), name), (), {fresh_key}
+        )
+        return Factorisation(FTree([node]), [[FRNode(value, ())]]), name
+
+    root_node, root_union = path_roots[0]
+    new_root, new_union = rebuild(root_node, root_union, free_items)
+    return Factorisation(FTree([new_root]), [new_union]), name
+
+
+def _project_to(fact: Factorisation, kept: set[str]) -> Factorisation:
+    """Remove every attribute outside ``kept`` (projection, set semantics).
+
+    Unneeded leaves are removed directly.  An unneeded *internal* node is
+    sunk by promoting one of its children; picking the deepest unneeded
+    node guarantees its children are all needed, so its depth strictly
+    grows until it becomes a removable leaf (termination).
+    """
+    guard = 0
+    while True:
+        guard += 1
+        if guard > 100_000:
+            raise QueryError("projection did not converge")
+        deepest: FNode | None = None
+        deepest_depth = -1
+        acted = False
+        for node in fact.ftree.nodes():
+            if node.is_aggregate:
+                continue
+            extra = [a for a in node.attributes if a not in kept]
+            if not extra:
+                continue
+            if len(node.attributes) > len(extra):
+                # Mixed class: drop the unneeded names only (free).
+                for attribute in extra:
+                    fact = ops.remove_class_attribute(fact, attribute)
+                acted = True
+                break
+            if not node.children:
+                fact = ops.remove_leaf(fact, node.name)
+                acted = True
+                break
+            depth = fact.ftree.depth(node)
+            if depth > deepest_depth:
+                deepest, deepest_depth = node, depth
+        if acted:
+            continue
+        if deepest is None:
+            return fact
+        fact = ops.swap(fact, deepest.children[0].name)

@@ -1,0 +1,272 @@
+"""Factorised representations over f-trees (Definition 1).
+
+A factorisation over an f-tree is, at each node, a union of singleton
+values, each carrying one fragment per child node — i.e. the normal
+form ``⋃_a ⟨A:a⟩ × E_child1(a) × ... × E_childk(a)`` with products
+across the forest's roots.  Values within every union are kept sorted
+ascending (Section 4.1); all operators preserve this invariant, which
+is what makes merges linear and ordered enumeration constant-delay.
+
+Two kinds of singleton values occur:
+
+- atomic nodes hold plain values;
+- aggregate nodes hold *tuples* of component values aligned with their
+  :class:`repro.core.ftree.AggregateAttribute.functions`.
+
+The container :class:`Factorisation` pairs an f-tree with fragments per
+root and provides size accounting, flattening, and validation.  The
+structures are treated as immutable: operators build new spines and
+share unchanged fragments, so registered views can serve many queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.ftree import FNode, FTree
+from repro.relational.relation import Relation
+
+
+class FactorisationError(ValueError):
+    """Raised for malformed factorisations (misalignment, bad order)."""
+
+
+class FRNode:
+    """One singleton value plus its child fragments.
+
+    ``children`` is a tuple of unions (lists of :class:`FRNode`), aligned
+    positionally with the children of the owning f-tree node.
+    """
+
+    __slots__ = ("value", "children")
+
+    def __init__(self, value: Any, children: Sequence[list["FRNode"]] = ()) -> None:
+        self.value = value
+        self.children: tuple[list[FRNode], ...] = tuple(children)
+
+    def __repr__(self) -> str:
+        return f"FRNode({self.value!r}, children={len(self.children)})"
+
+
+Union = list  # a union of FRNode entries, sorted ascending by value
+Forest = tuple  # one Union per f-tree root / per child
+
+
+class Factorisation:
+    """A factorised relation: an f-tree plus one union per root."""
+
+    __slots__ = ("ftree", "roots")
+
+    def __init__(self, ftree: FTree, roots: Sequence[list[FRNode]]) -> None:
+        if len(ftree.roots) != len(roots):
+            raise FactorisationError(
+                f"{len(roots)} root fragments for {len(ftree.roots)} f-tree roots"
+            )
+        self.ftree = ftree
+        self.roots: tuple[list[FRNode], ...] = tuple(roots)
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    def schema(self) -> list[str]:
+        """Attribute names of the represented relation, in pre-order.
+
+        Aggregate nodes contribute their (single) name; their tuple
+        values are kept as one attribute until the engine finalises them.
+        """
+        return self.ftree.attribute_names()
+
+    # ------------------------------------------------------------------
+    # Size accounting (the paper's succinctness measure: #singletons)
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Number of singletons in the representation."""
+
+        def count_union(union: list[FRNode]) -> int:
+            total = 0
+            for entry in union:
+                total += 1
+                for child in entry.children:
+                    total += count_union(child)
+            return total
+
+        return sum(count_union(union) for union in self.roots)
+
+    def tuple_count(self) -> int:
+        """Cardinality of the represented relation |⟦E⟧|.
+
+        Unlike :meth:`size`, this multiplies across products, so it can
+        be exponentially larger than the representation.  Aggregate
+        singletons count as one tuple each (their relational reading is
+        used only by the aggregation algorithms).
+        """
+
+        def count_union(union: list[FRNode]) -> int:
+            return sum(count_entry(entry) for entry in union)
+
+        def count_entry(entry: FRNode) -> int:
+            total = 1
+            for child in entry.children:
+                total *= count_union(child)
+            return total
+
+        product = 1
+        for union in self.roots:
+            product *= count_union(union)
+        return product
+
+    def is_empty(self) -> bool:
+        """Whether the represented relation is empty."""
+        return any(not union for union in self.roots) if self.roots else False
+
+    # ------------------------------------------------------------------
+    # Flattening
+    # ------------------------------------------------------------------
+    def iter_tuples(self) -> Iterator[tuple]:
+        """Enumerate the represented tuples (no particular order).
+
+        The delay between consecutive tuples is constant in data size:
+        the iterator hierarchy mirrors the f-tree (Section 4.1).
+        """
+        nodes = self.ftree.roots
+
+        def iter_forest(
+            items: Sequence[tuple[FNode, list[FRNode]]]
+        ) -> Iterator[tuple]:
+            if not items:
+                yield ()
+                return
+            (node, union), rest = items[0], items[1:]
+            for entry in union:
+                prefix_values = _entry_values(node, entry)
+                children = list(zip(node.children, entry.children))
+                for mid in iter_forest(children):
+                    for suffix in iter_forest(rest):
+                        yield prefix_values + mid + suffix
+
+        yield from iter_forest(list(zip(nodes, self.roots)))
+
+    def to_relation(self, name: str = "") -> Relation:
+        """Materialise the represented relation (flat output)."""
+        return Relation(self.schema(), list(self.iter_tuples()), name=name or "⟦E⟧")
+
+    # ------------------------------------------------------------------
+    # Validation (used by tests and debug paths)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural alignment and the sortedness invariant."""
+
+        def check_union(node: FNode, union: list[FRNode]) -> None:
+            previous = None
+            for entry in union:
+                if previous is not None and not previous < entry.value:
+                    raise FactorisationError(
+                        f"union of node {node.label()!r} is not strictly "
+                        f"ascending: {previous!r} then {entry.value!r}"
+                    )
+                previous = entry.value
+                if len(entry.children) != len(node.children):
+                    raise FactorisationError(
+                        f"entry {entry.value!r} of node {node.label()!r} has "
+                        f"{len(entry.children)} child fragments for "
+                        f"{len(node.children)} f-tree children"
+                    )
+                if node.is_aggregate and not isinstance(entry.value, tuple):
+                    raise FactorisationError(
+                        f"aggregate node {node.label()!r} holds non-tuple "
+                        f"value {entry.value!r}"
+                    )
+                for child_node, child_union in zip(node.children, entry.children):
+                    check_union(child_node, child_union)
+
+        for node, union in zip(self.ftree.roots, self.roots):
+            check_union(node, union)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def pretty(self, limit: int = 40) -> str:
+        """Nested rendering like the paper's ⟨value⟩ × (...) ∪ ... form."""
+        budget = [limit]
+
+        def render_union(node: FNode, union: list[FRNode], indent: int) -> list[str]:
+            lines: list[str] = []
+            for entry in union:
+                if budget[0] <= 0:
+                    lines.append("  " * indent + "...")
+                    break
+                budget[0] -= 1
+                lines.append("  " * indent + f"⟨{node.label()}:{entry.value!r}⟩")
+                for child_node, child_union in zip(node.children, entry.children):
+                    lines.extend(render_union(child_node, child_union, indent + 1))
+            return lines
+
+        lines: list[str] = []
+        for node, union in zip(self.ftree.roots, self.roots):
+            lines.extend(render_union(node, union, 0))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Factorisation(schema={self.schema()!r}, size={self.size()}, "
+            f"tuples={self.tuple_count()})"
+        )
+
+
+def _entry_values(node: FNode, entry: FRNode) -> tuple:
+    """The output values one entry contributes (class attrs repeated)."""
+    if node.is_aggregate:
+        return (entry.value,)
+    return (entry.value,) * len(node.attributes)
+
+
+def empty_like(ftree: FTree) -> Factorisation:
+    """The empty relation over ``ftree`` (∅)."""
+    return Factorisation(ftree, [[] for _ in ftree.roots])
+
+
+def singleton_union(value: Any, children: Sequence[list[FRNode]] = ()) -> list[FRNode]:
+    """A one-entry union (convenience for tests and operators)."""
+    return [FRNode(value, children)]
+
+
+def map_union_at(
+    fact: Factorisation,
+    root_index: int,
+    steps: Sequence[int],
+    transform: Callable[[FNode, list[FRNode]], list[FRNode]],
+    new_ftree: FTree,
+) -> Factorisation:
+    """Rebuild a factorisation with ``transform`` applied at one position.
+
+    ``steps`` is the child-index path from the root (as produced by
+    :meth:`repro.core.ftree.FTree.path_to`); the transform runs once per
+    fragment instance at that position (once per ancestor context).
+    Entries whose transformed union becomes empty are pruned, and the
+    pruning propagates upwards (an empty union kills its parent entry,
+    matching ∅ absorption through products).
+    """
+    target_node = fact.ftree.roots[root_index]
+    for step in steps:
+        target_node = target_node.children[step]
+
+    def rebuild(node: FNode, union: list[FRNode], remaining: Sequence[int]) -> list[FRNode]:
+        if not remaining:
+            return transform(node, union)
+        step, rest = remaining[0], remaining[1:]
+        out: list[FRNode] = []
+        for entry in union:
+            new_child = rebuild(node.children[step], entry.children[step], rest)
+            if not new_child:
+                continue  # empty fragment: the entry represents ∅, prune it
+            children = (
+                entry.children[:step] + (new_child,) + entry.children[step + 1 :]
+            )
+            out.append(FRNode(entry.value, children))
+        return out
+
+    new_roots = list(fact.roots)
+    new_roots[root_index] = rebuild(
+        fact.ftree.roots[root_index], fact.roots[root_index], list(steps)
+    )
+    return Factorisation(new_ftree, new_roots)

@@ -1,0 +1,24 @@
+"""Datasets and workloads of the paper's evaluation (Section 6).
+
+- :mod:`repro.data.pizzeria` — the running example of Figure 1
+  (Orders/Pizzas/Items and the factorisation over the f-tree T1);
+- :mod:`repro.data.generator` — the synthetic scaled dataset
+  (Orders/Packages/Items with scale parameter ``s``);
+- :mod:`repro.data.workloads` — the thirteen queries of Figure 3
+  (AGG: Q1-Q5, AGG+ORD: Q6-Q9, ORD: Q10-Q13) and the materialised
+  views R1, R2, R3 they run on.
+"""
+
+from repro.data.generator import GeneratorConfig, generate_database
+from repro.data.pizzeria import pizzeria_database, pizzeria_view
+from repro.data.workloads import WORKLOAD, Workload, build_workload_database
+
+__all__ = [
+    "GeneratorConfig",
+    "WORKLOAD",
+    "Workload",
+    "build_workload_database",
+    "generate_database",
+    "pizzeria_database",
+    "pizzeria_view",
+]

@@ -1,0 +1,80 @@
+"""The pizzeria database of Figure 1 — the paper's running example.
+
+Provides the three base relations, the materialised join view R, and
+R's factorisation over the f-tree T1 (pizza → [date → customer,
+item → price]), exactly as printed in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.build import factorise
+from repro.core.frep import Factorisation
+from repro.core.ftree import FTree, build_ftree
+from repro.database import Database
+from repro.relational.operators import multiway_join
+from repro.relational.relation import Relation
+
+ORDERS_ROWS = [
+    ("Mario", "Monday", "Capricciosa"),
+    ("Mario", "Tuesday", "Margherita"),
+    ("Pietro", "Friday", "Hawaii"),
+    ("Lucia", "Friday", "Hawaii"),
+    ("Mario", "Friday", "Capricciosa"),
+]
+
+PIZZAS_ROWS = [
+    ("Margherita", "base"),
+    ("Capricciosa", "base"),
+    ("Capricciosa", "ham"),
+    ("Capricciosa", "mushrooms"),
+    ("Hawaii", "base"),
+    ("Hawaii", "ham"),
+    ("Hawaii", "pineapple"),
+]
+
+ITEMS_ROWS = [
+    ("base", 6),
+    ("ham", 1),
+    ("mushrooms", 1),
+    ("pineapple", 2),
+]
+
+
+def pizzeria_relations() -> tuple[Relation, Relation, Relation]:
+    """The three base relations of Figure 1."""
+    orders = Relation(("customer", "date", "pizza"), ORDERS_ROWS, "Orders")
+    pizzas = Relation(("pizza", "item"), PIZZAS_ROWS, "Pizzas")
+    items = Relation(("item", "price"), ITEMS_ROWS, "Items")
+    return orders, pizzas, items
+
+
+def t1_ftree() -> FTree:
+    """The f-tree T1 of Figure 2 with the join's dependency keys."""
+    return build_ftree(
+        [("pizza", [("date", ["customer"]), ("item", ["price"])])],
+        keys={
+            "pizza": {"Orders", "Pizzas"},
+            "date": {"Orders"},
+            "customer": {"Orders"},
+            "item": {"Pizzas", "Items"},
+            "price": {"Items"},
+        },
+    )
+
+
+def pizzeria_view() -> tuple[Relation, Factorisation]:
+    """R = Orders ⋈ Pizzas ⋈ Items, flat and factorised over T1."""
+    orders, pizzas, items = pizzeria_relations()
+    joined = multiway_join([orders, pizzas, items])
+    joined.name = "R"
+    return joined, factorise(joined, t1_ftree())
+
+
+def pizzeria_database() -> Database:
+    """A database with the base relations plus R in both forms."""
+    orders, pizzas, items = pizzeria_relations()
+    database = Database([orders, pizzas, items])
+    joined, factorised = pizzeria_view()
+    database.add_relation(joined)
+    database.add_factorised("R", factorised)
+    return database

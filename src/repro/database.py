@@ -1,0 +1,82 @@
+"""A named collection of flat relations and factorised materialised views.
+
+The paper's read-optimised scenario stores materialised views as
+factorisations and evaluates subsequent queries directly on them
+(Section 1).  A :class:`Database` therefore holds two catalogues:
+
+- ``relations`` — flat :class:`repro.relational.relation.Relation`s,
+  the input representation for the relational engines; and
+- ``factorised`` — factorised views (:class:`repro.core.frep.Factorisation`),
+  the input representation for FDB.
+
+Either engine falls back to the other representation when asked for a
+view it only has in the other form (FDB factorises flat input on the
+fly; RDB flattens factorised input), so the same workload can be run
+against every engine regardless of which representation was registered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.frep import Factorisation
+
+
+class UnknownRelationError(KeyError):
+    """Raised when a query references a name the database does not hold."""
+
+
+class Database:
+    """Catalogue of flat relations and factorised views, by name."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self.relations: dict[str, Relation] = {}
+        self.factorised: dict[str, "Factorisation"] = {}
+        for relation in relations:
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_relation(self, relation: Relation, name: str = "") -> None:
+        """Register a flat relation (name defaults to ``relation.name``)."""
+        self.relations[name or relation.name] = relation
+
+    def add_factorised(self, name: str, factorisation: "Factorisation") -> None:
+        """Register a factorised materialised view."""
+        self.factorised[name] = factorisation
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations or name in self.factorised
+
+    def flat(self, name: str) -> Relation:
+        """The flat form of a view, flattening a factorisation if needed."""
+        if name in self.relations:
+            return self.relations[name]
+        if name in self.factorised:
+            flattened = self.factorised[name].to_relation()
+            flattened.name = name
+            return flattened
+        raise UnknownRelationError(name)
+
+    def get_factorised(self, name: str) -> "Factorisation | None":
+        """The factorised form of a view if one was registered."""
+        return self.factorised.get(name)
+
+    def schema(self, name: str) -> tuple[str, ...]:
+        """Attribute names of a view, whichever representation exists."""
+        if name in self.relations:
+            return self.relations[name].schema
+        if name in self.factorised:
+            return tuple(self.factorised[name].schema())
+        raise UnknownRelationError(name)
+
+    def names(self) -> list[str]:
+        """All registered view names (flat and factorised, deduplicated)."""
+        return sorted(set(self.relations) | set(self.factorised))

@@ -1,0 +1,23 @@
+"""Flat relational substrate: the RDB baseline engine of the paper.
+
+This package implements an in-memory relational engine comparable to the
+``RDB`` engine used in Experiment 5 of the paper: relations as lists of
+tuples, the classical operators (selection, projection, joins, product,
+union), multi-attribute ascending/descending sorting, and grouping with
+aggregation implemented both by sorting (as SQLite does) and by hashing
+(as PostgreSQL does).
+
+The public entry points are:
+
+- :class:`repro.relational.relation.Relation` — the value container;
+- :class:`repro.relational.engine.RDBEngine` — executes the shared
+  :class:`repro.core.query.Query` AST over flat relations;
+- :func:`repro.relational.plans.eager_aggregation` — the Yan–Larson
+  eager-aggregation rewrite used for the paper's "manually optimised"
+  plans in Experiment 2.
+"""
+
+from repro.relational.relation import Relation
+from repro.relational.engine import RDBEngine
+
+__all__ = ["Relation", "RDBEngine"]

@@ -1,0 +1,104 @@
+"""CSV loading for relations and databases.
+
+A small, dependency-free loader so real datasets can be pulled into the
+engines: header row gives attribute names, values are type-inferred
+per column (int → float → str, applied column-wise so columns stay
+homogeneous as the engines assume).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import IO, Iterable
+
+from repro.database import Database
+from repro.relational.relation import Relation
+
+
+class CSVFormatError(ValueError):
+    """Raised for empty files or ragged rows."""
+
+
+def _infer_column(values: list[str]):
+    """Best homogeneous type for one column: int, else float, else str."""
+    def try_all(cast) -> bool:
+        for value in values:
+            if value == "":
+                return False
+            try:
+                cast(value)
+            except ValueError:
+                return False
+        return True
+
+    if try_all(int):
+        return int
+    if try_all(float):
+        return float
+    return str
+
+
+def read_relation(handle: IO[str], name: str = "") -> Relation:
+    """Read one relation from an open CSV handle (header required)."""
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise CSVFormatError("empty CSV: a header row is required") from None
+    raw_rows = []
+    for index, row in enumerate(reader, start=2):
+        if not row:
+            continue  # tolerate blank lines
+        if len(row) != len(header):
+            raise CSVFormatError(
+                f"line {index}: expected {len(header)} fields, got {len(row)}"
+            )
+        raw_rows.append(row)
+    casts = [
+        _infer_column([row[i] for row in raw_rows])
+        for i in range(len(header))
+    ]
+    typed = [
+        tuple(cast(value) for cast, value in zip(casts, row))
+        for row in raw_rows
+    ]
+    return Relation([h.strip() for h in header], typed, name=name or "csv")
+
+
+def load_relation(path: str, name: str = "") -> Relation:
+    """Load one relation from a CSV file (name defaults to the stem)."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    with open(path, newline="", encoding="utf-8") as handle:
+        return read_relation(handle, name=name or stem)
+
+
+def load_database(directory: str, pattern: str = ".csv") -> Database:
+    """Load every ``*.csv`` in a directory as one database.
+
+    Each file becomes a relation named after its stem; factorised views
+    can then be registered with :func:`repro.core.build.factorise` or
+    loaded from :mod:`repro.core.io` documents.
+    """
+    database = Database()
+    found = False
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(pattern):
+            continue
+        found = True
+        database.add_relation(load_relation(os.path.join(directory, entry)))
+    if not found:
+        raise CSVFormatError(f"no {pattern} files found in {directory!r}")
+    return database
+
+
+def write_relation(relation: Relation, handle: IO[str]) -> None:
+    """Write a relation as CSV (header + rows)."""
+    writer = csv.writer(handle)
+    writer.writerow(relation.schema)
+    writer.writerows(relation.rows)
+
+
+def save_relation(relation: Relation, path: str) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        write_relation(relation, handle)

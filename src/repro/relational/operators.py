@@ -1,0 +1,187 @@
+"""Binary relational operators: joins, product, union, difference.
+
+Natural join comes in two physical flavours mirroring what mainstream
+engines pick for in-memory workloads: a hash join (PostgreSQL's default
+for equality joins) and a sort-merge join (what SQLite's B-tree access
+paths amount to).  Both produce identical results; benchmarks exercise
+them separately.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.relational.relation import Relation, Row, SchemaError
+
+
+def join_attributes(left: Relation, right: Relation) -> list[str]:
+    """Shared attributes of two relations, in ``left`` schema order."""
+    right_set = set(right.schema)
+    return [a for a in left.schema if a in right_set]
+
+
+def _output_schema(left: Relation, right: Relation) -> tuple[list[str], list[int]]:
+    """Schema of the natural join and positions of right's extra columns."""
+    shared = set(left.schema) & set(right.schema)
+    extra_positions = [
+        i for i, a in enumerate(right.schema) if a not in shared
+    ]
+    schema = list(left.schema) + [right.schema[i] for i in extra_positions]
+    return schema, extra_positions
+
+
+def hash_join(left: Relation, right: Relation) -> Relation:
+    """Natural join via a hash table on the shared attributes.
+
+    With no shared attributes this degenerates to the Cartesian product,
+    which matches the semantics of the ⋈ operator.
+    """
+    shared = join_attributes(left, right)
+    if not shared:
+        return product(left, right)
+    schema, extra_positions = _output_schema(left, right)
+    left_key = left.positions(shared)
+    right_key = right.positions(shared)
+
+    # Build on the smaller input, probe with the larger.
+    build, probe, build_key, probe_key, build_is_left = (
+        (left, right, left_key, right_key, True)
+        if len(left) <= len(right)
+        else (right, left, right_key, left_key, False)
+    )
+    table: dict[Row, list[Row]] = {}
+    for row in build.rows:
+        table.setdefault(tuple(row[p] for p in build_key), []).append(row)
+
+    out: list[Row] = []
+    for row in probe.rows:
+        matches = table.get(tuple(row[p] for p in probe_key))
+        if not matches:
+            continue
+        for match in matches:
+            lrow, rrow = (match, row) if build_is_left else (row, match)
+            out.append(lrow + tuple(rrow[p] for p in extra_positions))
+    return Relation(schema, out, name=f"({left.name} ⋈ {right.name})")
+
+
+def sort_merge_join(left: Relation, right: Relation) -> Relation:
+    """Natural join by sorting both inputs on the shared attributes."""
+    shared = join_attributes(left, right)
+    if not shared:
+        return product(left, right)
+    schema, extra_positions = _output_schema(left, right)
+    lk = left.positions(shared)
+    rk = right.positions(shared)
+    lrows = sorted(left.rows, key=lambda r: tuple(r[p] for p in lk))
+    rrows = sorted(right.rows, key=lambda r: tuple(r[p] for p in rk))
+
+    out: list[Row] = []
+    i = j = 0
+    while i < len(lrows) and j < len(rrows):
+        lkey = tuple(lrows[i][p] for p in lk)
+        rkey = tuple(rrows[j][p] for p in rk)
+        if lkey < rkey:
+            i += 1
+        elif lkey > rkey:
+            j += 1
+        else:
+            # Find the runs of equal keys on both sides and emit their product.
+            i_end = i
+            while i_end < len(lrows) and tuple(lrows[i_end][p] for p in lk) == lkey:
+                i_end += 1
+            j_end = j
+            while j_end < len(rrows) and tuple(rrows[j_end][p] for p in rk) == rkey:
+                j_end += 1
+            for li in range(i, i_end):
+                lrow = lrows[li]
+                for rj in range(j, j_end):
+                    rrow = rrows[rj]
+                    out.append(lrow + tuple(rrow[p] for p in extra_positions))
+            i, j = i_end, j_end
+    return Relation(schema, out, name=f"({left.name} ⋈ {right.name})")
+
+
+def natural_join(
+    left: Relation, right: Relation, method: str = "hash"
+) -> Relation:
+    """Natural join with a selectable physical operator."""
+    if method == "hash":
+        return hash_join(left, right)
+    if method == "merge":
+        return sort_merge_join(left, right)
+    raise ValueError(f"unknown join method {method!r}")
+
+
+def multiway_join(
+    relations: Sequence[Relation], method: str = "hash"
+) -> Relation:
+    """Left-deep natural join of several relations.
+
+    Inputs are reordered greedily so that each step shares at least one
+    attribute with the accumulated result when possible (avoiding
+    accidental Cartesian blow-ups for disconnected orderings).
+    """
+    if not relations:
+        raise ValueError("multiway_join needs at least one relation")
+    remaining = list(relations)
+    result = remaining.pop(0)
+    while remaining:
+        pick = None
+        for idx, rel in enumerate(remaining):
+            if set(rel.schema) & set(result.schema):
+                pick = idx
+                break
+        if pick is None:
+            pick = 0  # genuinely disconnected: product is unavoidable
+        result = natural_join(result, remaining.pop(pick), method=method)
+    return result
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """Cartesian product ×; schemas must be disjoint."""
+    overlap = set(left.schema) & set(right.schema)
+    if overlap:
+        raise SchemaError(
+            f"product requires disjoint schemas; shared: {sorted(overlap)}"
+        )
+    schema = list(left.schema) + list(right.schema)
+    out = [lrow + rrow for lrow in left.rows for rrow in right.rows]
+    return Relation(schema, out, name=f"({left.name} × {right.name})")
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Set union ∪ of two relations over the same attribute set."""
+    if set(left.schema) != set(right.schema):
+        raise SchemaError(
+            f"union requires equal schemas; got {left.schema!r} and "
+            f"{right.schema!r}"
+        )
+    aligned = right.project(left.schema, dedup=False)
+    merged = left.rows + aligned.rows
+    return Relation(
+        left.schema, dict.fromkeys(merged), name=f"({left.name} ∪ {right.name})"
+    )
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Set difference ∖ of two relations over the same attribute set."""
+    if set(left.schema) != set(right.schema):
+        raise SchemaError(
+            f"difference requires equal schemas; got {left.schema!r} and "
+            f"{right.schema!r}"
+        )
+    drop = set(right.project(left.schema, dedup=False).rows)
+    kept = [row for row in left.rows if row not in drop]
+    return Relation(left.schema, kept, name=f"({left.name} ∖ {right.name})")
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """Semijoin ⋉: rows of ``left`` with a join partner in ``right``."""
+    shared = join_attributes(left, right)
+    if not shared:
+        return left if len(right) else Relation(left.schema, [], name=left.name)
+    rk = right.positions(shared)
+    keys = {tuple(row[p] for p in rk) for row in right.rows}
+    lk = left.positions(shared)
+    kept = [row for row in left.rows if tuple(row[p] for p in lk) in keys]
+    return Relation(left.schema, kept, name=f"({left.name} ⋉ {right.name})")

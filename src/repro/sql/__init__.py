@@ -1,0 +1,30 @@
+"""SQL front-end: text → the shared :class:`repro.query.Query` AST.
+
+The paper runs its workload as SQL on SQLite and PostgreSQL and as
+algebraic queries on FDB.  This package lets examples and tests write
+one SQL string and run it on every engine:
+
+    >>> from repro.sql import parse_query
+    >>> q = parse_query(
+    ...     "SELECT customer, SUM(price) AS revenue FROM Orders, Packages, Items "
+    ...     "GROUP BY customer ORDER BY revenue DESC LIMIT 10")
+
+The dialect covers exactly the query class of the paper (Section 5.1):
+select-project-join with conjunctive equality/constant conditions,
+sum/count/min/max/avg aggregates with GROUP BY and HAVING, ORDER BY
+with directions, LIMIT, and DISTINCT.
+"""
+
+from repro.sql.compiler import compile_select, parse_query
+from repro.sql.generator import query_to_sql
+from repro.sql.lexer import SQLSyntaxError, tokenize
+from repro.sql.parser import parse_select
+
+__all__ = [
+    "SQLSyntaxError",
+    "compile_select",
+    "parse_query",
+    "parse_select",
+    "query_to_sql",
+    "tokenize",
+]

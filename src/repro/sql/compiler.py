@@ -1,0 +1,106 @@
+"""Compile the SQL AST into the shared :class:`repro.query.Query`."""
+
+from __future__ import annotations
+
+from repro.query import (
+    AggregateSpec,
+    Comparison,
+    Equality,
+    Having,
+    Query,
+    QueryError,
+)
+from repro.relational.sort import SortKey
+from repro.sql.parser import (
+    ColumnRef,
+    Condition,
+    SelectItem,
+    SelectStatement,
+    parse_select,
+)
+
+
+def compile_select(statement: SelectStatement, name: str = "") -> Query:
+    """Translate a parsed SELECT into the engine-neutral query AST.
+
+    Table qualifiers are dropped (attribute names are globally unique in
+    the paper's formulation); aggregates without an explicit alias get
+    the canonical ``function(attribute)`` alias, which HAVING and ORDER
+    BY clauses can reference.
+    """
+    equalities = []
+    comparisons = []
+    for condition in statement.where:
+        if condition.right_is_column:
+            equalities.append(
+                Equality(condition.left.name, condition.right.name)
+            )
+        else:
+            comparisons.append(
+                Comparison(condition.left.name, condition.op, condition.right)
+            )
+
+    aggregates = []
+    projection: list[str] = []
+    for item in statement.items:
+        if item.aggregate is not None:
+            attribute = item.column.name if item.column is not None else None
+            alias = item.alias or _default_alias(item)
+            aggregates.append(AggregateSpec(item.aggregate, attribute, alias))
+        else:
+            if item.alias is not None:
+                raise QueryError(
+                    "column aliases are not supported (rename attributes "
+                    "in the schema instead)"
+                )
+            projection.append(item.column.name)
+
+    group_by = tuple(column.name for column in statement.group_by)
+    if aggregates:
+        if projection and set(projection) != set(group_by):
+            raise QueryError(
+                f"non-aggregated columns {projection} must match GROUP BY "
+                f"{list(group_by)}"
+            )
+        if projection:
+            # Preserve the SELECT order of grouping columns.
+            group_by = tuple(projection)
+        effective_projection = None
+    else:
+        if statement.having:
+            raise QueryError("HAVING requires aggregates")
+        effective_projection = (
+            None if statement.star else tuple(projection)
+        )
+
+    having = tuple(
+        Having(condition.left.name, condition.op, condition.right)
+        for condition in statement.having
+    )
+    order_by = tuple(
+        SortKey(item.column.name, item.descending)
+        for item in statement.order_by
+    )
+    return Query(
+        relations=tuple(statement.tables),
+        equalities=tuple(equalities),
+        comparisons=tuple(comparisons),
+        projection=effective_projection,
+        group_by=group_by,
+        aggregates=tuple(aggregates),
+        having=having,
+        order_by=order_by,
+        limit=statement.limit,
+        distinct=statement.distinct,
+        name=name,
+    )
+
+
+def _default_alias(item: SelectItem) -> str:
+    inner = str(item.column) if item.column is not None else "*"
+    return f"{item.aggregate}({inner})"
+
+
+def parse_query(text: str, name: str = "") -> Query:
+    """One-shot convenience: SQL text → :class:`repro.query.Query`."""
+    return compile_select(parse_select(text), name=name)

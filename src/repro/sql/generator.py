@@ -1,0 +1,151 @@
+"""Generate SQL text from a :class:`repro.query.Query`.
+
+Used by the benchmark harness to feed the *same* workload to the real
+``sqlite3`` engine that FDB and RDB execute natively, and to build the
+eager-aggregation ("manually optimised") SQL of Experiment 2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.query import AggregateSpec, Query
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.database import Database
+
+
+def _quote(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+def _spec_sql(spec: AggregateSpec) -> str:
+    inner = spec.attribute if spec.attribute is not None else "*"
+    return f'{spec.function.upper()}({inner}) AS "{spec.alias}"'
+
+
+def query_to_sql(query: Query) -> str:
+    """Standard (lazy) SQL for a query, natural-join style FROM list."""
+    if query.aggregates:
+        select_list = list(query.group_by) + [
+            _spec_sql(spec) for spec in query.aggregates
+        ]
+    elif query.projection is not None:
+        select_list = list(query.projection)
+    else:
+        select_list = ["*"]
+    parts = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(select_list))
+    if len(query.relations) == 1:
+        parts.append(f"FROM {query.relations[0]}")
+    else:
+        # Natural joins mirror the shared-attribute-name semantics the
+        # other engines use for multi-relation queries.
+        from_clause = query.relations[0]
+        for name in query.relations[1:]:
+            from_clause += f" NATURAL JOIN {name}"
+        parts.append(f"FROM {from_clause}")
+    conditions = [
+        f"{eq.left} = {eq.right}" for eq in query.equalities
+    ] + [
+        f"{c.attribute} {c.op} {_quote(c.value)}" for c in query.comparisons
+    ]
+    if conditions:
+        parts.append("WHERE " + " AND ".join(conditions))
+    if query.group_by:
+        parts.append("GROUP BY " + ", ".join(query.group_by))
+    if query.having:
+        havings = [
+            f'"{h.target}" {h.op} {_quote(h.value)}' for h in query.having
+        ]
+        parts.append("HAVING " + " AND ".join(havings))
+    if query.order_by:
+        orders = [
+            f'"{key.attribute}" {"DESC" if key.descending else "ASC"}'
+            for key in query.order_by
+        ]
+        parts.append("ORDER BY " + ", ".join(orders))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def eager_query_to_sql(query: Query, database: "Database") -> str:
+    """Eager-aggregation SQL: the paper's manually optimised plans.
+
+    Reuses the :mod:`repro.relational.plans` rewrite to decide the
+    pre-aggregations, then renders them as subqueries so SQLite executes
+    partial aggregation below the join (Experiment 2, "man" plans).
+    """
+    from repro.relational.plans import eager_aggregation
+
+    plan = eager_aggregation(query, database)
+    sub_sql = {}
+    for pre in plan.pre_aggregations:
+        columns = list(pre.group_by) + [
+            f'{spec.function.upper()}({spec.attribute or "*"}) AS "{spec.alias}"'
+            for spec in pre.specs
+        ]
+        conditions = [
+            f"{c.attribute} {c.op} {_quote(c.value)}"
+            for c in query.comparisons
+            if c.attribute in database.schema(pre.relation)
+        ]
+        where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+        group = (
+            f" GROUP BY {', '.join(pre.group_by)}" if pre.group_by else ""
+        )
+        sub_sql[pre.relation] = (
+            f"(SELECT {', '.join(columns)} FROM {pre.relation}{where}{group})"
+            f' AS "pre_{pre.relation}"'
+        )
+
+    select_list = list(query.group_by)
+    for final in plan.finals:
+        weights = " * ".join(f'"{w}"' for w in final.weight_columns)
+        spec = final.spec
+        if spec.function == "count":
+            select_list.append(f'SUM({weights}) AS "{spec.alias}"')
+        elif spec.function in ("min", "max"):
+            select_list.append(
+                f'{spec.function.upper()}("{final.value_column}") AS "{spec.alias}"'
+            )
+        elif spec.function == "avg":
+            counts = " * ".join(
+                f'"{w}"' for w in final.count_weight_columns
+            )
+            select_list.append(
+                f'SUM("{final.value_column}" * {weights}) * 1.0 / SUM({counts})'
+                f' AS "{spec.alias}"'
+            )
+        else:
+            expression = f'"{final.value_column}"'
+            if weights:
+                expression += f" * {weights}"
+            select_list.append(f'SUM({expression}) AS "{spec.alias}"')
+
+    from_clause = " NATURAL JOIN ".join(
+        sub_sql[name] for name in query.relations
+    )
+    parts = [f"SELECT {', '.join(select_list)} FROM {from_clause}"]
+    if query.group_by:
+        parts.append("GROUP BY " + ", ".join(query.group_by))
+    if query.having:
+        havings = [
+            f'"{h.target}" {h.op} {_quote(h.value)}' for h in query.having
+        ]
+        parts.append("HAVING " + " AND ".join(havings))
+    if query.order_by:
+        orders = [
+            f'"{key.attribute}" {"DESC" if key.descending else "ASC"}'
+            for key in query.order_by
+        ]
+        parts.append("ORDER BY " + ", ".join(orders))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)

@@ -1,0 +1,137 @@
+"""Tokenizer for the SQL subset of the paper's query class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "LIMIT",
+    "AND",
+    "AS",
+    "ASC",
+    "DESC",
+    "JOIN",
+    "NATURAL",
+    "INNER",
+    "ON",
+    "SUM",
+    "COUNT",
+    "MIN",
+    "MAX",
+    "AVG",
+}
+
+OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+PUNCTUATION = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA", "*": "STAR", ".": "DOT"}
+
+
+class SQLSyntaxError(ValueError):
+    """Raised on malformed SQL input, with position information."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | punctuation | EOF
+    value: str
+    position: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; raises :class:`SQLSyntaxError`."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        # String literal (single quotes, '' escapes a quote).
+        if char == "'":
+            end = index + 1
+            pieces: list[str] = []
+            while True:
+                if end >= length:
+                    raise SQLSyntaxError(
+                        f"unterminated string literal at position {index}"
+                    )
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        pieces.append("'")
+                        end += 2
+                        continue
+                    break
+                pieces.append(text[end])
+                end += 1
+            yield Token("STRING", "".join(pieces), index)
+            index = end + 1
+            continue
+        # Number (integer or decimal, optional leading minus handled by
+        # the parser as context decides between operator and sign).
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and text[index + 1].isdigit()
+        ):
+            end = index + 1
+            seen_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            yield Token("NUMBER", text[index:end], index)
+            index = end
+            continue
+        # Multi-char operators first.
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, index):
+                yield Token("OP", "=" if op == "==" else op, index)
+                index += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in PUNCTUATION:
+            yield Token(PUNCTUATION[char], char, index)
+            index += 1
+            continue
+        # Identifier or keyword ("quoted identifiers" keep their case).
+        if char == '"':
+            end = text.find('"', index + 1)
+            if end == -1:
+                raise SQLSyntaxError(
+                    f"unterminated quoted identifier at position {index}"
+                )
+            yield Token("IDENT", text[index + 1 : end], index)
+            index = end + 1
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, index)
+            else:
+                yield Token("IDENT", word, index)
+            index = end
+            continue
+        raise SQLSyntaxError(f"unexpected character {char!r} at position {index}")
+    yield Token("EOF", "", length)

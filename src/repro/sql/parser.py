@@ -1,0 +1,253 @@
+"""Recursive-descent parser producing a small SQL AST.
+
+The grammar matches the paper's query class (Section 5.1):
+
+    select    := SELECT [DISTINCT] items FROM tables
+                 [WHERE conj] [GROUP BY cols] [HAVING conj]
+                 [ORDER BY orders] [LIMIT n]
+    items     := '*' | item (',' item)*
+    item      := agg '(' ('*' | column) ')' [AS ident] | column
+    tables    := table ((',' | [NATURAL|INNER] JOIN) table [ON cond])*
+    conj      := cond (AND cond)*
+    cond      := column op (column | literal)
+    orders    := column [ASC|DESC] (',' column [ASC|DESC])*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+
+AGG_KEYWORDS = {"SUM", "COUNT", "MIN", "MAX", "AVG"}
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A column reference, optionally table-qualified."""
+
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: a column or an aggregate application."""
+
+    column: ColumnRef | None  # None for count(*)
+    aggregate: str | None = None  # sum/count/min/max/avg, lowercase
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A conjunct: column-op-column or column-op-literal."""
+
+    left: ColumnRef
+    op: str
+    right: Any  # ColumnRef or a Python literal
+    right_is_column: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: ColumnRef
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement:
+    items: list[SelectItem] = field(default_factory=list)
+    star: bool = False
+    distinct: bool = False
+    tables: list[str] = field(default_factory=list)
+    where: list[Condition] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    having: list[Condition] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value or kind
+            raise SQLSyntaxError(
+                f"expected {wanted} at position {token.position}, "
+                f"found {token.value or token.kind!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        statement = SelectStatement()
+        self.expect("KEYWORD", "SELECT")
+        if self.accept("KEYWORD", "DISTINCT"):
+            statement.distinct = True
+        self._parse_items(statement)
+        self.expect("KEYWORD", "FROM")
+        self._parse_tables(statement)
+        if self.accept("KEYWORD", "WHERE"):
+            statement.where.extend(self._parse_conjunction())
+        if self.accept("KEYWORD", "GROUP"):
+            self.expect("KEYWORD", "BY")
+            statement.group_by.append(self._parse_column())
+            while self.accept("COMMA"):
+                statement.group_by.append(self._parse_column())
+        if self.accept("KEYWORD", "HAVING"):
+            statement.having.extend(self._parse_conjunction(allow_agg=True))
+        if self.accept("KEYWORD", "ORDER"):
+            self.expect("KEYWORD", "BY")
+            statement.order_by.append(self._parse_order_item())
+            while self.accept("COMMA"):
+                statement.order_by.append(self._parse_order_item())
+        if self.accept("KEYWORD", "LIMIT"):
+            number = self.expect("NUMBER")
+            try:
+                statement.limit = int(number.value)
+            except ValueError:
+                raise SQLSyntaxError(
+                    f"LIMIT expects an integer, found {number.value!r}"
+                ) from None
+        self.expect("EOF")
+        return statement
+
+    def _parse_items(self, statement: SelectStatement) -> None:
+        if self.accept("STAR"):
+            statement.star = True
+            return
+        statement.items.append(self._parse_item())
+        while self.accept("COMMA"):
+            statement.items.append(self._parse_item())
+
+    def _parse_item(self) -> SelectItem:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value in AGG_KEYWORDS:
+            self.advance()
+            self.expect("LPAREN")
+            column: ColumnRef | None
+            if self.accept("STAR"):
+                if token.value != "COUNT":
+                    raise SQLSyntaxError(
+                        f"{token.value}(*) is not valid at position "
+                        f"{token.position}"
+                    )
+                column = None
+            else:
+                column = self._parse_column()
+            self.expect("RPAREN")
+            alias = None
+            if self.accept("KEYWORD", "AS"):
+                alias = self.expect("IDENT").value
+            return SelectItem(column, token.value.lower(), alias)
+        column = self._parse_column()
+        alias = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("IDENT").value
+        return SelectItem(column, None, alias)
+
+    def _parse_tables(self, statement: SelectStatement) -> None:
+        statement.tables.append(self.expect("IDENT").value)
+        while True:
+            if self.accept("COMMA"):
+                statement.tables.append(self.expect("IDENT").value)
+                continue
+            if self.peek().kind == "KEYWORD" and self.peek().value in (
+                "JOIN",
+                "NATURAL",
+                "INNER",
+            ):
+                while self.peek().value in ("NATURAL", "INNER"):
+                    self.advance()
+                self.expect("KEYWORD", "JOIN")
+                statement.tables.append(self.expect("IDENT").value)
+                if self.accept("KEYWORD", "ON"):
+                    statement.where.append(self._parse_condition())
+                continue
+            break
+
+    def _parse_conjunction(self, allow_agg: bool = False) -> list[Condition]:
+        conditions = [self._parse_condition(allow_agg)]
+        while self.accept("KEYWORD", "AND"):
+            conditions.append(self._parse_condition(allow_agg))
+        return conditions
+
+    def _parse_condition(self, allow_agg: bool = False) -> Condition:
+        left = self._parse_column(allow_agg=allow_agg)
+        op_token = self.expect("OP")
+        op = "!=" if op_token.value == "<>" else op_token.value
+        token = self.peek()
+        if token.kind == "IDENT":
+            right = self._parse_column()
+            return Condition(left, op, right, right_is_column=True)
+        if token.kind == "NUMBER":
+            self.advance()
+            value: Any = (
+                float(token.value) if "." in token.value else int(token.value)
+            )
+            return Condition(left, op, value)
+        if token.kind == "STRING":
+            self.advance()
+            return Condition(left, op, token.value)
+        raise SQLSyntaxError(
+            f"expected a column or literal at position {token.position}"
+        )
+
+    def _parse_column(self, allow_agg: bool = False) -> ColumnRef:
+        token = self.peek()
+        if (
+            allow_agg
+            and token.kind == "KEYWORD"
+            and token.value in AGG_KEYWORDS
+        ):
+            # HAVING SUM(price) > 5 — canonical alias form "sum(price)".
+            self.advance()
+            self.expect("LPAREN")
+            if self.accept("STAR"):
+                inner = "*"
+            else:
+                inner = str(self._parse_column())
+            self.expect("RPAREN")
+            return ColumnRef(f"{token.value.lower()}({inner})")
+        first = self.expect("IDENT").value
+        if self.accept("DOT"):
+            second = self.expect("IDENT").value
+            return ColumnRef(second, first)
+        return ColumnRef(first)
+
+    def _parse_order_item(self) -> OrderItem:
+        column = self._parse_column()
+        if self.accept("KEYWORD", "DESC"):
+            return OrderItem(column, True)
+        self.accept("KEYWORD", "ASC")
+        return OrderItem(column, False)
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse one SELECT statement (trailing semicolon tolerated)."""
+    text = text.strip().rstrip(";")
+    return _Parser(tokenize(text)).parse()

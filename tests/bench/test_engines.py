@@ -1,0 +1,69 @@
+"""Tests for the benchmark engine adapters."""
+
+import pytest
+
+from repro.bench.engines import (
+    FDBAdapter,
+    RDBAdapter,
+    RDBEagerAdapter,
+    SQLiteAdapter,
+    SQLiteEagerAdapter,
+    default_engines,
+    prepare_all,
+)
+from repro.data.workloads import WORKLOAD
+
+
+@pytest.fixture(scope="module")
+def db():
+    from repro.data.workloads import build_workload_database
+
+    return build_workload_database(scale=0.1, seed=7)
+
+
+def test_adapters_agree_on_row_counts(db):
+    engines = default_engines()
+    prepare_all(engines, db)
+    query = WORKLOAD["Q2"].query
+    counts = {engine.name: engine.run(query) for engine in engines}
+    # FDB f/o reports singletons, everyone else row counts.
+    flat_counts = {
+        name: count
+        for name, count in counts.items()
+        if name != "FDB f/o"
+    }
+    assert len(set(flat_counts.values())) == 1
+
+
+def test_fo_adapter_reports_singletons(db):
+    adapter = FDBAdapter(output="factorised")
+    adapter.prepare(db)
+    assert adapter.run(WORKLOAD["Q2"].query) > 0
+    assert adapter.name == "FDB f/o"
+
+
+def test_eager_adapters(db):
+    from dataclasses import replace
+
+    query = replace(
+        WORKLOAD["Q2"].query, relations=("Orders", "Packages", "Items")
+    )
+    reference = RDBAdapter("hash")
+    reference.prepare(db)
+    expected = reference.run(query)
+    for adapter in (RDBEagerAdapter("hash"), SQLiteEagerAdapter()):
+        adapter.prepare(db)
+        assert adapter.run(query) == expected
+
+
+def test_sqlite_requires_prepare():
+    adapter = SQLiteAdapter()
+    with pytest.raises(RuntimeError):
+        adapter.run(WORKLOAD["Q2"].query)
+
+
+def test_default_engines_flags():
+    names = [e.name for e in default_engines(include_eager=True)]
+    assert "SQLite man" in names and "RDB-hash man (PSQL-sim)" in names
+    no_fo = [e.name for e in default_engines(include_fo=False)]
+    assert "FDB f/o" not in no_fo

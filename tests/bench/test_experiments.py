@@ -1,0 +1,81 @@
+"""Smoke tests for the experiment harness at a tiny scale."""
+
+import pytest
+
+from repro.bench.ablations import (
+    run_ablation_partial_agg,
+    run_ablation_restructuring,
+)
+from repro.bench.experiments import (
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_optimizer_study,
+    run_sizes,
+)
+from repro.bench.harness import fit_loglog_slope, render_table
+
+
+def test_run_sizes_shape():
+    report = run_sizes(scales=[0.1, 0.2])
+    assert report.extras["flat_exponent"] > report.extras["fact_exponent"]
+    assert "factorised" in report.table
+
+
+def test_run_fig5(tiny_db_scale=0.1):
+    report = run_fig5(scale=tiny_db_scale, repeats=1)
+    engines = {r.engine for r in report.results}
+    assert {"FDB", "FDB f/o", "SQLite"} <= engines
+    assert report.seconds("FDB", "Q2") > 0
+    assert "Q5" in report.table
+
+
+def test_run_fig6():
+    report = run_fig6(scale=0.1, repeats=1)
+    engines = {r.engine for r in report.results}
+    assert "SQLite man" in engines and "RDB-hash man (PSQL-sim)" in engines
+
+
+def test_run_fig7():
+    report = run_fig7(scale=0.1, repeats=1)
+    queries = {r.query for r in report.results}
+    assert {"Q6", "Q7", "Q8", "Q9"} <= queries
+
+
+def test_run_fig8():
+    report = run_fig8(scale=0.1, repeats=1)
+    engines = {r.engine for r in report.results}
+    assert "FDB lim" in engines
+    # LIMIT 10 must not be slower than full enumeration for FDB (the
+    # constant-delay claim) — allow generous noise at tiny scale.
+    assert report.seconds("FDB lim", "Q10") <= report.seconds("FDB", "Q10") * 2
+
+
+def test_optimizer_study_all_greedy_optimal():
+    report = run_optimizer_study(scale=0.1)
+    for name, stats in report.extras.items():
+        assert (
+            stats["greedy_exponent"] <= stats["exhaustive_exponent"] + 1e-9
+        ), name
+
+
+def test_ablation_partial_agg():
+    report = run_ablation_partial_agg(scale=0.1, repeats=1)
+    variants = {r.engine for r in report.results}
+    assert len(variants) == 2
+
+
+def test_ablation_restructuring():
+    report = run_ablation_restructuring(scale=0.1, repeats=1)
+    assert len(report.results) == 3
+
+
+def test_fit_loglog_slope_exact():
+    points = [(1, 10), (2, 40), (4, 160)]  # y = 10·x²
+    assert fit_loglog_slope(points) == pytest.approx(2.0)
+
+
+def test_render_table_missing_cells():
+    table = render_table("t", ["r1"], ["c1", "c2"], {("r1", "c1"): "x"})
+    assert "-" in table and "x" in table

@@ -1,0 +1,94 @@
+"""Unit tests for the timing/reporting harness utilities."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import (
+    BenchResult,
+    Series,
+    env_repeats,
+    env_scale,
+    env_scales,
+    fit_loglog_slope,
+    render_series,
+    render_table,
+    time_call,
+)
+
+
+def test_time_call_returns_best_and_result():
+    calls = []
+
+    def work():
+        calls.append(1)
+        return "out"
+
+    seconds, result = time_call(work, repeats=3)
+    assert result == "out"
+    assert len(calls) == 3
+    assert seconds >= 0
+
+
+def test_time_call_at_least_once():
+    seconds, result = time_call(lambda: 7, repeats=0)
+    assert result == 7
+
+
+def test_bench_result_cell():
+    assert BenchResult("e", "q", 0.12345).cell() == "0.1235s"  # rounded
+
+
+def test_series_accumulates():
+    series = Series("s")
+    series.add(1, 2.0)
+    series.add(2, 4.0)
+    assert series.points == [(1, 2.0), (2, 4.0)]
+
+
+def test_render_table_alignment():
+    table = render_table(
+        "Title",
+        ["engine-a", "b"],
+        ["q1", "q2"],
+        {("engine-a", "q1"): "1.0", ("b", "q2"): "2.0"},
+        row_header="engine",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "Title"
+    assert "engine" in lines[1]
+    assert all("|" in line for line in lines[1:] if "-+-" not in line)
+
+
+def test_render_series_table():
+    s1 = Series("flat")
+    s1.add(1, 10)
+    s1.add(2, 40)
+    text = render_series("sizes", [s1], "scale")
+    assert "flat" in text and "10.0000" in text and "40.0000" in text
+
+
+def test_env_parsing(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+    monkeypatch.setenv("REPRO_BENCH_SCALES", "0.5, 1 ,2")
+    monkeypatch.setenv("REPRO_BENCH_REPEATS", "7")
+    assert env_scale() == 2.5
+    assert env_scales() == [0.5, 1.0, 2.0]
+    assert env_repeats() == 7
+
+
+def test_env_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_SCALES", raising=False)
+    monkeypatch.delenv("REPRO_BENCH_REPEATS", raising=False)
+    assert env_scale(3.0) == 3.0
+    assert env_scales("1,2") == [1.0, 2.0]
+    assert env_repeats(5) == 5
+
+
+def test_fit_loglog_slope_linear():
+    assert fit_loglog_slope([(1, 3), (2, 6), (4, 12)]) == pytest.approx(1.0)
+
+
+def test_fit_loglog_slope_degenerate():
+    assert fit_loglog_slope([(1, 5), (1, 5)]) == 0.0

@@ -1,0 +1,49 @@
+"""Shared fixtures: the pizzeria example and small generated databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.pizzeria import pizzeria_database, pizzeria_relations, t1_ftree
+from repro.data.workloads import build_workload_database
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def pizzeria():
+    """Figure 1's database with R registered flat and factorised."""
+    return pizzeria_database()
+
+
+@pytest.fixture()
+def pizzeria_rels():
+    """The three Figure 1 base relations (Orders, Pizzas, Items)."""
+    return pizzeria_relations()
+
+
+@pytest.fixture()
+def t1():
+    """The f-tree T1 of Figure 2."""
+    return t1_ftree()
+
+
+@pytest.fixture(scope="session")
+def tiny_workload_db():
+    """A small generated workload database shared across tests."""
+    return build_workload_database(scale=0.1, seed=7)
+
+
+def assert_same_relation(left, right) -> None:
+    """Set-equality helper with a readable diff on failure."""
+    left_rel = left if isinstance(left, Relation) else left.to_relation()
+    right_rel = right if isinstance(right, Relation) else right.to_relation()
+    assert set(left_rel.schema) == set(right_rel.schema), (
+        f"schemas differ: {left_rel.schema} vs {right_rel.schema}"
+    )
+    aligned = right_rel.project(left_rel.schema, dedup=False)
+    missing = set(aligned.rows) - set(left_rel.rows)
+    extra = set(left_rel.rows) - set(aligned.rows)
+    assert not missing and not extra, (
+        f"relations differ; missing={sorted(missing)[:5]} "
+        f"extra={sorted(extra)[:5]}"
+    )

@@ -1,0 +1,123 @@
+"""Unit tests for the fractional edge-cover cost model."""
+
+import pytest
+
+from repro.core.build import factorise
+from repro.core.cost import Hypergraph, ftree_cost, node_exponents, s_parameter
+from repro.core.ftree import build_ftree
+from repro.data.workloads import section6_ftree
+from repro.relational.operators import multiway_join
+
+
+@pytest.fixture()
+def pizza_hypergraph():
+    return Hypergraph(
+        {
+            "Orders": ("customer", "date", "pizza"),
+            "Pizzas": ("pizza", "item"),
+            "Items": ("item", "price"),
+        }
+    )
+
+
+def test_single_attribute_cover(pizza_hypergraph):
+    assert pizza_hypergraph.fractional_edge_cover({"pizza"}) == pytest.approx(1.0)
+
+
+def test_one_relation_covers_path(pizza_hypergraph):
+    cover = pizza_hypergraph.fractional_edge_cover(
+        {"customer", "date", "pizza"}
+    )
+    assert cover == pytest.approx(1.0)
+
+
+def test_two_relations_needed(pizza_hypergraph):
+    cover = pizza_hypergraph.fractional_edge_cover({"customer", "item"})
+    assert cover == pytest.approx(2.0)
+
+
+def test_fractional_cover_triangle():
+    # The classic triangle query: ρ*(a, b, c) = 3/2.
+    triangle = Hypergraph(
+        {"R": ("a", "b"), "S": ("b", "c"), "T": ("a", "c")}
+    )
+    assert triangle.fractional_edge_cover({"a", "b", "c"}) == pytest.approx(1.5)
+
+
+def test_uncovered_attributes_ignored(pizza_hypergraph):
+    assert pizza_hypergraph.fractional_edge_cover({"alias"}) == 0.0
+    assert pizza_hypergraph.fractional_edge_cover(set()) == 0.0
+
+
+def test_cover_cache(pizza_hypergraph):
+    first = pizza_hypergraph.fractional_edge_cover({"pizza", "item"})
+    assert pizza_hypergraph._cover_cache  # populated
+    assert pizza_hypergraph.fractional_edge_cover({"item", "pizza"}) == first
+
+
+def test_node_exponents_t1(t1, pizza_hypergraph):
+    exponents = node_exponents(t1, pizza_hypergraph)
+    assert exponents["pizza"] == pytest.approx(1.0)
+    assert exponents["customer"] == pytest.approx(1.0)  # path within Orders
+    assert exponents["price"] == pytest.approx(2.0)  # needs Pizzas+Items? no:
+    # path pizza→item→price: Items covers item+price, Pizzas covers
+    # pizza+item → 2 relations... but fractionally Pizzas(1)+Items(1)=2.
+
+
+def test_s_parameter_t1(t1, pizza_hypergraph):
+    assert s_parameter(t1, pizza_hypergraph) == pytest.approx(2.0)
+
+
+def test_ftree_cost_prefers_shallow_paths(pizza_hypergraph):
+    # A single path through all five attributes costs strictly more than
+    # the branching T1 (deep paths accumulate covers).
+    path = build_ftree(
+        [("pizza", [("date", [("customer", [("item", ["price"])])])])],
+        keys={"pizza": {"x"}, "date": {"x"}, "customer": {"x"}, "item": {"x"}, "price": {"x"}},
+    )
+    t1 = build_ftree(
+        [("pizza", [("date", ["customer"]), ("item", ["price"])])],
+        keys={"pizza": {"x"}, "date": {"x"}, "customer": {"x"}, "item": {"x"}, "price": {"x"}},
+    )
+    assert ftree_cost(path, pizza_hypergraph) > ftree_cost(t1, pizza_hypergraph)
+
+
+def test_with_equivalences_extends_coverage():
+    graph = Hypergraph({"R": ("a",), "S": ("b",)})
+    extended = graph.with_equivalences([("a", "b")])
+    # After a=b, R covers b too: one edge suffices.
+    assert extended.fractional_edge_cover({"a", "b"}) == pytest.approx(1.0)
+    assert graph.fractional_edge_cover({"a", "b"}) == pytest.approx(2.0)
+
+
+def test_bound_dominates_actual_size(pizzeria_rels, t1):
+    """The size bound must dominate the real factorisation size."""
+    joined = multiway_join(list(pizzeria_rels))
+    fact = factorise(joined, t1)
+    hypergraph = Hypergraph(
+        {
+            "Orders": ("customer", "date", "pizza"),
+            "Pizzas": ("pizza", "item"),
+            "Items": ("item", "price"),
+        }
+    )
+    scale = max(len(rel) for rel in pizzeria_rels)
+    bound = ftree_cost(t1, hypergraph, scale=scale)
+    assert bound >= fact.size()
+
+
+def test_bound_dominates_on_generated_data(tiny_workload_db):
+    fact = tiny_workload_db.get_factorised("R1")
+    hypergraph = Hypergraph(
+        {
+            "Orders": ("customer", "date", "package"),
+            "Packages": ("package", "item"),
+            "Items": ("item", "price"),
+        }
+    )
+    scale = max(
+        len(tiny_workload_db.flat(name))
+        for name in ("Orders", "Packages", "Items")
+    )
+    bound = ftree_cost(section6_ftree(), hypergraph, scale=scale)
+    assert bound >= fact.size()

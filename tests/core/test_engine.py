@@ -1,0 +1,246 @@
+"""Unit tests for the FDB engine facade."""
+
+import pytest
+
+from repro.core.engine import FactorisedResult, FDBEngine
+from repro.database import Database
+from repro.query import Comparison, Equality, Having, Query, QueryError, aggregate
+from repro.relational.engine import RDBEngine
+from repro.relational.relation import Relation
+
+from tests.conftest import assert_same_relation
+
+
+@pytest.fixture()
+def engines():
+    return FDBEngine(), FDBEngine(output="factorised"), RDBEngine()
+
+
+def test_invalid_output_mode():
+    with pytest.raises(ValueError):
+        FDBEngine(output="bogus")
+
+
+def test_aggregate_on_view_uses_factorisation(pizzeria, engines):
+    fdb, _, rdb = engines
+    q = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "revenue"),),
+    )
+    assert_same_relation(fdb.execute(q, pizzeria), rdb.execute(q, pizzeria))
+    # The plan must include at least one partial aggregation.
+    assert any("γ" in str(s) for s in fdb.last_plan)
+
+
+def test_flat_input_builds_factorisation(pizzeria, engines):
+    fdb, _, rdb = engines
+    q = Query(
+        relations=("Orders", "Pizzas", "Items"),
+        group_by=("pizza",),
+        aggregates=(aggregate("count", None, "n"),),
+    )
+    assert_same_relation(fdb.execute(q, pizzeria), rdb.execute(q, pizzeria))
+
+
+def test_star_query_on_multiple_relations(pizzeria, engines):
+    fdb, _, rdb = engines
+    q = Query(relations=("Orders", "Pizzas", "Items"))
+    left = fdb.execute(q, pizzeria)
+    right = rdb.execute(q, pizzeria)
+    # natural-join semantics: each attribute once
+    assert set(left.schema) == {"customer", "date", "pizza", "item", "price"}
+    assert_same_relation(left, right)
+
+
+def test_explicit_equality_selection(engines):
+    fdb, _, rdb = engines
+    db = Database(
+        [
+            Relation(("a", "x"), [(1, 5), (2, 6)], "R"),
+            Relation(("b", "y"), [(1, 7), (3, 8)], "S"),
+        ]
+    )
+    q = Query(relations=("R", "S"), equalities=(Equality("a", "b"),))
+    assert_same_relation(fdb.execute(q, db), rdb.execute(q, db))
+
+
+def test_constant_selection_before_planning(pizzeria, engines):
+    fdb, _, rdb = engines
+    q = Query(
+        relations=("R",),
+        comparisons=(Comparison("price", ">", 1),),
+        group_by=("pizza",),
+        aggregates=(aggregate("sum", "price", "s"),),
+    )
+    assert_same_relation(fdb.execute(q, pizzeria), rdb.execute(q, pizzeria))
+
+
+def test_projection_query(pizzeria, engines):
+    fdb, _, rdb = engines
+    q = Query(relations=("R",), projection=("pizza", "price"))
+    assert_same_relation(fdb.execute(q, pizzeria), rdb.execute(q, pizzeria))
+
+
+def test_projection_of_internal_node(pizzeria, engines):
+    fdb, _, rdb = engines
+    # date is internal in T1; projecting it away forces sink-to-leaf.
+    q = Query(relations=("R",), projection=("pizza", "customer"))
+    assert_same_relation(fdb.execute(q, pizzeria), rdb.execute(q, pizzeria))
+
+
+def test_order_by_group_attribute(pizzeria, engines):
+    fdb, _, rdb = engines
+    q = Query(
+        relations=("R",),
+        group_by=("pizza",),
+        aggregates=(aggregate("sum", "price", "s"),),
+    ).with_order([("pizza", "desc")])
+    assert fdb.execute(q, pizzeria).rows == rdb.execute(q, pizzeria).rows
+
+
+def test_order_by_alias(pizzeria, engines):
+    fdb, _, rdb = engines
+    q = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "rev"),),
+    ).with_order([("rev", "desc"), "customer"])
+    assert fdb.execute(q, pizzeria).rows == rdb.execute(q, pizzeria).rows
+
+
+def test_limit_on_groups(pizzeria, engines):
+    fdb, _, rdb = engines
+    q = Query(
+        relations=("R",),
+        group_by=("pizza",),
+        aggregates=(aggregate("sum", "price", "s"),),
+        order_by=(),
+    ).with_order(["pizza"]).with_limit(2)
+    assert fdb.execute(q, pizzeria).rows == rdb.execute(q, pizzeria).rows
+
+
+def test_having_flat_and_factorised(pizzeria, engines):
+    fdb, fdbf, rdb = engines
+    q = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "rev"),),
+        having=(Having("rev", ">", 10),),
+    )
+    expected = rdb.execute(q, pizzeria)
+    assert_same_relation(fdb.execute(q, pizzeria), expected)
+    assert_same_relation(fdbf.execute(q, pizzeria).to_relation(), expected)
+
+
+def test_having_on_group_attribute(pizzeria, engines):
+    fdb, fdbf, rdb = engines
+    q = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "rev"),),
+        having=(Having("customer", "=", "Mario"),),
+    )
+    expected = rdb.execute(q, pizzeria)
+    assert_same_relation(fdb.execute(q, pizzeria), expected)
+    assert_same_relation(fdbf.execute(q, pizzeria).to_relation(), expected)
+
+
+def test_factorised_result_properties(pizzeria):
+    fdbf = FDBEngine(output="factorised")
+    q = Query(
+        relations=("R",),
+        group_by=("customer", "pizza"),
+        aggregates=(aggregate("sum", "price", "rev"),),
+    )
+    result = fdbf.execute(q, pizzeria)
+    assert isinstance(result, FactorisedResult)
+    assert result.output_schema == ("customer", "pizza", "rev")
+    assert result.size() > 0
+    rows = list(result.iter_tuples())
+    assert all(len(row) == 3 for row in rows)
+
+
+def test_factorised_result_avg(pizzeria):
+    fdbf = FDBEngine(output="factorised")
+    rdb = RDBEngine()
+    q = Query(
+        relations=("R",),
+        group_by=("pizza",),
+        aggregates=(aggregate("avg", "price", "m"), aggregate("count", None, "n")),
+    )
+    assert_same_relation(
+        fdbf.execute(q, pizzeria).to_relation(), rdb.execute(q, pizzeria)
+    )
+
+
+def test_scalar_aggregate_factorised(pizzeria):
+    fdbf = FDBEngine(output="factorised")
+    q = Query(relations=("R",), aggregates=(aggregate("max", "price", "top"),))
+    result = fdbf.execute(q, pizzeria)
+    assert list(result.iter_tuples()) == [(6,)]
+
+
+def test_group_by_independent_attributes_linearises():
+    """Grouping attributes from independent relations forces nesting."""
+    db = Database(
+        [
+            Relation(("a", "v"), [(1, 2), (1, 3), (2, 5)], "R"),
+            Relation(("b",), [(7,), (8,)], "S"),
+        ]
+    )
+    q = Query(
+        relations=("R", "S"),
+        group_by=("a", "b"),
+        aggregates=(aggregate("sum", "v", "s"),),
+    )
+    fdbf = FDBEngine(output="factorised")
+    rdb = RDBEngine()
+    assert_same_relation(fdbf.execute(q, db).to_relation(), rdb.execute(q, db))
+
+
+def test_order_by_alias_multi_aggregate_flat(pizzeria):
+    fdb = FDBEngine()
+    rdb = RDBEngine()
+    q = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(
+            aggregate("sum", "price", "rev"),
+            aggregate("count", None, "n"),
+        ),
+    ).with_order(["customer"])
+    assert fdb.execute(q, pizzeria).rows == rdb.execute(q, pizzeria).rows
+
+
+def test_unknown_attribute_rejected(pizzeria):
+    q = Query(
+        relations=("R",),
+        group_by=("nonexistent",),
+        aggregates=(aggregate("count", None, "n"),),
+    )
+    with pytest.raises(QueryError):
+        FDBEngine().execute(q, pizzeria)
+
+
+def test_trace_available_after_execution(pizzeria):
+    fdb = FDBEngine()
+    q = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "rev"),),
+    )
+    fdb.execute(q, pizzeria)
+    assert fdb.last_trace is not None
+    assert len(fdb.last_trace.sizes) == len(fdb.last_plan)
+
+
+def test_exhaustive_optimizer_engine(pizzeria):
+    fdb = FDBEngine(optimizer="exhaustive")
+    rdb = RDBEngine()
+    q = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "rev"),),
+    )
+    assert_same_relation(fdb.execute(q, pizzeria), rdb.execute(q, pizzeria))

@@ -1,0 +1,183 @@
+"""Unit tests for f-trees, dependency keys and the path constraint."""
+
+import pytest
+
+from repro.core.ftree import (
+    AggregateAttribute,
+    FNode,
+    FTree,
+    FTreeError,
+    build_ftree,
+    fresh_aggregate_name,
+    path_ftree,
+)
+
+
+@pytest.fixture()
+def tree():
+    # a → (b → d, c) with keys making b,d dependent and c independent
+    return build_ftree(
+        [("a", [("b", ["d"]), "c"])],
+        keys={"a": {"r", "s"}, "b": {"r"}, "d": {"r"}, "c": {"s"}},
+    )
+
+
+def test_node_lookup(tree):
+    assert tree.node("a").name == "a"
+    assert tree.node("d").attributes == ("d",)
+    with pytest.raises(FTreeError):
+        tree.node("zzz")
+
+
+def test_contains(tree):
+    assert "b" in tree
+    assert "zzz" not in tree
+
+
+def test_parent_and_ancestors(tree):
+    d = tree.node("d")
+    assert tree.parent(d).name == "b"
+    assert [n.name for n in tree.ancestors(d)] == ["b", "a"]
+    assert tree.parent(tree.node("a")) is None
+
+
+def test_depth(tree):
+    assert tree.depth(tree.node("a")) == 0
+    assert tree.depth(tree.node("d")) == 2
+
+
+def test_is_ancestor(tree):
+    assert tree.is_ancestor(tree.node("a"), tree.node("d"))
+    assert not tree.is_ancestor(tree.node("c"), tree.node("d"))
+
+
+def test_on_same_path(tree):
+    assert tree.on_same_path(tree.node("a"), tree.node("d"))
+    assert not tree.on_same_path(tree.node("c"), tree.node("d"))
+    assert tree.on_same_path(tree.node("b"), tree.node("b"))
+
+
+def test_path_to(tree):
+    assert tree.path_to("a") == (0, ())
+    assert tree.path_to("d") == (0, (0, 0))
+    assert tree.path_to("c") == (0, (1,))
+
+
+def test_preorder_names(tree):
+    assert tree.attribute_names() == ["a", "b", "d", "c"]
+
+
+def test_atomic_attributes(tree):
+    assert tree.atomic_attributes() == {"a", "b", "c", "d"}
+
+
+def test_duplicate_attribute_rejected():
+    with pytest.raises(FTreeError):
+        FTree([FNode(("a",)), FNode(("a",))])
+
+
+def test_equivalence_class_node():
+    node = FNode(("a", "b"), keys={"r"})
+    tree = FTree([node])
+    assert tree.node("a") is tree.node("b")
+    assert node.all_names == ("a", "b")
+
+
+def test_path_constraint_holds(tree):
+    assert tree.satisfies_path_constraint()
+
+
+def test_path_constraint_violated():
+    # b and c dependent (share key r) but on different branches.
+    bad = build_ftree(
+        [("a", ["b", "c"])],
+        keys={"a": {"r"}, "b": {"r"}, "c": {"r"}},
+    )
+    assert not bad.satisfies_path_constraint()
+    with pytest.raises(Exception):
+        bad.check_path_constraint()
+
+
+def test_replace_node_shares_untouched_subtrees(tree):
+    c_before = tree.node("c")
+    replaced = tree.replace_node("d", lambda node: [])
+    assert "d" not in replaced
+    assert replaced.node("c") is c_before  # sibling branch shared
+
+
+def test_replace_node_with_multiple(tree):
+    replaced = tree.replace_node(
+        "b", lambda node: [FNode(("x",)), FNode(("y",))]
+    )
+    assert replaced.attribute_names() == ["a", "x", "y", "c"]
+
+
+def test_map_nodes_rebuilds_keys(tree):
+    mapped = tree.map_nodes(lambda n: n.with_keys(n.keys | {"extra"}))
+    assert all("extra" in n.keys for n in mapped.nodes())
+    # original untouched
+    assert all("extra" not in n.keys for n in tree.nodes())
+
+
+def test_path_ftree():
+    tree = path_ftree(("x", "y", "z"), "R")
+    assert tree.attribute_names() == ["x", "y", "z"]
+    assert tree.depth(tree.node("z")) == 2
+    assert tree.satisfies_path_constraint()
+
+
+def test_path_ftree_custom_order():
+    tree = path_ftree(("x", "y"), "R", order=("y", "x"))
+    assert tree.attribute_names() == ["y", "x"]
+
+
+def test_path_ftree_order_must_cover():
+    with pytest.raises(FTreeError):
+        path_ftree(("x", "y"), "R", order=("x",))
+
+
+def test_aggregate_attribute_components():
+    agg = AggregateAttribute(
+        (("sum", "p"), ("count", None)), frozenset({"p", "i"}), "node"
+    )
+    assert agg.sum_component("p") == 0
+    assert agg.count_component == 1
+    assert agg.component("min", "p") is None
+    assert agg.covers("i") and not agg.covers("q")
+
+
+def test_aggregate_attribute_needs_function():
+    with pytest.raises(FTreeError):
+        AggregateAttribute((), frozenset(), "x")
+
+
+def test_aggregate_node_identity():
+    agg = AggregateAttribute((("count", None),), frozenset({"x"}), "n1")
+    node = FNode(agg)
+    assert node.is_aggregate
+    assert node.name == "n1"
+    with pytest.raises(FTreeError):
+        node.with_attributes(("y",))
+
+
+def test_fresh_names_unique():
+    assert fresh_aggregate_name() != fresh_aggregate_name()
+
+
+def test_pretty_renders_structure(tree):
+    text = tree.pretty()
+    assert text.splitlines()[0] == "a"
+    assert "  b" in text and "    d" in text
+
+
+def test_subtree_helpers(tree):
+    b = tree.node("b")
+    assert b.subtree_names() == {"b", "d"}
+    assert b.subtree_atomic_attributes() == {"b", "d"}
+    assert b.subtree_keys() == frozenset({"r"})
+
+
+def test_forest_with_multiple_roots():
+    forest = build_ftree(["a", ("b", ["c"])], keys={"a": {"r"}, "b": {"s"}, "c": {"s"}})
+    assert len(forest.roots) == 2
+    assert forest.path_to("c") == (1, (0,))

@@ -1,0 +1,92 @@
+"""Tests for the Section 6 synthetic data generator."""
+
+import math
+
+import pytest
+
+from repro.data.generator import GeneratorConfig, generate, generate_database
+
+
+def test_deterministic_per_seed():
+    a = generate(GeneratorConfig(scale=0.25, seed=1))
+    b = generate(GeneratorConfig(scale=0.25, seed=1))
+    assert a.orders.rows == b.orders.rows
+    assert a.packages.rows == b.packages.rows
+    assert a.items.rows == b.items.rows
+
+
+def test_different_seeds_differ():
+    a = generate(GeneratorConfig(scale=0.25, seed=1))
+    b = generate(GeneratorConfig(scale=0.25, seed=2))
+    assert a.orders.rows != b.orders.rows
+
+
+def test_paper_parameters_at_scale_one():
+    config = GeneratorConfig(scale=1.0)
+    assert config.n_dates == 800
+    assert config.n_items == 100
+    assert config.n_packages == 40
+    assert config.package_size == 20
+
+
+def test_sqrt_scaling():
+    config = GeneratorConfig(scale=4.0)
+    assert config.n_dates == 3200
+    assert config.n_items == 200
+    assert config.n_packages == 80
+    assert config.package_size == 40
+
+
+def test_orders_mean_close_to_two_per_date():
+    data = generate(GeneratorConfig(scale=1.0))
+    per_date = len(data.orders) / data.config.n_dates
+    assert 1.5 < per_date < 2.5
+
+
+def test_order_dates_per_customer_average():
+    config = GeneratorConfig(scale=1.0)
+    data = generate(config)
+    pairs = {(row[0], row[1]) for row in data.orders.rows}
+    per_customer = len(pairs) / config.customers
+    # ≈ 80·s order dates per customer (the paper's stated average).
+    assert 0.6 * 80 < per_customer < 1.4 * 80
+
+
+def test_package_sizes_near_mean():
+    data = generate(GeneratorConfig(scale=1.0))
+    sizes = {}
+    for package, _ in data.packages.rows:
+        sizes[package] = sizes.get(package, 0) + 1
+    mean = sum(sizes.values()) / len(sizes)
+    assert 0.6 * 20 < mean < 1.4 * 20
+
+
+def test_prices_within_bounds():
+    data = generate(GeneratorConfig(scale=0.25, max_price=7))
+    assert all(1 <= price <= 7 for _, price in data.items.rows)
+
+
+def test_orders_are_distinct_triples():
+    data = generate(GeneratorConfig(scale=0.5))
+    assert len(set(data.orders.rows)) == len(data.orders)
+
+
+def test_generate_database_wrapper():
+    data = generate_database(scale=0.1, seed=3)
+    assert data.orders.schema == ("customer", "date", "package")
+    assert data.packages.schema == ("package", "item")
+    assert data.items.schema == ("item", "price")
+
+
+def test_join_grows_faster_than_factorisation():
+    from repro.core.build import factorise
+    from repro.data.workloads import section6_ftree
+    from repro.relational.operators import multiway_join
+
+    gaps = []
+    for scale in (0.25, 1.0):
+        data = generate(GeneratorConfig(scale=scale))
+        joined = multiway_join(list(data.relations()))
+        fact = factorise(joined, section6_ftree())
+        gaps.append(len(joined) * len(joined.schema) / fact.size())
+    assert gaps[1] > gaps[0]  # the succinctness gap widens with scale

@@ -1,0 +1,35 @@
+"""Tests for the Figure 1 example database."""
+
+from repro.data.pizzeria import (
+    pizzeria_database,
+    pizzeria_relations,
+    pizzeria_view,
+    t1_ftree,
+)
+
+
+def test_relation_sizes_match_figure1():
+    orders, pizzas, items = pizzeria_relations()
+    assert len(orders) == 5
+    assert len(pizzas) == 7
+    assert len(items) == 4
+
+
+def test_view_join_size():
+    joined, fact = pizzeria_view()
+    assert len(joined) == 13
+    assert fact.size() == 26
+    assert fact.to_relation() == joined
+
+
+def test_t1_shape():
+    tree = t1_ftree()
+    assert tree.attribute_names() == ["pizza", "date", "customer", "item", "price"]
+    assert tree.satisfies_path_constraint()
+
+
+def test_database_registers_both_forms():
+    db = pizzeria_database()
+    assert "R" in db.relations and "R" in db.factorised
+    assert set(db.names()) == {"Orders", "Pizzas", "Items", "R"}
+    assert db.schema("R") == db.flat("R").schema

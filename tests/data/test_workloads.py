@@ -1,0 +1,84 @@
+"""Tests for the Figure 3 workload definitions and view construction."""
+
+import pytest
+
+from repro.data.workloads import (
+    AGG_ORD_QUERIES,
+    AGG_QUERIES,
+    ORD_QUERIES,
+    WORKLOAD,
+    build_workload_database,
+    section6_ftree,
+)
+
+
+def test_thirteen_queries_defined():
+    assert len(WORKLOAD) == 13
+    assert set(AGG_QUERIES + AGG_ORD_QUERIES + ORD_QUERIES) == set(WORKLOAD)
+
+
+def test_groups_match_figure3():
+    assert all(WORKLOAD[q].group == "AGG" for q in AGG_QUERIES)
+    assert all(WORKLOAD[q].group == "AGG+ORD" for q in AGG_ORD_QUERIES)
+    assert all(WORKLOAD[q].group == "ORD" for q in ORD_QUERIES)
+
+
+def test_q2_definition():
+    q2 = WORKLOAD["Q2"].query
+    assert q2.relations == ("R1",)
+    assert q2.group_by == ("customer",)
+    assert q2.aggregates[0].alias == "revenue"
+
+
+def test_q6_q7_extend_q2():
+    assert WORKLOAD["Q6"].query.order_attributes == ("customer",)
+    assert WORKLOAD["Q7"].query.order_attributes == ("revenue",)
+    assert WORKLOAD["Q6"].query.group_by == ("customer",)
+
+
+def test_ord_queries_target_views():
+    assert WORKLOAD["Q10"].query.relations == ("R2",)
+    assert WORKLOAD["Q13"].query.relations == ("R3",)
+    assert WORKLOAD["Q12"].query.order_attributes == ("date", "package", "item")
+
+
+def test_section6_ftree_shape():
+    tree = section6_ftree()
+    assert tree.attribute_names() == [
+        "package",
+        "date",
+        "customer",
+        "item",
+        "price",
+    ]
+    assert tree.satisfies_path_constraint()
+
+
+def test_build_database_views(tiny_workload_db):
+    db = tiny_workload_db
+    for name in ("R1", "R2", "R3"):
+        assert name in db.relations and name in db.factorised
+    r1 = db.flat("R1")
+    assert set(r1.schema) == {"customer", "date", "package", "item", "price"}
+    assert db.get_factorised("R1").to_relation() == r1
+
+
+def test_views_skippable():
+    db = build_workload_database(scale=0.1, materialise_views=False)
+    assert "R1" not in db.relations
+    assert set(db.names()) == {"Orders", "Packages", "Items"}
+
+
+def test_r2_sorted_and_r3_sorted(tiny_workload_db):
+    from repro.relational.sort import is_sorted_by
+
+    assert is_sorted_by(
+        tiny_workload_db.flat("R2"), ["package", "date", "item"]
+    )
+    assert is_sorted_by(
+        tiny_workload_db.flat("R3"), ["date", "customer", "package"]
+    )
+
+
+def test_r3_is_orders_sorted(tiny_workload_db):
+    assert tiny_workload_db.flat("R3") == tiny_workload_db.flat("Orders")

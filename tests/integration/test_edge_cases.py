@@ -1,0 +1,239 @@
+"""Edge cases across the whole stack: empty inputs, extreme filters,
+degenerate groupings, interactions between clauses."""
+
+import pytest
+
+from repro.core.engine import FDBEngine
+from repro.database import Database
+from repro.query import Comparison, Having, Query, aggregate
+from repro.relational.engine import RDBEngine
+from repro.relational.relation import Relation
+
+from tests.conftest import assert_same_relation
+
+
+@pytest.fixture()
+def db():
+    return Database(
+        [
+            Relation(("a", "b"), [(1, 2), (3, 4)], "R"),
+            Relation(("b", "c"), [], "Empty"),
+            Relation(("d",), [(7,)], "Single"),
+        ]
+    )
+
+
+ENGINES = [
+    ("flat", lambda: FDBEngine()),
+    ("factorised", lambda: FDBEngine(output="factorised")),
+]
+
+
+@pytest.mark.parametrize("mode,make", ENGINES)
+def test_group_by_over_empty_join(db, mode, make):
+    q = Query(
+        relations=("R", "Empty"),
+        group_by=("a",),
+        aggregates=(aggregate("count", None, "n"),),
+    )
+    result = make().execute(q, db)
+    rows = result.rows if hasattr(result, "rows") else list(result.iter_tuples())
+    assert rows == []
+    assert RDBEngine().execute(q, db).rows == []
+
+
+@pytest.mark.parametrize("mode,make", ENGINES)
+def test_selection_filters_everything(db, mode, make):
+    q = Query(
+        relations=("R",),
+        comparisons=(Comparison("a", ">", 99),),
+        group_by=("a",),
+        aggregates=(aggregate("sum", "b", "s"),),
+    )
+    result = make().execute(q, db)
+    rows = result.rows if hasattr(result, "rows") else list(result.iter_tuples())
+    assert rows == []
+
+
+def test_spj_on_empty_relation(db):
+    q = Query(relations=("Empty",), projection=("b",))
+    assert FDBEngine().execute(q, db).rows == []
+
+
+def test_ordered_empty_with_limit(db):
+    q = Query(relations=("Empty",)).with_order(["b"]).with_limit(5)
+    assert FDBEngine().execute(q, db).rows == []
+
+
+def test_single_tuple_relation(db):
+    q = Query(
+        relations=("Single",),
+        group_by=("d",),
+        aggregates=(aggregate("avg", "d", "m"),),
+    )
+    assert_same_relation(
+        FDBEngine().execute(q, db), RDBEngine().execute(q, db)
+    )
+
+
+def test_group_by_every_attribute(db):
+    # Grouping by the full schema: every group has exactly one tuple.
+    q = Query(
+        relations=("R",),
+        group_by=("a", "b"),
+        aggregates=(aggregate("count", None, "n"),),
+    )
+    result = FDBEngine().execute(q, db)
+    assert sorted(result.rows) == [(1, 2, 1), (3, 4, 1)]
+
+
+def test_having_eliminates_all_groups(db):
+    q = Query(
+        relations=("R",),
+        group_by=("a",),
+        aggregates=(aggregate("sum", "b", "s"),),
+        having=(Having("s", ">", 1000),),
+    )
+    assert FDBEngine().execute(q, db).rows == []
+    fo = FDBEngine(output="factorised").execute(q, db)
+    assert list(fo.iter_tuples()) == []
+
+
+def test_limit_zero(db):
+    q = Query(relations=("R",)).with_limit(0)
+    assert FDBEngine().execute(q, db).rows == []
+
+
+def test_limit_larger_than_result(db):
+    q = Query(relations=("R",)).with_order(["a"]).with_limit(100)
+    assert len(FDBEngine().execute(q, db)) == 2
+
+
+def test_duplicate_values_across_columns():
+    # Same value in different columns must not confuse equivalences.
+    db = Database([Relation(("x", "y"), [(1, 1), (1, 2), (2, 1)], "T")])
+    q = Query(
+        relations=("T",),
+        group_by=("x",),
+        aggregates=(aggregate("sum", "y", "s"),),
+    )
+    assert_same_relation(
+        FDBEngine().execute(q, db), RDBEngine().execute(q, db)
+    )
+
+
+def test_string_and_numeric_mixed_schema():
+    db = Database(
+        [Relation(("name", "score"), [("b", 2), ("a", 9), ("b", 5)], "T")]
+    )
+    q = Query(
+        relations=("T",),
+        group_by=("name",),
+        aggregates=(
+            aggregate("min", "score", "lo"),
+            aggregate("max", "score", "hi"),
+        ),
+    ).with_order([("name", "desc")])
+    result = FDBEngine().execute(q, db)
+    assert result.rows == [("b", 2, 5), ("a", 9, 9)]
+
+
+def test_comparison_on_every_operator():
+    db = Database([Relation(("v",), [(i,) for i in range(6)], "T")])
+    for op, expected in [
+        ("=", 1),
+        ("!=", 5),
+        ("<", 3),
+        ("<=", 4),
+        (">", 2),
+        (">=", 3),
+    ]:
+        q = Query(relations=("T",), comparisons=(Comparison("v", op, 3),))
+        assert len(FDBEngine().execute(q, db)) == expected, op
+
+
+def test_aggregate_then_everything_combined(pizzeria):
+    """All clauses at once: WHERE + GROUP BY + HAVING + ORDER + LIMIT."""
+    q = Query(
+        relations=("R",),
+        comparisons=(Comparison("price", ">=", 1),),
+        group_by=("pizza",),
+        aggregates=(
+            aggregate("sum", "price", "s"),
+            aggregate("count", None, "n"),
+        ),
+        having=(Having("n", ">", 2),),
+    ).with_order([("s", "desc")]).with_limit(2)
+    assert_same_relation(
+        FDBEngine().execute(q, pizzeria),
+        RDBEngine().execute(q, pizzeria),
+    )
+
+
+def test_three_way_independent_grouping_with_desc_order():
+    """Group attrs from three independent inputs: the f/o path must
+    linearise via nesting (nest_root_under) and honour mixed order."""
+    from repro.relational.sort import SortKey
+
+    db = Database(
+        [
+            Relation(("a", "v"), [(1, 2), (2, 3), (1, 5)], "R"),
+            Relation(("b",), [(7,), (8,)], "S"),
+            Relation(("c",), [("x",), ("y",), ("z",)], "T"),
+        ]
+    )
+    q = Query(
+        relations=("R", "S", "T"),
+        group_by=("a", "b", "c"),
+        aggregates=(
+            aggregate("sum", "v", "s"),
+            aggregate("count", None, "n"),
+        ),
+        order_by=(SortKey("b", True), SortKey("a")),
+    )
+    reference = RDBEngine().execute(q, db)
+    fo = FDBEngine(output="factorised").execute(q, db)
+    assert_same_relation(fo.to_relation(), reference)
+    assert_same_relation(FDBEngine().execute(q, db), reference)
+    rows = list(fo.iter_tuples())
+    assert [r[1] for r in rows] == sorted((r[1] for r in rows), reverse=True)
+
+
+def test_aggregate_over_grouping_attribute():
+    """SELECT g, SUM(g), AVG(g) ... GROUP BY g — the source is the key."""
+    db = Database(
+        [Relation(("g", "v"), [(1, 10), (1, 20), (2, 5)], "T")]
+    )
+    q = Query(
+        relations=("T",),
+        group_by=("g",),
+        aggregates=(
+            aggregate("sum", "g", "sg"),
+            aggregate("avg", "g", "ag"),
+            aggregate("min", "g", "mg"),
+            aggregate("sum", "v", "sv"),
+        ),
+    )
+    expected = RDBEngine().execute(q, db)
+    assert_same_relation(FDBEngine().execute(q, db), expected)
+    assert_same_relation(
+        FDBEngine(output="factorised").execute(q, db).to_relation(), expected
+    )
+    assert sorted(expected.rows) == [(1, 2, 1.0, 1, 30), (2, 2, 2.0, 2, 5)]
+
+
+def test_view_reuse_is_not_mutated(pizzeria):
+    """Running queries must never mutate a registered factorised view."""
+    fact = pizzeria.get_factorised("R")
+    before = fact.pretty()
+    size_before = fact.size()
+    for group in (("customer",), ("pizza", "date"), ()):
+        q = Query(
+            relations=("R",),
+            group_by=group,
+            aggregates=(aggregate("sum", "price", "s"),),
+        )
+        FDBEngine().execute(q, pizzeria)
+        FDBEngine(output="factorised").execute(q, pizzeria)
+    assert fact.pretty() == before
+    assert fact.size() == size_before

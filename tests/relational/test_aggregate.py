@@ -1,0 +1,112 @@
+"""Unit tests for sort-based and hash-based grouping + aggregation."""
+
+import pytest
+
+from repro.query import AggregateSpec, QueryError, aggregate
+from repro.relational.aggregate import (
+    Accumulator,
+    group_aggregate,
+    group_aggregate_hash,
+    group_aggregate_sort,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def r():
+    return Relation(
+        ("g", "v"),
+        [("a", 1), ("a", 2), ("b", 5), ("a", 3), ("b", 7)],
+    )
+
+
+SPECS = (
+    aggregate("sum", "v", "total"),
+    aggregate("count", None, "n"),
+    aggregate("min", "v", "lo"),
+    aggregate("max", "v", "hi"),
+    aggregate("avg", "v", "mean"),
+)
+
+
+def test_sort_grouping(r):
+    out = group_aggregate_sort(r, ["g"], SPECS)
+    assert out.schema == ("g", "total", "n", "lo", "hi", "mean")
+    assert out.rows == [("a", 6, 3, 1, 3, 2.0), ("b", 12, 2, 5, 7, 6.0)]
+
+
+def test_hash_grouping_matches_sort(r):
+    assert group_aggregate_hash(r, ["g"], SPECS) == group_aggregate_sort(
+        r, ["g"], SPECS
+    )
+
+
+def test_scalar_aggregates(r):
+    out = group_aggregate_sort(r, [], SPECS)
+    assert out.rows == [(18, 5, 1, 7, 3.6)]
+
+
+def test_scalar_hash_delegates(r):
+    assert group_aggregate_hash(r, [], SPECS).rows == [(18, 5, 1, 7, 3.6)]
+
+
+def test_empty_input_count_only():
+    empty = Relation(("g", "v"), [])
+    out = group_aggregate_sort(empty, [], [aggregate("count", None, "n")])
+    assert out.rows == [(0,)]
+
+
+def test_empty_input_sum_raises():
+    empty = Relation(("g", "v"), [])
+    with pytest.raises(QueryError):
+        group_aggregate_sort(empty, [], [aggregate("sum", "v", "s")])
+
+
+def test_empty_input_with_groups_is_empty():
+    empty = Relation(("g", "v"), [])
+    out = group_aggregate_sort(empty, ["g"], [aggregate("sum", "v", "s")])
+    assert out.rows == []
+
+
+def test_group_by_multiple_keys():
+    r = Relation(("g", "h", "v"), [(1, 1, 10), (1, 2, 20), (1, 1, 30)])
+    out = group_aggregate(r, ["g", "h"], [aggregate("sum", "v", "s")])
+    assert out.rows == [(1, 1, 40), (1, 2, 20)]
+
+
+def test_dispatch_unknown_method(r):
+    with pytest.raises(ValueError):
+        group_aggregate(r, ["g"], SPECS, method="bogus")
+
+
+def test_accumulator_weighted_add():
+    acc = Accumulator("sum")
+    acc.add(5, weight=3)
+    assert acc.result() == 15
+    assert acc.count == 3
+
+
+def test_accumulator_merge():
+    a, b = Accumulator("min"), Accumulator("min")
+    a.add(5)
+    b.add(3)
+    a.merge(b)
+    assert a.result() == 3
+
+
+def test_accumulator_merge_mismatch():
+    a, b = Accumulator("min"), Accumulator("max")
+    with pytest.raises(QueryError):
+        a.merge(b)
+
+
+def test_avg_of_empty_group_raises():
+    acc = Accumulator("avg")
+    with pytest.raises(QueryError):
+        acc.result()
+
+
+def test_count_with_attribute_equals_count_star(r):
+    with_attr = group_aggregate(r, ["g"], [AggregateSpec("count", "v", "n")])
+    star = group_aggregate(r, ["g"], [AggregateSpec("count", None, "n")])
+    assert with_attr == star

@@ -1,0 +1,101 @@
+"""Tests for CSV loading/saving."""
+
+import io
+
+import pytest
+
+from repro.relational.csvio import (
+    CSVFormatError,
+    load_database,
+    load_relation,
+    read_relation,
+    save_relation,
+    write_relation,
+)
+from repro.relational.relation import Relation
+
+
+def test_read_with_type_inference():
+    handle = io.StringIO("a,b,c\n1,2.5,x\n2,3.5,y\n")
+    relation = read_relation(handle, "T")
+    assert relation.schema == ("a", "b", "c")
+    assert relation.rows == [(1, 2.5, "x"), (2, 3.5, "y")]
+    assert isinstance(relation.rows[0][0], int)
+    assert isinstance(relation.rows[0][1], float)
+
+
+def test_mixed_column_falls_back_to_str():
+    handle = io.StringIO("a\n1\nx\n")
+    relation = read_relation(handle)
+    assert relation.rows == [("1",), ("x",)]
+
+
+def test_int_column_stays_int_not_float():
+    handle = io.StringIO("a\n1\n2\n")
+    assert read_relation(handle).rows == [(1,), (2,)]
+
+
+def test_empty_file_rejected():
+    with pytest.raises(CSVFormatError):
+        read_relation(io.StringIO(""))
+
+
+def test_ragged_row_rejected():
+    with pytest.raises(CSVFormatError):
+        read_relation(io.StringIO("a,b\n1\n"))
+
+
+def test_blank_lines_tolerated():
+    handle = io.StringIO("a\n1\n\n2\n")
+    assert read_relation(handle).rows == [(1,), (2,)]
+
+
+def test_header_whitespace_stripped():
+    handle = io.StringIO(" a , b \n1,2\n")
+    assert read_relation(handle).schema == ("a", "b")
+
+
+def test_roundtrip(tmp_path):
+    relation = Relation(("x", "y"), [(1, "a"), (2, "b")], "T")
+    path = str(tmp_path / "t.csv")
+    save_relation(relation, path)
+    restored = load_relation(path)
+    assert restored == relation
+    assert restored.name == "t"  # stem becomes the name
+
+
+def test_load_database(tmp_path, pizzeria_rels):
+    for relation in pizzeria_rels:
+        save_relation(relation, str(tmp_path / f"{relation.name}.csv"))
+    database = load_database(str(tmp_path))
+    assert set(database.names()) == {"Orders", "Pizzas", "Items"}
+    assert database.flat("Items") == pizzeria_rels[2]
+
+
+def test_load_database_empty_dir(tmp_path):
+    with pytest.raises(CSVFormatError):
+        load_database(str(tmp_path))
+
+
+def test_loaded_database_queryable(tmp_path, pizzeria_rels):
+    from repro.core.engine import FDBEngine
+    from repro.sql import parse_query
+
+    for relation in pizzeria_rels:
+        save_relation(relation, str(tmp_path / f"{relation.name}.csv"))
+    database = load_database(str(tmp_path))
+    q = parse_query(
+        "SELECT customer, SUM(price) AS r FROM Orders, Pizzas, Items "
+        "GROUP BY customer ORDER BY customer"
+    )
+    assert FDBEngine().execute(q, database).rows == [
+        ("Lucia", 9),
+        ("Mario", 22),
+        ("Pietro", 9),
+    ]
+
+
+def test_write_relation_to_buffer():
+    buffer = io.StringIO()
+    write_relation(Relation(("a",), [(1,)]), buffer)
+    assert buffer.getvalue().splitlines() == ["a", "1"]

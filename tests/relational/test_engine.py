@@ -1,0 +1,116 @@
+"""Unit tests for the RDB engine pipeline."""
+
+import pytest
+
+from repro.database import Database, UnknownRelationError
+from repro.query import Comparison, Equality, Having, Query, QueryError, aggregate
+from repro.relational.engine import RDBEngine
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def db():
+    return Database(
+        [
+            Relation(("a", "b"), [(1, 10), (2, 20), (3, 20)], "R"),
+            Relation(("b", "c"), [(10, "x"), (20, "y")], "S"),
+        ]
+    )
+
+
+def test_single_relation_scan(db):
+    out = RDBEngine().execute(Query(relations=("R",)), db)
+    assert len(out) == 3
+
+
+def test_natural_join(db):
+    out = RDBEngine().execute(Query(relations=("R", "S")), db)
+    assert sorted(out.rows) == [(1, 10, "x"), (2, 20, "y"), (3, 20, "y")]
+
+
+def test_comparison_selection(db):
+    q = Query(relations=("R",), comparisons=(Comparison("a", ">", 1),))
+    out = RDBEngine().execute(q, db)
+    assert sorted(out.rows) == [(2, 20), (3, 20)]
+
+
+def test_equality_selection(db):
+    db.add_relation(Relation(("x", "y"), [(1, 1), (2, 3)], "T"))
+    q = Query(relations=("T",), equalities=(Equality("x", "y"),))
+    out = RDBEngine().execute(q, db)
+    assert out.rows == [(1, 1)]
+
+
+def test_projection(db):
+    q = Query(relations=("R",), projection=("b",))
+    out = RDBEngine().execute(q, db)
+    assert sorted(out.rows) == [(10,), (20,)]  # set semantics
+
+
+def test_group_aggregate(db):
+    q = Query(
+        relations=("R",),
+        group_by=("b",),
+        aggregates=(aggregate("count", None, "n"),),
+    )
+    out = RDBEngine().execute(q, db)
+    assert sorted(out.rows) == [(10, 1), (20, 2)]
+
+
+def test_having(db):
+    q = Query(
+        relations=("R",),
+        group_by=("b",),
+        aggregates=(aggregate("count", None, "n"),),
+        having=(Having("n", ">", 1),),
+    )
+    out = RDBEngine().execute(q, db)
+    assert out.rows == [(20, 2)]
+
+
+def test_order_and_limit(db):
+    q = Query(relations=("R",), order_by=()).with_order([("a", "desc")]).with_limit(2)
+    out = RDBEngine().execute(q, db)
+    assert out.rows == [(3, 20), (2, 20)]
+
+
+def test_order_validates_attribute(db):
+    q = Query(relations=("R",)).with_order(["nope"])
+    with pytest.raises(QueryError):
+        RDBEngine().execute(q, db)
+
+
+def test_distinct(db):
+    db.add_relation(Relation(("a",), [(1,), (1,), (2,)], "D"))
+    q = Query(relations=("D",), distinct=True)
+    out = RDBEngine().execute(q, db)
+    assert sorted(out.rows) == [(1,), (2,)]
+
+
+def test_unknown_relation(db):
+    with pytest.raises(UnknownRelationError):
+        RDBEngine().execute(Query(relations=("missing",)), db)
+
+
+def test_grouping_mode_validation():
+    with pytest.raises(ValueError):
+        RDBEngine(grouping="bogus")
+
+
+def test_hash_and_sort_modes_agree(db):
+    q = Query(
+        relations=("R", "S"),
+        group_by=("c",),
+        aggregates=(aggregate("sum", "a", "s"), aggregate("avg", "a", "m")),
+    )
+    assert RDBEngine("sort").execute(q, db) == RDBEngine("hash").execute(q, db)
+
+
+def test_order_by_aggregate_alias(db):
+    q = Query(
+        relations=("R",),
+        group_by=("b",),
+        aggregates=(aggregate("count", None, "n"),),
+    ).with_order([("n", "desc")])
+    out = RDBEngine().execute(q, db)
+    assert out.rows == [(20, 2), (10, 1)]

@@ -1,0 +1,119 @@
+"""Unit tests for the relational operators (joins, product, union...)."""
+
+import pytest
+
+from repro.relational.operators import (
+    difference,
+    hash_join,
+    multiway_join,
+    natural_join,
+    product,
+    semijoin,
+    sort_merge_join,
+    union,
+)
+from repro.relational.relation import Relation, SchemaError
+
+
+@pytest.fixture()
+def left():
+    return Relation(("a", "b"), [(1, 10), (2, 20), (2, 21)], "L")
+
+
+@pytest.fixture()
+def right():
+    return Relation(("b", "c"), [(10, "x"), (20, "y"), (20, "z"), (99, "w")], "R")
+
+
+def test_hash_join_basic(left, right):
+    joined = hash_join(left, right)
+    assert set(joined.schema) == {"a", "b", "c"}
+    assert sorted(joined.rows) == sorted(
+        [(1, 10, "x"), (2, 20, "y"), (2, 20, "z")]
+    )
+
+
+def test_sort_merge_join_agrees_with_hash(left, right):
+    assert sorted(sort_merge_join(left, right).rows) == sorted(
+        hash_join(left, right).rows
+    )
+
+
+def test_join_without_shared_attributes_is_product():
+    l = Relation(("a",), [(1,), (2,)])
+    r = Relation(("b",), [(3,)])
+    assert sorted(natural_join(l, r).rows) == [(1, 3), (2, 3)]
+
+
+def test_join_duplicate_keys_multiply():
+    l = Relation(("k",), [(1,), (1,)])
+    r = Relation(("k", "v"), [(1, "a"), (1, "b")])
+    # set semantics on input: l has duplicate rows, join result is a bag
+    assert len(hash_join(l, r)) == 4
+
+
+def test_unknown_join_method(left, right):
+    with pytest.raises(ValueError):
+        natural_join(left, right, method="bogus")
+
+
+def test_multiway_join_reorders_for_connectivity():
+    a = Relation(("x",), [(1,)], "A")
+    b = Relation(("y",), [(2,)], "B")
+    c = Relation(("x", "y"), [(1, 2)], "C")
+    # A and B share nothing; C connects them — the greedy order avoids
+    # a blind Cartesian product but the result is the same either way.
+    joined = multiway_join([a, b, c])
+    assert sorted(joined.rows) == [(1, 2)]
+
+
+def test_multiway_join_empty_input():
+    with pytest.raises(ValueError):
+        multiway_join([])
+
+
+def test_product_disjoint():
+    l = Relation(("a",), [(1,)])
+    r = Relation(("b",), [(2,), (3,)])
+    assert sorted(product(l, r).rows) == [(1, 2), (1, 3)]
+
+
+def test_product_rejects_overlap(left):
+    with pytest.raises(SchemaError):
+        product(left, left)
+
+
+def test_union_aligns_schemas():
+    l = Relation(("a", "b"), [(1, 2)])
+    r = Relation(("b", "a"), [(2, 1), (3, 4)])
+    u = union(l, r)
+    assert sorted(u.rows) == [(1, 2), (4, 3)]
+
+
+def test_union_requires_same_attrs(left, right):
+    with pytest.raises(SchemaError):
+        union(left, right)
+
+
+def test_difference():
+    l = Relation(("a",), [(1,), (2,)])
+    r = Relation(("a",), [(2,)])
+    assert difference(l, r).rows == [(1,)]
+
+
+def test_difference_requires_same_attrs(left, right):
+    with pytest.raises(SchemaError):
+        difference(left, right)
+
+
+def test_semijoin(left, right):
+    kept = semijoin(left, right)
+    assert sorted(kept.rows) == [(1, 10), (2, 20)]
+
+
+def test_semijoin_no_shared_attributes():
+    l = Relation(("a",), [(1,)])
+    r = Relation(("b",), [])
+    assert len(semijoin(l, r)) == 0
+    r2 = Relation(("b",), [(5,)])
+    assert len(semijoin(l, r2)) == 1

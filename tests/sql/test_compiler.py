@@ -1,0 +1,78 @@
+"""Unit tests for SQL → Query compilation."""
+
+import pytest
+
+from repro.query import QueryError
+from repro.sql import parse_query
+
+
+def test_simple_aggregate_query():
+    q = parse_query(
+        "SELECT customer, SUM(price) AS revenue FROM R GROUP BY customer"
+    )
+    assert q.relations == ("R",)
+    assert q.group_by == ("customer",)
+    assert q.aggregates[0].alias == "revenue"
+    assert q.aggregates[0].function == "sum"
+
+
+def test_default_alias():
+    q = parse_query("SELECT a, COUNT(*) FROM R GROUP BY a")
+    assert q.aggregates[0].alias == "count(*)"
+
+
+def test_projection_query():
+    q = parse_query("SELECT a, b FROM R")
+    assert q.projection == ("a", "b")
+    assert not q.aggregates
+
+
+def test_star_query():
+    q = parse_query("SELECT * FROM R")
+    assert q.projection is None
+
+
+def test_where_split_into_equalities_and_comparisons():
+    q = parse_query("SELECT * FROM R, S WHERE a = b AND c > 5")
+    assert q.equalities[0].left == "a" and q.equalities[0].right == "b"
+    assert q.comparisons[0].attribute == "c"
+
+
+def test_group_by_order_preserved_from_select():
+    q = parse_query("SELECT b, a, COUNT(*) FROM R GROUP BY a, b")
+    assert q.group_by == ("b", "a")  # SELECT order wins for output
+
+
+def test_group_by_mismatch_rejected():
+    with pytest.raises(QueryError):
+        parse_query("SELECT a, c, COUNT(*) FROM R GROUP BY a")
+
+
+def test_having_and_order_and_limit():
+    q = parse_query(
+        "SELECT a, SUM(v) AS s FROM R GROUP BY a HAVING s > 1 "
+        "ORDER BY s DESC LIMIT 5"
+    )
+    assert q.having[0].target == "s"
+    assert q.order_by[0].attribute == "s" and q.order_by[0].descending
+    assert q.limit == 5
+
+
+def test_having_without_aggregates_rejected():
+    with pytest.raises(QueryError):
+        parse_query("SELECT a FROM R HAVING a > 1")
+
+
+def test_column_alias_rejected():
+    with pytest.raises(QueryError):
+        parse_query("SELECT a AS x FROM R")
+
+
+def test_table_qualifiers_dropped():
+    q = parse_query("SELECT R.a FROM R WHERE R.a = 1")
+    assert q.projection == ("a",)
+    assert q.comparisons[0].attribute == "a"
+
+
+def test_distinct_flag():
+    assert parse_query("SELECT DISTINCT a FROM R").distinct

@@ -1,0 +1,77 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql.lexer import SQLSyntaxError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+def test_keywords_case_insensitive():
+    assert values("select FROM Group") == ["SELECT", "FROM", "GROUP"]
+    assert kinds("select")[:1] == ["KEYWORD"]
+
+
+def test_identifiers_keep_case():
+    tokens = tokenize("Orders customer_Id")
+    assert tokens[0].kind == "IDENT" and tokens[0].value == "Orders"
+    assert tokens[1].value == "customer_Id"
+
+
+def test_numbers():
+    tokens = tokenize("42 3.14 -7")
+    assert [t.value for t in tokens[:-1]] == ["42", "3.14", "-7"]
+    assert all(t.kind == "NUMBER" for t in tokens[:-1])
+
+
+def test_strings_with_escapes():
+    tokens = tokenize("'hello' 'it''s'")
+    assert tokens[0].value == "hello"
+    assert tokens[1].value == "it's"
+
+
+def test_unterminated_string():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("'oops")
+
+
+def test_operators():
+    assert values("a <= b >= c != d <> e = f < g > h") == [
+        "a", "<=", "b", ">=", "c", "!=", "d", "<>", "e", "=", "f", "<",
+        "g", ">", "h",
+    ]
+
+
+def test_punctuation():
+    assert kinds("( ) , * .")[:-1] == ["LPAREN", "RPAREN", "COMMA", "STAR", "DOT"]
+
+
+def test_quoted_identifier():
+    tokens = tokenize('"Group"')
+    assert tokens[0].kind == "IDENT" and tokens[0].value == "Group"
+
+
+def test_unterminated_quoted_identifier():
+    with pytest.raises(SQLSyntaxError):
+        tokenize('"oops')
+
+
+def test_unexpected_character():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("a ; b")  # semicolons are stripped before tokenizing
+
+
+def test_eof_token():
+    assert tokenize("")[-1].kind == "EOF"
+
+
+def test_positions_recorded():
+    tokens = tokenize("a  bb")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 3

@@ -1,0 +1,109 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.lexer import SQLSyntaxError
+from repro.sql.parser import ColumnRef, parse_select
+
+
+def test_star_select():
+    stmt = parse_select("SELECT * FROM R")
+    assert stmt.star and stmt.tables == ["R"]
+
+
+def test_column_list():
+    stmt = parse_select("SELECT a, b FROM R")
+    assert [item.column.name for item in stmt.items] == ["a", "b"]
+
+
+def test_aggregates_with_alias():
+    stmt = parse_select("SELECT SUM(price) AS total, COUNT(*) FROM R")
+    assert stmt.items[0].aggregate == "sum"
+    assert stmt.items[0].alias == "total"
+    assert stmt.items[1].aggregate == "count"
+    assert stmt.items[1].column is None
+
+
+def test_non_count_star_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_select("SELECT SUM(*) FROM R")
+
+
+def test_qualified_columns():
+    stmt = parse_select("SELECT R.a FROM R WHERE R.a = S.b")
+    assert stmt.items[0].column == ColumnRef("a", "R")
+    condition = stmt.where[0]
+    assert condition.right_is_column
+    assert condition.right == ColumnRef("b", "S")
+
+
+def test_from_comma_list():
+    stmt = parse_select("SELECT * FROM R, S, T")
+    assert stmt.tables == ["R", "S", "T"]
+
+
+def test_join_syntax():
+    stmt = parse_select(
+        "SELECT * FROM R NATURAL JOIN S INNER JOIN T ON a = b"
+    )
+    assert stmt.tables == ["R", "S", "T"]
+    assert len(stmt.where) == 1
+
+
+def test_where_conjunction():
+    stmt = parse_select("SELECT * FROM R WHERE a = 1 AND b < 'x' AND c != 2.5")
+    assert len(stmt.where) == 3
+    assert stmt.where[0].right == 1
+    assert stmt.where[1].right == "x"
+    assert stmt.where[2].right == 2.5
+
+
+def test_diamond_not_equal():
+    stmt = parse_select("SELECT * FROM R WHERE a <> 3")
+    assert stmt.where[0].op == "!="
+
+
+def test_group_by_and_having():
+    stmt = parse_select(
+        "SELECT a, SUM(v) AS s FROM R GROUP BY a HAVING s > 10 AND SUM(v) < 99"
+    )
+    assert [c.name for c in stmt.group_by] == ["a"]
+    assert stmt.having[0].left.name == "s"
+    assert stmt.having[1].left.name == "sum(v)"
+
+
+def test_order_by_directions():
+    stmt = parse_select("SELECT * FROM R ORDER BY a DESC, b ASC, c")
+    assert [(o.column.name, o.descending) for o in stmt.order_by] == [
+        ("a", True),
+        ("b", False),
+        ("c", False),
+    ]
+
+
+def test_limit():
+    stmt = parse_select("SELECT * FROM R LIMIT 10")
+    assert stmt.limit == 10
+
+
+def test_distinct():
+    assert parse_select("SELECT DISTINCT a FROM R").distinct
+
+
+def test_trailing_semicolon_tolerated():
+    assert parse_select("SELECT * FROM R;").tables == ["R"]
+
+
+def test_missing_from_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_select("SELECT a")
+
+
+def test_garbage_after_query_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_select("SELECT * FROM R extra")
+
+
+def test_limit_requires_integer():
+    with pytest.raises(SQLSyntaxError):
+        parse_select("SELECT * FROM R LIMIT x")

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface and the explain facility."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.engine import FDBEngine
+from repro.query import Query, aggregate
+from repro.sql import parse_query
+
+
+def test_cli_sizes(capsys):
+    assert main(["sizes", "--scales", "0.1,0.2"]) == 0
+    out = capsys.readouterr().out
+    assert "factorised" in out and "exponents" in out
+
+
+def test_cli_query(capsys):
+    code = main(
+        [
+            "query",
+            "SELECT customer, SUM(price) AS revenue FROM R1 GROUP BY customer",
+            "--scale",
+            "0.1",
+            "--rows",
+            "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "FDB" in out and "revenue" in out
+
+
+def test_cli_explain(capsys):
+    code = main(
+        [
+            "explain",
+            "SELECT package, SUM(price) AS s FROM R1 GROUP BY package",
+            "--scale",
+            "0.1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "γ" in out and "bound" in out
+
+
+def test_cli_advise(capsys):
+    assert main(["advise", "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "s(T)" in out and "package" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_explain_spj_order(pizzeria):
+    text = FDBEngine().explain(
+        parse_query("SELECT * FROM R ORDER BY item DESC"), pizzeria
+    )
+    assert "ordered constant-delay enumeration" in text
+
+
+def test_explain_mentions_selection(pizzeria):
+    q = parse_query("SELECT customer, COUNT(*) FROM R WHERE price > 2 GROUP BY customer")
+    text = FDBEngine().explain(q, pizzeria)
+    assert "σ" in text and "price > 2" in text
+
+
+def test_explain_factorised_mode(pizzeria):
+    q = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "rev"),),
+    )
+    text = FDBEngine(output="factorised").explain(q, pizzeria)
+    assert "finalise into a single aggregate attribute" in text

@@ -1,0 +1,60 @@
+"""Tests for the Database catalogue."""
+
+import pytest
+
+from repro.core.build import factorise_path
+from repro.database import Database, UnknownRelationError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def db():
+    database = Database([Relation(("a", "b"), [(1, 2)], "R")])
+    database.add_factorised(
+        "V", factorise_path(Relation(("x", "y"), [(3, 4), (3, 5)], "V"), "V")
+    )
+    return database
+
+
+def test_contains(db):
+    assert "R" in db and "V" in db and "missing" not in db
+
+
+def test_flat_returns_registered(db):
+    assert db.flat("R").rows == [(1, 2)]
+
+
+def test_flat_flattens_factorised_views(db):
+    flat = db.flat("V")
+    assert sorted(flat.rows) == [(3, 4), (3, 5)]
+    assert flat.name == "V"
+
+
+def test_get_factorised(db):
+    assert db.get_factorised("V") is not None
+    assert db.get_factorised("R") is None
+
+
+def test_schema_for_both_forms(db):
+    assert db.schema("R") == ("a", "b")
+    assert tuple(db.schema("V")) == ("x", "y")
+    with pytest.raises(UnknownRelationError):
+        db.schema("missing")
+
+
+def test_unknown_relation_raises(db):
+    with pytest.raises(UnknownRelationError):
+        db.flat("missing")
+
+
+def test_names_deduplicated(db):
+    db.add_factorised(
+        "R", factorise_path(Relation(("a", "b"), [(1, 2)], "R"), "R")
+    )
+    assert db.names() == ["R", "V"]
+
+
+def test_add_relation_custom_name():
+    database = Database()
+    database.add_relation(Relation(("a",), [(1,)], "orig"), name="alias")
+    assert "alias" in database and "orig" not in database

@@ -1,0 +1,107 @@
+"""Tests for the shared query AST."""
+
+import pytest
+
+from repro.query import (
+    AggregateSpec,
+    Comparison,
+    Equality,
+    Having,
+    Query,
+    QueryError,
+    aggregate,
+    natural_equalities,
+)
+
+
+def test_comparison_operators():
+    assert Comparison("a", "=", 1).test(1)
+    assert Comparison("a", "!=", 1).test(2)
+    assert Comparison("a", "<", 5).test(4)
+    assert Comparison("a", "<=", 5).test(5)
+    assert Comparison("a", ">", 5).test(6)
+    assert Comparison("a", ">=", 5).test(5)
+    with pytest.raises(QueryError):
+        Comparison("a", "~", 1)
+
+
+def test_aggregate_spec_validation():
+    with pytest.raises(QueryError):
+        AggregateSpec("median", "a", "m")
+    with pytest.raises(QueryError):
+        AggregateSpec("sum", None, "s")
+    with pytest.raises(QueryError):
+        AggregateSpec("sum", "a", "")
+    assert AggregateSpec("count", None, "n").attribute is None
+
+
+def test_aggregate_helper_default_alias():
+    assert aggregate("sum", "price").alias == "sum(price)"
+    assert aggregate("count").alias == "count(*)"
+
+
+def test_query_validation():
+    with pytest.raises(QueryError):
+        Query(relations=())
+    with pytest.raises(QueryError):
+        Query(relations=("R",), limit=-1)
+    with pytest.raises(QueryError):
+        Query(
+            relations=("R",),
+            aggregates=(aggregate("sum", "a", "x"), aggregate("count", None, "x")),
+        )
+    with pytest.raises(QueryError):
+        Query(relations=("R",), having=(Having("x", ">", 1),))
+
+
+def test_output_schema():
+    q = Query(
+        relations=("R",),
+        group_by=("g",),
+        aggregates=(aggregate("sum", "v", "s"),),
+    )
+    assert q.output_schema == ("g", "s")
+    q2 = Query(relations=("R",), projection=("a", "b"))
+    assert q2.output_schema == ("a", "b")
+
+
+def test_referenced_attributes():
+    q = Query(
+        relations=("R",),
+        equalities=(Equality("a", "b"),),
+        comparisons=(Comparison("c", ">", 1),),
+        group_by=("g",),
+        aggregates=(aggregate("sum", "v", "s"),),
+    ).with_order(["g", ("s", "desc")])
+    attrs = q.referenced_attributes()
+    assert attrs == {"a", "b", "c", "g", "v"}  # alias s excluded
+
+
+def test_with_order_and_limit_copy():
+    q = Query(relations=("R",))
+    q2 = q.with_order([("a", "desc")]).with_limit(3)
+    assert q.order_by == () and q.limit is None
+    assert q2.order_by[0].descending and q2.limit == 3
+
+
+def test_str_rendering():
+    q = Query(
+        relations=("R", "S"),
+        equalities=(Equality("a", "b"),),
+        group_by=("g",),
+        aggregates=(aggregate("sum", "v", "s"),),
+        limit=5,
+    )
+    text = str(q)
+    assert "R, S" in text and "a = b" in text and "λ5" in text
+
+
+def test_natural_equalities():
+    schemas = {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "a")}
+    renames, equalities = natural_equalities(schemas, ("R", "S", "T"))
+    assert renames["R"] == {}
+    assert renames["S"] == {"b": "b#2"}
+    assert renames["T"] == {"c": "c#2", "a": "a#2"}
+    assert Equality("b", "b#2") in equalities
+    assert Equality("a", "a#2") in equalities
+    assert len(equalities) == 3

@@ -1,68 +1,70 @@
-"""Quickstart: the paper's pizzeria example, end to end.
+"""Quickstart: the paper's pizzeria example through the session API.
 
-Builds the Figure 1 database, shows the factorised materialised view,
-and runs the three aggregation scenarios of Example 1 — local
-aggregation, partial aggregation with restructuring, and on-the-fly
-combination — through the FDB engine.
+Opens a session over the Figure 1 database with ``connect``, shows the
+factorised materialised view, and runs the three aggregation scenarios
+of Example 1 — local aggregation, partial aggregation with
+restructuring, and on-the-fly combination — with the fluent query
+builder.  Each run returns a ``Result`` carrying the rows *and* the
+f-plan that produced them.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import FDBEngine, Query, RDBEngine, aggregate
+from repro import connect
 from repro.data.pizzeria import pizzeria_database
 
 
 def main() -> None:
-    db = pizzeria_database()
+    session = connect(pizzeria_database())
 
     print("=== The factorised materialised view R (Figure 1) ===")
-    fact = db.get_factorised("R")
+    fact = session.database.get_factorised("R")
     print(fact.ftree.pretty())
     print()
     print(fact.pretty())
-    flat_singletons = len(db.flat("R")) * len(db.flat("R").schema)
+    flat = session.database.flat("R")
+    flat_singletons = len(flat) * len(flat.schema)
     print(
         f"\n{fact.size()} singletons factorised vs "
         f"{flat_singletons} singletons flat\n"
     )
 
-    fdb = FDBEngine()
-    rdb = RDBEngine()
-
     print("=== Scenario 1: price of each ordered pizza (local γ) ===")
-    s = Query(
-        relations=("R",),
-        group_by=("customer", "date", "pizza"),
-        aggregates=(aggregate("sum", "price", "price"),),
-        name="S",
+    s = (
+        session.query("R")
+        .group_by("customer", "date", "pizza")
+        .sum("price", "price")
+        .named("S")
+        .run()
     )
-    print(fdb.execute(s, db).pretty())
-    print("f-plan:", fdb.last_plan, "\n")
+    print(s.pretty())
+    print("f-plan:", s.plan, "\n")
 
     print("=== Scenario 2: revenue per customer (partial γ + swaps) ===")
-    p = Query(
-        relations=("R",),
-        group_by=("customer",),
-        aggregates=(aggregate("sum", "price", "revenue"),),
-        name="P",
+    p = (
+        session.query("R")
+        .group_by("customer")
+        .sum("price", "revenue")
+        .named("P")
     )
-    result = fdb.execute(p, db)
+    result = p.run()
     print(result.pretty())
-    print("f-plan:", fdb.last_plan)
-    assert result == rdb.execute(p, db), "engines disagree!"
+    print("f-plan:", result.plan)
+    assert result == p.run(engine="rdb"), "engines disagree!"
     print("(verified against the relational engine)\n")
 
     print("=== Scenario 3: revenue per customer and pizza (on the fly) ===")
-    q = Query(
-        relations=("R",),
-        group_by=("customer", "pizza"),
-        aggregates=(aggregate("sum", "price", "revenue"),),
-    ).with_order(["customer", "pizza"])
-    print(fdb.execute(q, db).pretty())
+    q = (
+        session.query("R")
+        .group_by("customer", "pizza")
+        .sum("price", "revenue")
+        .order_by("customer", "pizza")
+    )
+    print(q.run().pretty())
     print()
 
     print("=== Factorised output (FDB f/o) for scenario 2 ===")
-    f_out = FDBEngine(output="factorised").execute(p, db)
+    f_out = p.run(engine="fdb-factorised").factorised
     print(f_out.factorisation.ftree.pretty())
     print(f_out.factorisation.pretty())
     print(f"result held in {f_out.size()} singletons")

@@ -10,26 +10,17 @@ Run:  python examples/retail_analytics.py [scale]
 """
 
 import sys
-import time
 
-from repro import FDBEngine, RDBEngine
+from repro import connect
 from repro.data.workloads import WORKLOAD, build_workload_database
-
-
-def timed(label: str, call):
-    start = time.perf_counter()
-    result = call()
-    elapsed = time.perf_counter() - start
-    print(f"  {label:<28} {elapsed * 1000:8.1f} ms")
-    return result
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
     print(f"Generating workload database at scale {scale} ...")
-    db = build_workload_database(scale=scale)
-    r1 = db.flat("R1")
-    fact = db.get_factorised("R1")
+    session = connect(build_workload_database(scale=scale))
+    r1 = session.database.flat("R1")
+    fact = session.database.get_factorised("R1")
     print(
         f"R1: {len(r1)} tuples "
         f"({len(r1) * len(r1.schema)} singletons flat, "
@@ -37,21 +28,22 @@ def main() -> None:
         f"gap {len(r1) * len(r1.schema) / fact.size():.1f}×)\n"
     )
 
-    fdb = FDBEngine()
-    rdb_sort = RDBEngine(grouping="sort")
-    rdb_hash = RDBEngine(grouping="hash")
-
     for name in ("Q2", "Q3", "Q4"):
         workload = WORKLOAD[name]
         print(f"{workload.name}: {workload.query}")
-        fdb_result = timed("FDB (factorised view)", lambda: fdb.execute(workload.query, db))
-        timed("RDB sort-grouping", lambda: rdb_sort.execute(workload.query, db))
-        timed("RDB hash-grouping", lambda: rdb_hash.execute(workload.query, db))
-        print(f"  -> {len(fdb_result)} result rows; plan: {fdb.last_plan}\n")
+        results = {
+            engine: session.execute(workload.query, engine=engine)
+            for engine in ("fdb", "rdb", "rdb-hash")
+        }
+        for result in results.values():
+            stats = result.stats
+            print(f"  {stats.engine:<28} {stats.seconds * 1000:8.1f} ms")
+        fdb_result = results["fdb"]
+        print(f"  -> {len(fdb_result)} result rows; plan: {fdb_result.plan}\n")
 
     print("Top 5 customers by revenue (Q7 with LIMIT):")
     q7 = WORKLOAD["Q7"].query.with_order([("revenue", "desc")]).with_limit(5)
-    for customer, revenue in fdb.execute(q7, db).rows:
+    for customer, revenue in session.execute(q7).rows:
         print(f"  {customer}: {revenue}")
 
 

@@ -1,16 +1,15 @@
-"""One SQL string, three engines: FDB, RDB and the real sqlite3.
+"""One SQL string, three engines, one session.
 
 The SQL front-end compiles the paper's query class into the shared
-query AST; the generator renders it back to SQL for sqlite3, so every
-engine answers the same question — here: daily revenue per package with
-a HAVING filter, ordered by revenue.
+query AST; ``Session.sql`` runs it on any registered engine — FDB, the
+flat RDB baseline, or the real sqlite3 fed generated SQL — so every
+engine answers the same question: daily revenue per package with a
+HAVING filter, ordered by revenue.
 
 Run:  python examples/sql_frontend.py
 """
 
-import sqlite3
-
-from repro import FDBEngine, RDBEngine
+from repro import connect
 from repro.data.workloads import build_workload_database
 from repro.sql import parse_query, query_to_sql
 
@@ -25,34 +24,27 @@ SQL = """
 
 
 def main() -> None:
-    db = build_workload_database(scale=0.25)
-    query = parse_query(SQL, name="daily-revenue")
-    print("parsed:", query, "\n")
+    session = connect(build_workload_database(scale=0.25))
+    print("parsed:", parse_query(SQL, name="daily-revenue"), "\n")
 
-    print("FDB (factorised view):")
-    fdb_rows = FDBEngine().execute(query, db).rows
-    for row in fdb_rows:
-        print("  ", row)
+    results = {}
+    for engine in ("fdb", "rdb", "sqlite"):
+        result = session.sql(SQL, engine=engine, name="daily-revenue")
+        results[engine] = result
+        print(f"{result.engine} ({result.stats.seconds * 1000:.1f} ms):")
+        for row in result.rows:
+            print("  ", row)
+        print()
 
-    print("\nRDB (flat view):")
-    rdb_rows = RDBEngine().execute(query, db).rows
-    for row in rdb_rows:
-        print("  ", row)
+    print("sqlite ran the generated SQL:")
+    print("  ", query_to_sql(parse_query(SQL)))
 
-    print("\nsqlite3, from the generated SQL:")
-    print("  ", query_to_sql(query))
-    con = sqlite3.connect(":memory:")
-    r1 = db.flat("R1")
-    con.execute(f"CREATE TABLE R1 ({', '.join(r1.schema)})")
-    con.executemany(
-        f"INSERT INTO R1 VALUES ({','.join('?' * len(r1.schema))})", r1.rows
-    )
-    sqlite_rows = [tuple(r) for r in con.execute(query_to_sql(query))]
-    for row in sqlite_rows:
-        print("  ", row)
-
-    assert fdb_rows == rdb_rows == sqlite_rows, "engines disagree!"
+    # Row-list equality: same tuples in the same ORDER BY order.
+    assert (
+        results["fdb"].rows == results["rdb"].rows == results["sqlite"].rows
+    ), "engines disagree!"
     print("\nall three engines agree ✓")
+    print("FDB f-plan:", results["fdb"].plan)
 
 
 if __name__ == "__main__":

@@ -16,15 +16,21 @@ The package provides:
 - :mod:`repro.bench` — the benchmark harness regenerating every figure
   of the paper's evaluation.
 
+- :mod:`repro.api` — the unified session API: ``connect``/``Session``,
+  the fluent ``QueryBuilder``, the engine registry, and the ``Result``
+  object.
+
 Quickstart::
 
-    from repro import Database, Relation, Query, FDBEngine, aggregate
+    from repro import Relation, connect
 
-    db = Database([Relation(("a", "b"), [(1, 10), (1, 20), (2, 30)], "R")])
-    query = Query(relations=("R",), group_by=("a",),
-                  aggregates=(aggregate("sum", "b", "total"),))
-    result = FDBEngine().execute(query, db)
-    print(result.to_relation().pretty())
+    session = connect(Relation(("a", "b"), [(1, 10), (1, 20), (2, 30)], "R"))
+    result = (session.query("R")
+              .group_by("a")
+              .sum("b", "total")
+              .run())
+    print(result.pretty())
+    print(result.plan)   # the f-plan that produced the result
 """
 
 from repro.database import Database
@@ -46,28 +52,55 @@ __all__ = [
     "AggregateSpec",
     "Comparison",
     "Database",
+    "Engine",
     "Equality",
     "FDBEngine",
     "Having",
     "Query",
+    "QueryBuilder",
     "QueryError",
     "RDBEngine",
     "Relation",
+    "Result",
+    "Session",
     "SortKey",
     "aggregate",
+    "available_engines",
+    "connect",
+    "register_engine",
     "__version__",
 ]
 
+# Engines and the session API are imported lazily to keep the import
+# graph acyclic (repro.core modules import the relational substrate;
+# repro.api imports both engines).
+_LAZY_ATTRIBUTES = {
+    "FDBEngine": ("repro.core.engine", "FDBEngine"),
+    "RDBEngine": ("repro.relational.engine", "RDBEngine"),
+    "Engine": ("repro.api", "Engine"),
+    "QueryBuilder": ("repro.api", "QueryBuilder"),
+    "Result": ("repro.api", "Result"),
+    "Session": ("repro.api", "Session"),
+    "available_engines": ("repro.api", "available_engines"),
+    "connect": ("repro.api", "connect"),
+    "register_engine": ("repro.api", "register_engine"),
+}
+
 
 def __getattr__(name: str):
-    # Engines are imported lazily to keep the import graph acyclic
-    # (repro.core modules import the relational substrate).
-    if name == "FDBEngine":
-        from repro.core.engine import FDBEngine
+    try:
+        module_name, attribute = _LAZY_ATTRIBUTES[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    from importlib import import_module
 
-        return FDBEngine
-    if name == "RDBEngine":
-        from repro.relational.engine import RDBEngine
+    value = getattr(import_module(module_name), attribute)
+    globals()[name] = value  # cache so later lookups skip __getattr__
+    return value
 
-        return RDBEngine
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+def __dir__() -> list[str]:
+    # Without this, dir(repro) misses the lazily-provided names above.
+    return sorted(set(globals()) | set(__all__))

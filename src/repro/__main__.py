@@ -7,10 +7,12 @@ Commands
 ``sizes``
     The representation-size study only (fast).
 ``query SQL``
-    Run a SQL query on the generated workload database with every
-    engine and report times (``--scale`` selects the dataset size).
+    Run a SQL query on the generated workload database and report
+    times (``--scale`` selects the dataset size, ``--engine`` picks one
+    registered engine or ``all``).
 ``explain SQL``
-    Show the FDB f-plan and cost bounds for a SQL query.
+    Show the chosen engine's plan for a SQL query (``--engine``,
+    default ``fdb``: the f-plan with cost bounds).
 ``advise``
     Rank candidate f-trees for the Section 6 view by the size-bound
     cost metric.
@@ -20,7 +22,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 
 def _build_db(scale: float):
@@ -48,32 +49,55 @@ def cmd_sizes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_engine(name: str, extra: tuple[str, ...] = ()) -> int:
+    """0 if ``name`` is registered (or in ``extra``), else 2 + message.
+
+    Validation delegates to ``create_engine`` (case-insensitive, emits a
+    did-you-mean suggestion) so it happens before the database is built.
+    """
+    if name in extra:
+        return 0
+    from repro.api import create_engine
+
+    try:
+        create_engine(name)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return 0
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    from repro.core.engine import FDBEngine
-    from repro.relational.engine import RDBEngine
+    from repro.api import available_engines, connect
     from repro.sql import parse_query
 
-    database = _build_db(args.scale)
+    if _check_engine(args.engine, extra=("all",)):
+        return 2
+    session = connect(_build_db(args.scale))
     query = parse_query(args.sql)
-    for engine in (FDBEngine(), RDBEngine("sort"), RDBEngine("hash")):
-        label = getattr(engine, "name", "engine")
-        if isinstance(engine, RDBEngine):
-            label = f"RDB-{engine.grouping}"
-        start = time.perf_counter()
-        result = engine.execute(query, database)
-        elapsed = time.perf_counter() - start
-        print(f"{label:<10} {elapsed * 1000:8.1f} ms  {len(result)} rows")
+    engines = (
+        available_engines() if args.engine == "all" else (args.engine,)
+    )
+    result = None
+    for name in engines:
+        result = session.execute(query, engine=name)
+        print(
+            f"{result.engine:<10} {result.seconds * 1000:8.1f} ms  "
+            f"{len(result)} rows"
+        )
     print()
     print(result.pretty(limit=args.rows))
     return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
-    from repro.core.engine import FDBEngine
+    from repro.api import connect
     from repro.sql import parse_query
 
-    database = _build_db(args.scale)
-    print(FDBEngine().explain(parse_query(args.sql), database))
+    if _check_engine(args.engine):
+        return 2
+    session = connect(_build_db(args.scale))
+    print(session.explain(parse_query(args.sql), engine=args.engine))
     return 0
 
 
@@ -122,14 +146,28 @@ def main(argv: list[str] | None = None) -> int:
         default=[0.25, 0.5, 1.0],
     )
 
-    query = sub.add_parser("query", help="run a SQL query on all engines")
+    # Engine names are validated inside the handlers (against the live
+    # registry) so building the parser stays import-light for the other
+    # commands.
+    query = sub.add_parser("query", help="run a SQL query on engines")
     query.add_argument("sql")
     query.add_argument("--scale", type=float, default=0.5)
     query.add_argument("--rows", type=int, default=10)
+    query.add_argument(
+        "--engine",
+        default="all",
+        help="registered engine name (fdb, rdb, sqlite, ...) or 'all' "
+        "(the default)",
+    )
 
-    explain = sub.add_parser("explain", help="show the FDB f-plan")
+    explain = sub.add_parser("explain", help="show an engine's plan")
     explain.add_argument("sql")
     explain.add_argument("--scale", type=float, default=0.25)
+    explain.add_argument(
+        "--engine",
+        default="fdb",
+        help="engine whose plan to show (default: fdb)",
+    )
 
     advise_cmd = sub.add_parser("advise", help="rank f-trees for the view")
     advise_cmd.add_argument("--top", type=int, default=3)

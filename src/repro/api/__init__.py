@@ -1,0 +1,53 @@
+"""repro.api — the unified session API.
+
+The canonical way to use the library: :func:`connect` opens a
+:class:`Session` over a database, :meth:`Session.query` starts a
+fluent, immutable :class:`QueryBuilder`, execution goes through a
+pluggable engine registry, and every run returns a first-class
+:class:`Result` carrying rows, the factorised representation when
+available, the chosen f-plan, explain text, and timing statistics::
+
+    from repro import connect
+    from repro.data.pizzeria import pizzeria_database
+
+    session = connect(pizzeria_database())          # engine="fdb"
+    result = (session.query("R")
+              .group_by("customer")
+              .sum("price", "revenue")
+              .order_by("revenue", desc=True)
+              .limit(3)
+              .run())
+    print(result.pretty())
+    print(result.plan)        # the f-plan that produced this result
+    print(result.stats)       # wall-clock / row / singleton counts
+
+    same = session.execute(result.query, engine="sqlite")
+    assert result == same     # cross-engine parity
+
+Additional backends register through :func:`register_engine`; see
+:mod:`repro.api.engines` for the built-in line-up.
+"""
+
+from repro.api.builder import QueryBuilder
+from repro.api.engines import (
+    Engine,
+    EngineRun,
+    available_engines,
+    create_engine,
+    register_engine,
+)
+from repro.api.result import Result, ResultStats
+from repro.api.session import Session, connect
+
+__all__ = [
+    "Engine",
+    "EngineRun",
+    "QueryBuilder",
+    "Result",
+    "ResultStats",
+    "Session",
+    "available_engines",
+    "connect",
+    "create_engine",
+    "register_engine",
+]

@@ -1,0 +1,246 @@
+"""Pluggable engine backends and the engine registry.
+
+Every execution backend implements the small :class:`Engine` protocol —
+``prepare`` (one-off loading), ``run`` (execute a
+:class:`repro.query.Query`, returning an :class:`EngineRun`) and
+``explain`` (describe the plan without executing).  Backends are
+registered by name with :func:`register_engine` and instantiated with
+:func:`create_engine`, so sessions, the CLI and the benchmark harness
+all select engines the same way:
+
+====================  ====================================================
+registry name         backend
+====================  ====================================================
+``fdb``               factorised evaluation, flat output (the paper's FDB)
+``fdb-factorised``    factorised evaluation, factorised output (FDB f/o)
+``rdb``               flat baseline, sort-based grouping (SQLite model)
+``rdb-hash``          flat baseline, hash grouping (PostgreSQL model)
+``sqlite``            the real ``sqlite3``, fed generated SQL text
+====================  ====================================================
+
+Third-party backends plug in the same way::
+
+    register_engine("my-engine", MyEngine)
+    connect(db, engine="my-engine")
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.engine import FactorisedResult, FDBEngine
+from repro.query import Query
+from repro.relational.engine import RDBEngine
+from repro.relational.relation import Relation
+from repro.sql.generator import query_to_sql
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.fplan import ExecutionTrace, FPlan
+    from repro.database import Database
+
+
+@dataclass
+class EngineRun:
+    """Raw outcome of one engine execution, before ``Result`` packaging.
+
+    Exactly one of ``relation``/``factorised`` is set; ``plan`` and
+    ``trace`` are present only for backends that compile f-plans.
+    """
+
+    relation: Relation | None = None
+    factorised: FactorisedResult | None = None
+    plan: "FPlan | None" = None
+    trace: "ExecutionTrace | None" = None
+
+
+class Engine(ABC):
+    """The common backend protocol of the unified session API."""
+
+    name = "engine"
+
+    def prepare(self, database: "Database") -> None:
+        """One-off loading/warm-up, excluded from query timings."""
+
+    @abstractmethod
+    def run(self, query: Query, database: "Database") -> EngineRun:
+        """Execute ``query`` against ``database``."""
+
+    def explain(self, query: Query, database: "Database") -> str:
+        """Describe the evaluation strategy without executing."""
+        return f"{self.name}: {query}"
+
+
+class FDBBackend(Engine):
+    """Factorised evaluation; ``output`` selects FDB vs FDB f/o."""
+
+    def __init__(self, output: str = "flat", optimizer: str = "greedy") -> None:
+        self._engine = FDBEngine(output=output, optimizer=optimizer)
+        self.name = "FDB" if output == "flat" else "FDB f/o"
+
+    def run(self, query: Query, database: "Database") -> EngineRun:
+        result, plan, trace = self._engine.execute_traced(query, database)
+        if isinstance(result, FactorisedResult):
+            return EngineRun(factorised=result, plan=plan, trace=trace)
+        return EngineRun(relation=result, plan=plan, trace=trace)
+
+    def explain(self, query: Query, database: "Database") -> str:
+        return self._engine.explain(query, database)
+
+
+class RDBBackend(Engine):
+    """The flat relational baseline (sort or hash grouping)."""
+
+    def __init__(self, grouping: str = "sort", join_method: str = "hash") -> None:
+        self._engine = RDBEngine(grouping=grouping, join_method=join_method)
+        self.name = f"RDB-{grouping}"
+
+    def run(self, query: Query, database: "Database") -> EngineRun:
+        return EngineRun(relation=self._engine.execute(query, database))
+
+    def explain(self, query: Query, database: "Database") -> str:
+        engine = self._engine
+        lines = [
+            f"query: {query}",
+            f"RDB pipeline (grouping={engine.grouping}, "
+            f"join={engine.join_method}):",
+            f"  1. {engine.join_method} join of "
+            f"({', '.join(query.relations)})",
+        ]
+        conditions = [str(c) for c in query.equalities + query.comparisons]
+        if conditions:
+            lines.append(f"  2. σ[{' ∧ '.join(conditions)}] in one scan")
+        if query.aggregates:
+            aggs = ", ".join(str(a) for a in query.aggregates)
+            lines.append(
+                f"  3. {engine.grouping}-based ϖ[{', '.join(query.group_by)};"
+                f" {aggs}]"
+            )
+        elif query.projection is not None:
+            lines.append(f"  3. π[{', '.join(query.projection)}]")
+        if query.order_by:
+            order = ", ".join(str(k) for k in query.order_by)
+            lines.append(f"  4. sort o[{order}]")
+        if query.limit is not None:
+            lines.append(f"  5. λ{query.limit}")
+        return "\n".join(lines)
+
+
+class SQLiteBackend(Engine):
+    """The real ``sqlite3``, fed SQL generated from the shared AST.
+
+    The database is loaded into an in-memory connection once per
+    :class:`repro.database.Database` instance (``prepare``, like the
+    paper excludes data import from timings) and reused across queries.
+    """
+
+    name = "SQLite"
+
+    def __init__(self) -> None:
+        self._connection: sqlite3.Connection | None = None
+        self._database: "Database | None" = None
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The live connection (for callers issuing raw SQL)."""
+        if self._connection is None:
+            raise RuntimeError("sqlite backend not prepared")
+        return self._connection
+
+    def prepare(self, database: "Database") -> None:
+        # Always reloads: callers re-prepare after catalogue changes, and
+        # the identity check in _ensure cannot see in-place mutation.
+        self._connection = None
+        self._database = None
+        self._ensure(database)
+
+    def _ensure(self, database: "Database") -> sqlite3.Connection:
+        if self._connection is None or self._database is not database:
+            connection = sqlite3.connect(":memory:")
+            for name in database.names():
+                relation = database.flat(name)
+                columns = ", ".join(f'"{a}"' for a in relation.schema)
+                connection.execute(f'CREATE TABLE "{name}" ({columns})')
+                marks = ",".join("?" * len(relation.schema))
+                connection.executemany(
+                    f'INSERT INTO "{name}" VALUES ({marks})', relation.rows
+                )
+            connection.commit()
+            self._connection = connection
+            self._database = database
+        return self._connection
+
+    def run(self, query: Query, database: "Database") -> EngineRun:
+        connection = self._ensure(database)
+        cursor = connection.execute(query_to_sql(query))
+        schema = tuple(column[0] for column in cursor.description)
+        rows = [tuple(row) for row in cursor.fetchall()]
+        relation = Relation(schema, rows, name=query.name or "result")
+        return EngineRun(relation=relation)
+
+    def explain(self, query: Query, database: "Database") -> str:
+        connection = self._ensure(database)
+        sql = query_to_sql(query)
+        lines = [f"query: {query}", f"sql: {sql}", "sqlite query plan:"]
+        for row in connection.execute(f"EXPLAIN QUERY PLAN {sql}"):
+            lines.append(f"  {row[-1]}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+EngineFactory = Callable[..., Engine]
+
+_REGISTRY: dict[str, EngineFactory] = {}
+
+
+def register_engine(
+    name: str, factory: EngineFactory, *, replace: bool = False
+) -> None:
+    """Register an engine ``factory`` (``**options -> Engine``) by name.
+
+    Names are case-insensitive.  Re-registering an existing name raises
+    unless ``replace=True`` — overriding a built-in should be a loud,
+    deliberate act.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not replace:
+        raise ValueError(
+            f"engine {name!r} is already registered "
+            "(pass replace=True to override it)"
+        )
+    _REGISTRY[key] = factory
+
+
+def create_engine(name: str, **options) -> Engine:
+    """Instantiate a registered engine, forwarding ``options``."""
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError:
+        from repro.api.util import suggest
+
+        raise ValueError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{', '.join(available_engines())}"
+            + suggest(name.lower(), _REGISTRY)
+        ) from None
+    return factory(**options)
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_engine("fdb", FDBBackend)
+register_engine(
+    "fdb-factorised", lambda **options: FDBBackend(output="factorised", **options)
+)
+register_engine("rdb", RDBBackend)
+register_engine(
+    "rdb-hash", lambda **options: RDBBackend(grouping="hash", **options)
+)
+register_engine("sqlite", SQLiteBackend)

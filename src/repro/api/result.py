@@ -1,0 +1,185 @@
+"""The first-class query result of the unified session API.
+
+A :class:`Result` bundles everything one execution produced: the rows
+(materialised lazily when the engine returned a factorisation), the
+factorised representation when available, the chosen f-plan, explain
+text, and wall-clock/size statistics.  It replaces the old pattern of
+reading ``FDBEngine.last_plan`` after ``execute`` — each result carries
+the plan that produced *it*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.core.engine import FactorisedResult
+from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.fplan import ExecutionTrace, FPlan
+    from repro.query import Query
+
+
+@dataclass(frozen=True)
+class ResultStats:
+    """Wall-clock and size statistics of one execution.
+
+    ``rows`` is ``None`` while a factorised result has not been
+    flattened — counting would force full enumeration, defeating the
+    succinctness of the representation.  ``len(result)`` materialises
+    and counts explicitly.
+    """
+
+    engine: str
+    seconds: float
+    rows: int | None
+    singletons: int | None = None  # factorised size, when available
+
+    def __str__(self) -> str:
+        text = f"{self.engine}: {self.seconds * 1000:.1f} ms"
+        if self.rows is not None:
+            text += f", {self.rows} rows"
+        if self.singletons is not None:
+            text += f", {self.singletons} singletons"
+        return text
+
+
+class Result:
+    """Unified query result, independent of the engine that produced it.
+
+    Attributes
+    ----------
+    query:
+        the :class:`repro.query.Query` that was executed;
+    engine:
+        display name of the backend (``"FDB"``, ``"RDB-sort"``, ...);
+    plan:
+        the compiled :class:`repro.core.fplan.FPlan` (FDB backends only);
+    trace:
+        the per-step :class:`~repro.core.fplan.ExecutionTrace`, if any;
+    factorised:
+        the :class:`~repro.core.engine.FactorisedResult` when the engine
+        produced factorised output, else ``None``.
+    """
+
+    def __init__(
+        self,
+        query: "Query",
+        engine: str,
+        *,
+        relation: Relation | None = None,
+        factorised: FactorisedResult | None = None,
+        plan: "FPlan | None" = None,
+        trace: "ExecutionTrace | None" = None,
+        explain_fn: Callable[[], str] | None = None,
+        seconds: float = 0.0,
+    ) -> None:
+        if relation is None and factorised is None:
+            raise ValueError("a Result needs a relation or a factorisation")
+        self.query = query
+        self.engine = engine
+        self.plan = plan
+        self.trace = trace
+        self.seconds = seconds
+        self.factorised = factorised
+        self._relation = relation
+        self._explain_fn = explain_fn
+        self._explain_text: str | None = None
+
+    # ------------------------------------------------------------------
+    # Rows
+    # ------------------------------------------------------------------
+    def to_relation(self) -> Relation:
+        """The flat result, materialising a factorisation on first use."""
+        if self._relation is None:
+            assert self.factorised is not None
+            self._relation = self.factorised.to_relation(
+                self.query.name or "result"
+            )
+        return self._relation
+
+    @property
+    def relation(self) -> Relation:
+        return self.to_relation()
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        if self._relation is not None:
+            return self._relation.schema
+        assert self.factorised is not None
+        return self.factorised.output_schema
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.to_relation().rows
+
+    def __iter__(self) -> Iterator[tuple]:
+        # Stream straight from the factorisation when the flat form has
+        # not been materialised (constant-delay enumeration).
+        if self._relation is None and self.factorised is not None:
+            return self.factorised.iter_tuples()
+        return iter(self.to_relation().rows)
+
+    def __len__(self) -> int:
+        return len(self.to_relation())
+
+    def first(self) -> tuple | None:
+        """The first result tuple, or ``None`` on an empty result."""
+        for row in self:
+            return row
+        return None
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return self.to_relation().as_dicts()
+
+    def pretty(self, limit: int = 20) -> str:
+        return self.to_relation().pretty(limit=limit)
+
+    # ------------------------------------------------------------------
+    # Comparison (cross-engine parity checks)
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Result):
+            other = other.to_relation()
+        elif isinstance(other, FactorisedResult):
+            other = other.to_relation()
+        if isinstance(other, Relation):
+            return self.to_relation() == other
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container
+
+    # ------------------------------------------------------------------
+    # Plan and stats
+    # ------------------------------------------------------------------
+    def explain(self) -> str:
+        """The engine's explain text for this query (computed lazily)."""
+        if self._explain_text is None:
+            if self._explain_fn is not None:
+                self._explain_text = self._explain_fn()
+            else:
+                self._explain_text = f"{self.engine}: {self.query}"
+        return self._explain_text
+
+    @property
+    def stats(self) -> ResultStats:
+        return ResultStats(
+            engine=self.engine,
+            seconds=self.seconds,
+            rows=len(self._relation) if self._relation is not None else None,
+            singletons=(
+                self.factorised.size() if self.factorised is not None else None
+            ),
+        )
+
+    def __repr__(self) -> str:
+        shape = (
+            "factorised"
+            if self.factorised is not None and self._relation is None
+            else f"{len(self.to_relation())} rows"
+        )
+        return (
+            f"Result(engine={self.engine!r}, {shape}, "
+            f"seconds={self.seconds:.4f})"
+        )

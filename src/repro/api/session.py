@@ -1,0 +1,233 @@
+"""The session facade: one object owning a database and an engine choice.
+
+:func:`connect` is the front door of the library::
+
+    from repro import connect
+
+    session = connect(pizzeria_database())          # default engine: fdb
+    top = (session.query("R")
+           .group_by("customer")
+           .sum("price", "revenue")
+           .order_by("revenue", desc=True)
+           .limit(3)
+           .run())
+    print(top.pretty())
+    print(top.explain())
+
+A session caches one prepared backend instance per engine name, so
+e.g. the sqlite backend loads the database once and reuses the
+connection across queries.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Iterable, Union
+
+from repro.api.builder import QueryBuilder
+from repro.api.engines import Engine, available_engines, create_engine
+from repro.api.result import Result
+from repro.api.util import suggest
+from repro.database import Database
+from repro.query import Query, QueryError
+from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.frep import Factorisation
+
+Queryish = Union[Query, QueryBuilder, str]
+
+
+class Session:
+    """Owns a database, a default engine, and per-query options.
+
+    Parameters
+    ----------
+    database:
+        the catalogue queries run against (shared, not copied);
+    engine:
+        default backend — a registry name (``"fdb"``, ``"rdb"``,
+        ``"sqlite"``, ...) or an :class:`~repro.api.engines.Engine`
+        instance;
+    engine_options:
+        forwarded to the registry factory of the default engine
+        (e.g. ``optimizer="exhaustive"`` for FDB).
+    """
+
+    def __init__(
+        self, database: Database, engine: "str | Engine" = "fdb", **engine_options
+    ) -> None:
+        self.database = database
+        self._default_engine: "str | Engine" = engine
+        self._default_options = engine_options
+        self._engines: dict = {}
+        # Engine instances this session prepared.  Keyed by id() but the
+        # values hold strong references: a bare id set would let a freed
+        # instance's recycled address masquerade as already-prepared.
+        self._prepared: dict[int, Engine] = {}
+
+    # ------------------------------------------------------------------
+    # Building queries
+    # ------------------------------------------------------------------
+    def query(self, *relations: str) -> QueryBuilder:
+        """Start a fluent query over the named relations."""
+        if not relations:
+            raise QueryError("query() needs at least one relation name")
+        self._check_relations(relations)
+        return QueryBuilder(self, tuple(relations))
+
+    def sql(self, text: str, engine=None, name: str = "") -> Result:
+        """Parse a SQL string and execute it."""
+        from repro.sql import parse_query
+
+        return self.execute(parse_query(text, name=name), engine=engine)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: Queryish, engine=None) -> Result:
+        """Run a query (builder, AST, or SQL text); returns a Result."""
+        lowered = self._coerce(query)
+        backend = self._resolve(engine)
+        database = self.database  # keep the Result from pinning the session
+        start = time.perf_counter()
+        run = backend.run(lowered, database)
+        seconds = time.perf_counter() - start
+        return Result(
+            lowered,
+            backend.name,
+            relation=run.relation,
+            factorised=run.factorised,
+            plan=run.plan,
+            trace=run.trace,
+            explain_fn=lambda: backend.explain(lowered, database),
+            seconds=seconds,
+        )
+
+    def explain(self, query: Queryish, engine=None) -> str:
+        """Describe the chosen engine's plan without executing."""
+        lowered = self._coerce(query)
+        return self._resolve(engine).explain(lowered, self.database)
+
+    # ------------------------------------------------------------------
+    # Engine selection
+    # ------------------------------------------------------------------
+    def use(self, engine: "str | Engine", **engine_options) -> "Session":
+        """Switch the session's default engine in place; returns self."""
+        self._default_engine = engine
+        self._default_options = engine_options
+        return self
+
+    def with_engine(self, engine: "str | Engine", **engine_options) -> "Session":
+        """A new session over the same database with another default."""
+        return Session(self.database, engine=engine, **engine_options)
+
+    @staticmethod
+    def engines() -> tuple[str, ...]:
+        """Names accepted by ``engine=`` arguments."""
+        return available_engines()
+
+    def _resolve(self, engine: "str | Engine | None") -> Engine:
+        options: dict = {}
+        if engine is None:
+            engine = self._default_engine
+            options = self._default_options
+        if isinstance(engine, Engine):
+            if options:
+                raise ValueError(
+                    "engine options only apply to registry names; "
+                    f"configure the {type(engine).__name__} instance "
+                    "directly instead"
+                )
+            if id(engine) not in self._prepared:
+                engine.prepare(self.database)
+                self._prepared[id(engine)] = engine
+            return engine
+        key = (engine.lower(), tuple(sorted(options.items())))
+        if key not in self._engines:
+            backend = create_engine(engine, **options)
+            backend.prepare(self.database)
+            self._engines[key] = backend
+        return self._engines[key]
+
+    # ------------------------------------------------------------------
+    # Catalogue management
+    # ------------------------------------------------------------------
+    def add_relation(self, relation: Relation, name: str = "") -> "Session":
+        """Register a flat relation; returns self for chaining."""
+        self.database.add_relation(relation, name=name)
+        # Prepared backends may hold stale loads of the old catalogue.
+        self._engines.clear()
+        self._prepared.clear()
+        return self
+
+    def add_factorised(
+        self, name: str, factorisation: "Factorisation"
+    ) -> "Session":
+        """Register a factorised materialised view; returns self."""
+        self.database.add_factorised(name, factorisation)
+        self._engines.clear()
+        self._prepared.clear()
+        return self
+
+    def names(self) -> list[str]:
+        """All view names the session can query."""
+        return self.database.names()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_relations(self, relations: Iterable[str]) -> None:
+        known = self.database.names()
+        for name in relations:
+            if name not in self.database:
+                raise QueryError(
+                    f"unknown relation {name!r}; the database holds: "
+                    f"{', '.join(known) if known else '(nothing)'}"
+                    + suggest(name, known)
+                )
+
+    def _coerce(self, query: Queryish) -> Query:
+        if isinstance(query, QueryBuilder):
+            return query.to_query()
+        if isinstance(query, str):
+            from repro.sql import parse_query
+
+            return parse_query(query)
+        if isinstance(query, Query):
+            return query
+        raise TypeError(
+            f"expected a QueryBuilder, Query, or SQL string, "
+            f"got {type(query).__name__}"
+        )
+
+    def __repr__(self) -> str:
+        engine = self._default_engine
+        label = engine if isinstance(engine, str) else engine.name
+        return (
+            f"Session(engine={label!r}, "
+            f"relations={', '.join(self.names()) or '(empty)'})"
+        )
+
+
+def connect(
+    source: "Database | Relation | Iterable[Relation] | None" = None,
+    engine: "str | Engine" = "fdb",
+    **engine_options,
+) -> Session:
+    """Open a :class:`Session` — the canonical entry point.
+
+    ``source`` may be a :class:`repro.database.Database`, a single
+    :class:`~repro.relational.relation.Relation`, an iterable of
+    relations, or ``None`` for an empty database to be populated via
+    :meth:`Session.add_relation`.
+    """
+    if source is None:
+        database = Database()
+    elif isinstance(source, Database):
+        database = source
+    elif isinstance(source, Relation):
+        database = Database([source])
+    else:
+        database = Database(source)
+    return Session(database, engine=engine, **engine_options)

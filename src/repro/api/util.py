@@ -1,0 +1,12 @@
+"""Small shared helpers for the session API."""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+
+def suggest(name: str, candidates: Iterable[str]) -> str:
+    """A ``" — did you mean 'x'?"`` suffix, or ``""`` with no close match."""
+    close = difflib.get_close_matches(name, list(candidates), n=1)
+    return f" — did you mean {close[0]!r}?" if close else ""

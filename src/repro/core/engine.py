@@ -178,7 +178,27 @@ class FDBEngine:
     # Public API
     # ------------------------------------------------------------------
     def execute(self, query: Query, database: "Database"):
-        """Run ``query``; returns a Relation or FactorisedResult."""
+        """Run ``query``; returns a Relation or FactorisedResult.
+
+        ``last_plan``/``last_trace`` are updated as a side effect for
+        backward compatibility; new code should call
+        :meth:`execute_traced` (or go through :mod:`repro.api`, whose
+        ``Result`` carries the plan) instead of reading engine state.
+        """
+        result, plan, trace = self.execute_traced(query, database)
+        self.last_plan = plan
+        self.last_trace = trace
+        return result
+
+    def execute_traced(
+        self, query: Query, database: "Database"
+    ) -> tuple[Any, FPlan, ExecutionTrace]:
+        """Run ``query``; returns ``(result, f-plan, execution trace)``.
+
+        Unlike :meth:`execute` this does not mutate engine state, so one
+        engine instance can serve concurrent callers and each caller
+        still sees the plan that produced *its* result.
+        """
         query = _with_effective_projection(query, database)
         fact, hypergraph, equalities = self._prepare_inputs(query, database)
         trace = ExecutionTrace()
@@ -189,13 +209,13 @@ class FDBEngine:
 
         ctx = self._plan_context(query, fact.ftree, hypergraph, equalities)
         plan = self.optimizer.plan(fact.ftree, ctx)
-        self.last_plan = plan
         fact = plan.execute(fact, trace)
-        self.last_trace = trace
 
         if query.aggregates:
-            return self._shape_aggregate_output(query, fact)
-        return self._shape_spj_output(query, fact)
+            result = self._shape_aggregate_output(query, fact)
+        else:
+            result = self._shape_spj_output(query, fact)
+        return result, plan, trace
 
     def explain(self, query: Query, database: "Database") -> str:
         """Compile the query and describe the plan without executing it.

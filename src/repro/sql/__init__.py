@@ -23,8 +23,22 @@ from repro.sql.parser import parse_select
 __all__ = [
     "SQLSyntaxError",
     "compile_select",
+    "execute_sql",
     "parse_query",
     "parse_select",
     "query_to_sql",
     "tokenize",
 ]
+
+
+def execute_sql(text: str, database, engine: str = "fdb", name: str = "", **engine_options):
+    """Parse and run ``text`` through the unified session API.
+
+    One-shot convenience over ``connect(database, engine=...).sql(text)``;
+    returns a :class:`repro.api.result.Result`.
+    """
+    # Imported lazily: repro.api pulls in the engines, which import this
+    # package's generator module.
+    from repro.api import connect
+
+    return connect(database, engine=engine, **engine_options).sql(text, name=name)

@@ -1,0 +1,170 @@
+"""Builder→AST lowering golden tests and error-message tests."""
+
+import pytest
+
+from repro.api import connect
+from repro.query import (
+    AggregateSpec,
+    Comparison,
+    Equality,
+    Having,
+    Query,
+    QueryError,
+)
+from repro.relational.sort import SortKey
+
+
+@pytest.fixture()
+def session(pizzeria):
+    return connect(pizzeria)
+
+
+# ---------------------------------------------------------------------------
+# Golden lowering
+# ---------------------------------------------------------------------------
+def test_lowering_aggregate_chain(session):
+    query = (
+        session.query("R")
+        .where("date", "=", "Friday")
+        .group_by("customer")
+        .agg("sum", "price", "revenue")
+        .order_by("revenue", desc=True)
+        .limit(3)
+        .named("top")
+        .to_query()
+    )
+    assert query == Query(
+        relations=("R",),
+        comparisons=(Comparison("date", "=", "Friday"),),
+        group_by=("customer",),
+        aggregates=(AggregateSpec("sum", "price", "revenue"),),
+        order_by=(SortKey("revenue", descending=True),),
+        limit=3,
+        name="top",
+    )
+
+
+def test_lowering_spj_chain(session):
+    query = (
+        session.query("Orders", "Pizzas")
+        .on("pizza", "item")
+        .where("customer", "Mario")
+        .select("customer", "item")
+        .distinct()
+        .order_by("customer", ("item", "desc"))
+        .to_query()
+    )
+    assert query == Query(
+        relations=("Orders", "Pizzas"),
+        equalities=(Equality("pizza", "item"),),
+        comparisons=(Comparison("customer", "=", "Mario"),),
+        projection=("customer", "item"),
+        order_by=(SortKey("customer"), SortKey("item", descending=True)),
+        distinct=True,
+    )
+
+
+def test_lowering_having_and_conveniences(session):
+    query = (
+        session.query("R")
+        .group_by("pizza")
+        .sum("price", "total")
+        .count("orders")
+        .avg("price")
+        .having("orders", ">", 1)
+        .to_query()
+    )
+    assert query.aggregates == (
+        AggregateSpec("sum", "price", "total"),
+        AggregateSpec("count", None, "orders"),
+        AggregateSpec("avg", "price", "avg(price)"),
+    )
+    assert query.having == (Having("orders", ">", 1),)
+
+
+def test_builder_is_immutable(session):
+    base = session.query("R").group_by("customer")
+    summed = base.sum("price", "revenue")
+    counted = base.count("n")
+    # Forking the chain must not leak state between branches.
+    assert base.to_query().aggregates == ()
+    assert [s.alias for s in summed.to_query().aggregates] == ["revenue"]
+    assert [s.alias for s in counted.to_query().aggregates] == ["n"]
+
+
+def test_builder_to_sql_and_str(session):
+    builder = session.query("R").group_by("customer").sum("price", "revenue")
+    assert 'SUM(price) AS "revenue"' in builder.to_sql()
+    assert "ϖ" in str(builder)
+
+
+# ---------------------------------------------------------------------------
+# Eager validation with good messages
+# ---------------------------------------------------------------------------
+def test_unknown_relation_suggests(session):
+    with pytest.raises(QueryError, match="did you mean 'Orders'"):
+        session.query("Orderz")
+
+
+def test_unknown_attribute_suggests(session):
+    with pytest.raises(QueryError, match="did you mean 'price'"):
+        session.query("R").group_by("customer").sum("pice")
+
+
+def test_unknown_attribute_lists_visible(session):
+    with pytest.raises(QueryError, match="expose: customer, date, pizza"):
+        session.query("Orders").where("price", ">", 3)
+
+
+def test_unknown_function_suggests(session):
+    with pytest.raises(QueryError, match="did you mean 'count'"):
+        session.query("R").agg("cuont", "price")
+
+
+def test_unknown_operator(session):
+    with pytest.raises(QueryError, match="unknown comparison operator"):
+        session.query("R").where("price", "~", 3)
+
+
+def test_having_requires_aggregates(session):
+    with pytest.raises(QueryError, match="requires at least one aggregate"):
+        session.query("R").group_by("customer").having("customer", "=", "x")
+
+
+def test_having_unknown_target(session):
+    builder = session.query("R").group_by("customer").sum("price", "revenue")
+    with pytest.raises(QueryError, match="did you mean 'revenue'"):
+        builder.having("revenu", ">", 5)
+
+
+def test_select_conflicts_with_aggregates(session):
+    aggregated = session.query("R").group_by("customer").sum("price")
+    with pytest.raises(QueryError, match="cannot be combined with aggregates"):
+        aggregated.select("customer")
+    selected = session.query("R").select("customer")
+    with pytest.raises(QueryError, match="cannot be combined with select"):
+        selected.sum("price")
+
+
+def test_duplicate_alias(session):
+    builder = session.query("R").group_by("customer").sum("price", "x")
+    with pytest.raises(QueryError, match="duplicate aggregate alias"):
+        builder.count("x")
+
+
+def test_order_by_outside_output_schema(session):
+    builder = session.query("R").group_by("customer").sum("price", "revenue")
+    with pytest.raises(QueryError, match="not in the output schema"):
+        builder.order_by("price")
+
+
+def test_limit_validation(session):
+    with pytest.raises(QueryError, match="non-negative"):
+        session.query("R").limit(-1)
+    with pytest.raises(QueryError, match="must be an integer"):
+        session.query("R").limit("ten")
+
+
+def test_empty_query_rejected(session):
+    with pytest.raises(QueryError, match="at least one relation"):
+        session.query()

@@ -1,0 +1,70 @@
+"""Engine registry and backend behaviour."""
+
+import pytest
+
+from repro.api import (
+    Engine,
+    EngineRun,
+    available_engines,
+    connect,
+    create_engine,
+    register_engine,
+)
+from repro.relational.relation import Relation
+
+
+def test_builtin_registry_names():
+    names = available_engines()
+    for expected in ("fdb", "fdb-factorised", "rdb", "rdb-hash", "sqlite"):
+        assert expected in names
+
+
+def test_create_engine_unknown_name_suggests():
+    with pytest.raises(ValueError, match="did you mean 'sqlite'"):
+        create_engine("sqlight")
+    with pytest.raises(ValueError, match="registered engines"):
+        create_engine("nope")
+
+
+def test_register_engine_rejects_silent_override():
+    with pytest.raises(ValueError, match="already registered"):
+        register_engine("fdb", lambda: None)
+
+
+def test_engine_options_forwarded():
+    fdb = create_engine("fdb", optimizer="exhaustive")
+    assert fdb.name == "FDB"
+    assert create_engine("fdb-factorised").name == "FDB f/o"
+    assert create_engine("rdb").name == "RDB-sort"
+    assert create_engine("rdb-hash").name == "RDB-hash"
+
+
+def test_custom_engine_plugs_into_sessions(pizzeria):
+    class ConstantEngine(Engine):
+        name = "constant"
+
+        def run(self, query, database):
+            return EngineRun(
+                relation=Relation(("answer",), [(42,)], "constant")
+            )
+
+    register_engine("constant-test", ConstantEngine, replace=True)
+    session = connect(pizzeria)
+    result = session.query("R").count("n").run(engine="constant-test")
+    assert result.rows == [(42,)]
+    assert result.engine == "constant"
+    # Default explain text exists even for minimal backends.
+    assert "constant" in result.explain()
+
+
+def test_sqlite_backend_reloads_per_database(pizzeria, tiny_workload_db):
+    backend = create_engine("sqlite")
+    with pytest.raises(RuntimeError, match="not prepared"):
+        backend.connection
+    backend.prepare(pizzeria)
+    first = backend.connection
+    query = connect(pizzeria).query("R").count("n").to_query()
+    assert backend.run(query, pizzeria).relation.rows == [(13,)]
+    # A different database triggers a fresh load.
+    backend.prepare(tiny_workload_db)
+    assert backend.connection is not first

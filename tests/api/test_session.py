@@ -1,0 +1,206 @@
+"""Session facade: cross-engine parity, Result contents, SQL entry."""
+
+import pytest
+
+from repro.api import Result, connect
+from repro.database import Database
+from repro.query import Query, aggregate
+from repro.relational.relation import Relation
+
+from tests.conftest import assert_same_relation
+
+ENGINES = ("fdb", "fdb-factorised", "rdb", "rdb-hash", "sqlite")
+
+
+@pytest.fixture()
+def session(pizzeria):
+    return connect(pizzeria)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_aggregate_parity_over_pizzeria(session, engine):
+    builder = (
+        session.query("R")
+        .group_by("customer")
+        .sum("price", "revenue")
+        .order_by("revenue", desc=True)
+    )
+    reference = builder.run()  # default engine: fdb
+    other = builder.run(engine=engine)
+    assert other == reference
+    assert other.schema == ("customer", "revenue")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_join_parity_over_base_relations(session, engine):
+    builder = (
+        session.query("Orders", "Pizzas", "Items")
+        .group_by("customer")
+        .sum("price", "spent")
+        .count("lines")
+    )
+    assert builder.run(engine=engine) == builder.run(engine="rdb")
+
+
+@pytest.mark.parametrize("engine", ("fdb", "rdb", "sqlite"))
+def test_spj_parity(session, engine):
+    builder = (
+        session.query("R")
+        .where("price", ">", 1)
+        .select("customer", "item")
+        .distinct()
+    )
+    assert_same_relation(
+        builder.run(engine=engine).to_relation(),
+        builder.run(engine="rdb").to_relation(),
+    )
+
+
+def test_result_plan_without_last_plan(session):
+    """Result.plan comes from the execution, not engine state."""
+    first = session.query("R").group_by("customer").sum("price", "a").run()
+    second = session.query("R").group_by("pizza").count("b").run()
+    assert first.plan is not None and second.plan is not None
+    assert str(first.plan) != "" and first.plan is not second.plan
+    # The earlier result keeps its own plan even after later queries.
+    assert "sum(price)" in str(first.plan)
+    assert first.explain() != second.explain()
+    assert "γ" in first.explain()
+
+
+def test_result_contents_flat(session):
+    result = session.query("R").group_by("customer").sum("price", "r").run()
+    assert isinstance(result, Result)
+    assert result.factorised is None
+    assert len(result) == len(result.rows) == 3
+    assert result.first() in result.rows
+    assert set(result.as_dicts()[0]) == {"customer", "r"}
+    stats = result.stats
+    assert stats.engine == "FDB" and stats.seconds >= 0 and stats.rows == 3
+    assert stats.singletons is None
+    assert "FDB" in repr(result) and "ms" in str(stats)
+
+
+def test_result_contents_factorised(session):
+    builder = session.query("R").group_by("customer").sum("price", "r")
+    result = builder.run(engine="fdb-factorised")
+    assert result.factorised is not None
+    # Stats do not flatten: the row count stays unknown (None) until the
+    # caller materialises, while the singleton count is always available.
+    assert result.stats.rows is None
+    assert result.stats.singletons == result.factorised.size()
+    assert "singletons" in str(result.stats)
+    assert sorted(result) == sorted(builder.run().rows)
+    assert result == builder.run()
+    assert result.stats.rows == 3  # now materialised
+
+
+def test_sql_entry_point(session):
+    text = (
+        "SELECT customer, SUM(price) AS revenue FROM R "
+        "GROUP BY customer ORDER BY revenue DESC"
+    )
+    fdb = session.sql(text)
+    sqlite = session.sql(text, engine="sqlite")
+    assert fdb == sqlite
+    assert fdb.rows[0][1] >= fdb.rows[-1][1]
+
+
+def test_execute_accepts_query_builder_and_text(session):
+    query = Query(
+        relations=("R",),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "revenue"),),
+    )
+    from_ast = session.execute(query)
+    from_text = session.execute(
+        "SELECT customer, SUM(price) AS revenue FROM R GROUP BY customer"
+    )
+    from_builder = session.execute(
+        session.query("R").group_by("customer").sum("price", "revenue")
+    )
+    assert from_ast == from_text == from_builder
+    with pytest.raises(TypeError, match="expected a QueryBuilder"):
+        session.execute(42)
+
+
+def test_execute_sql_helper(pizzeria):
+    from repro.sql import execute_sql
+
+    result = execute_sql(
+        "SELECT customer, SUM(price) AS revenue FROM R GROUP BY customer",
+        pizzeria,
+        engine="sqlite",
+    )
+    assert result.engine == "SQLite" and len(result) == 3
+
+
+def test_session_explain(session):
+    builder = session.query("R").group_by("customer").sum("price", "revenue")
+    assert "γ" in builder.explain()
+    assert "sqlite query plan" in builder.explain(engine="sqlite")
+    assert "RDB pipeline" in session.explain(builder, engine="rdb")
+
+
+def test_connect_sources():
+    relation = Relation(("a", "b"), [(1, 10), (2, 20)], "T")
+    assert connect(relation).names() == ["T"]
+    assert connect([relation]).names() == ["T"]
+    assert connect(Database([relation])).names() == ["T"]
+    empty = connect()
+    assert empty.names() == []
+    empty.add_relation(relation)
+    assert empty.query("T").count("n").run().rows == [(2,)]
+
+
+def test_use_and_with_engine(session):
+    session.use("rdb")
+    assert session.query("R").count("n").run().engine == "RDB-sort"
+    forked = session.with_engine("sqlite")
+    assert forked.query("R").count("n").run().engine == "SQLite"
+    # the original keeps its own default
+    assert session.query("R").count("n").run().engine == "RDB-sort"
+
+
+def test_engine_instances_are_prepared_once(session):
+    from repro.api import Engine, EngineRun
+
+    prepared = []
+
+    class Probe(Engine):
+        name = "probe"
+
+        def prepare(self, database):
+            prepared.append(database)
+
+        def run(self, query, database):
+            return EngineRun(relation=Relation(("n",), [(0,)]))
+
+    probe = Probe()
+    session.query("R").count("n").run(engine=probe)
+    session.query("R").count("n").run(engine=probe)
+    assert prepared == [session.database]  # prepared exactly once
+    # Engine options only make sense alongside registry names.
+    with pytest.raises(ValueError, match="registry names"):
+        connect(session.database, engine=probe, optimizer="exhaustive") \
+            .query("R").count("n").run()
+
+
+def test_instance_engine_sees_catalogue_changes(session):
+    from repro.api import create_engine
+
+    backend = create_engine("sqlite")
+    assert session.query("R").count("n").run(engine=backend).rows == [(13,)]
+    session.add_relation(Relation(("c", "d"), [(2, 20)], "S"))
+    # Re-prepare must actually reload, despite the same Database object.
+    result = session.sql("SELECT c, SUM(d) AS t FROM S GROUP BY c", engine=backend)
+    assert result.rows == [(2, 20)]
+
+
+def test_engine_instances_are_cached_per_session(session):
+    first = session._resolve("sqlite")
+    second = session._resolve("sqlite")
+    assert first is second
+    session.add_relation(Relation(("z",), [(1,)], "Z"))
+    assert session._resolve("sqlite") is not first  # cache invalidated
+    assert session.query("Z").count("n").run(engine="sqlite").rows == [(1,)]

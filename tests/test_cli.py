@@ -76,3 +76,80 @@ def test_explain_factorised_mode(pizzeria):
     )
     text = FDBEngine(output="factorised").explain(q, pizzeria)
     assert "finalise into a single aggregate attribute" in text
+
+
+def test_cli_query_single_engine(capsys):
+    code = main(
+        [
+            "query",
+            "SELECT customer, SUM(price) AS revenue FROM R1 GROUP BY customer",
+            "--scale",
+            "0.1",
+            "--engine",
+            "fdb",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "FDB" in out and "revenue" in out
+    assert "RDB" not in out and "SQLite" not in out
+
+
+def test_cli_query_sqlite_engine(capsys):
+    code = main(
+        [
+            "query",
+            "SELECT customer, SUM(price) AS revenue FROM R1 GROUP BY customer",
+            "--scale",
+            "0.1",
+            "--engine",
+            "sqlite",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SQLite" in out and "revenue" in out
+
+
+def test_cli_explain_engine_choice(capsys):
+    code = main(
+        [
+            "explain",
+            "SELECT package, SUM(price) AS s FROM R1 GROUP BY package",
+            "--scale",
+            "0.1",
+            "--engine",
+            "rdb",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "RDB pipeline" in out
+
+
+def test_cli_rejects_unknown_engine(capsys):
+    code = main(["query", "SELECT * FROM R1", "--engine", "turbo"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown engine 'turbo'" in err and "registered engines" in err
+
+
+def test_cli_explain_rejects_unknown_engine(capsys):
+    code = main(["explain", "SELECT * FROM R1", "--engine", "nope"])
+    assert code == 2
+    assert "unknown engine" in capsys.readouterr().err
+
+
+def test_cli_engine_names_are_case_insensitive(capsys):
+    code = main(
+        [
+            "explain",
+            "SELECT package, SUM(price) AS s FROM R1 GROUP BY package",
+            "--scale",
+            "0.1",
+            "--engine",
+            "FDB",
+        ]
+    )
+    assert code == 0
+    assert "γ" in capsys.readouterr().out

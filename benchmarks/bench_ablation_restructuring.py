@@ -13,7 +13,6 @@ import pytest
 from repro.core import operators as ops
 from repro.core.build import factorise_path
 from repro.core.enumerate import iter_tuples
-from repro.data.workloads import build_workload_database
 from repro.relational.sort import sort_rows
 
 TARGET = ["customer", "date", "package"]

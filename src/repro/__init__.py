@@ -34,9 +34,11 @@ Quickstart::
 """
 
 from repro.database import Database
+from repro.expr import Attr, BinOp, Const, Expr, Neg, col, lit
 from repro.query import (
     AggregateSpec,
     Comparison,
+    ComputedColumn,
     Equality,
     Having,
     Query,
@@ -50,12 +52,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AggregateSpec",
+    "Attr",
+    "BinOp",
     "Comparison",
+    "ComputedColumn",
+    "Const",
     "Database",
     "Engine",
     "Equality",
+    "Expr",
     "FDBEngine",
     "Having",
+    "Neg",
     "Query",
     "QueryBuilder",
     "QueryError",
@@ -66,7 +74,9 @@ __all__ = [
     "SortKey",
     "aggregate",
     "available_engines",
+    "col",
     "connect",
+    "lit",
     "register_engine",
     "__version__",
 ]

@@ -11,6 +11,20 @@ lower to the engine-neutral :class:`repro.query.Query` AST::
         .limit(3)
         .run())
 
+Scalar expressions built with :func:`repro.col` flow through every
+shaping method — aggregate arguments, selections, and computed output
+columns::
+
+    from repro import col
+
+    (session.query("Orders")
+        .group_by("customer")
+        .sum(col("price") * col("qty"), alias="revenue")
+        .run())
+
+    session.query("Orders").select("customer", (col("price") * 1.2, "gross"))
+    session.query("Orders").where(col("price") * col("qty"), ">", 100)
+
 Every method returns a *new* builder (chains can be forked and reused)
 and validates its arguments eagerly against the session's database, so
 a typo fails at the call site with a suggestion instead of deep inside
@@ -22,11 +36,13 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
+from repro.expr import Attr, Expr
 from repro.query import (
     AGGREGATE_FUNCTIONS,
     COMPARISON_OPS,
     AggregateSpec,
     Comparison,
+    ComputedColumn,
     Equality,
     Having,
     Query,
@@ -53,6 +69,7 @@ class QueryBuilder:
     _equalities: tuple[Equality, ...] = ()
     _comparisons: tuple[Comparison, ...] = ()
     _projection: tuple[str, ...] | None = None
+    _computed: tuple[ComputedColumn, ...] = ()
     _group_by: tuple[str, ...] = ()
     _aggregates: tuple[AggregateSpec, ...] = ()
     _having: tuple[Having, ...] = ()
@@ -90,11 +107,17 @@ class QueryBuilder:
                 f"expected one of: {', '.join(COMPARISON_OPS)}"
             )
 
+    def _check_expression(self, expression: Expr, context: str) -> None:
+        for attribute in expression.attributes():
+            self._check_attribute(attribute, context)
+
     def _output_attributes(self) -> tuple[str, ...]:
         if self._aggregates:
             return self._group_by + tuple(s.alias for s in self._aggregates)
-        if self._projection is not None:
-            return self._projection
+        if self._projection is not None or self._computed:
+            return tuple(self._projection or ()) + tuple(
+                column.alias for column in self._computed
+            )
         return self._visible_attributes()
 
     # ------------------------------------------------------------------
@@ -105,11 +128,14 @@ class QueryBuilder:
         self._session._check_relations(relations)
         return replace(self, _relations=self._relations + tuple(relations))
 
-    def where(self, attribute: str, *args: Any) -> "QueryBuilder":
-        """Constant selection: ``where(attr, op, value)``.
+    def where(self, attribute: "str | Expr", *args: Any) -> "QueryBuilder":
+        """Constant selection: ``where(target, op, value)``.
 
-        The two-argument form ``where(attr, value)`` means equality.
-        Attribute-to-attribute equalities are spelled :meth:`on`.
+        The two-argument form ``where(target, value)`` means equality.
+        ``target`` may be an attribute name or a scalar expression —
+        ``where(col("price") * col("qty"), ">", 100)`` — which engines
+        evaluate row-wise.  Attribute-to-attribute equalities are
+        spelled :meth:`on`.
         """
         if len(args) == 1:
             op, value = "=", args[0]
@@ -119,7 +145,10 @@ class QueryBuilder:
             raise QueryError(
                 "where() takes (attribute, value) or (attribute, op, value)"
             )
-        self._check_attribute(attribute, "where()")
+        if isinstance(attribute, Expr):
+            self._check_expression(attribute, "where()")
+        else:
+            self._check_attribute(attribute, "where()")
         self._check_op(op)
         condition = Comparison(attribute, op, value)
         return replace(self, _comparisons=self._comparisons + (condition,))
@@ -135,19 +164,76 @@ class QueryBuilder:
     # ------------------------------------------------------------------
     # Shaping
     # ------------------------------------------------------------------
-    def select(self, *attributes: str) -> "QueryBuilder":
-        """Project the output to ``attributes`` (set semantics)."""
+    def select(self, *items: "str | Expr | tuple") -> "QueryBuilder":
+        """Shape the output (set semantics).
+
+        Items are attribute names, scalar expressions (computed output
+        columns, labelled with their canonical text), or ``(expression,
+        alias)`` pairs::
+
+            .select("customer", (col("price") * col("qty"), "total"))
+        """
         if self._aggregates:
             raise QueryError(
                 "select() cannot be combined with aggregates; the output "
                 "schema of an aggregate query is group_by() columns plus "
                 "the aggregate aliases"
             )
-        if not attributes:
+        if not items:
             raise QueryError("select() needs at least one attribute")
-        for attribute in attributes:
-            self._check_attribute(attribute, "select()")
-        return replace(self, _projection=tuple(attributes))
+        shaped: list["str | ComputedColumn"] = []
+        for item in items:
+            alias = None
+            if isinstance(item, tuple):
+                if len(item) != 2 or not isinstance(item[1], str):
+                    raise QueryError(
+                        "select() items are attribute names, expressions, "
+                        "or (expression, alias) pairs"
+                    )
+                item, alias = item
+            if isinstance(item, Attr) and alias is None:
+                item = item.name
+            if isinstance(item, str):
+                self._check_attribute(item, "select()")
+                if alias is not None:
+                    # A renamed attribute is a computed column.
+                    shaped.append(ComputedColumn(Attr(item), alias))
+                else:
+                    shaped.append(item)
+                continue
+            if not isinstance(item, Expr):
+                raise QueryError(
+                    f"select() cannot interpret {item!r}; expected an "
+                    "attribute name, col(...) expression, or "
+                    "(expression, alias) pair"
+                )
+            self._check_expression(item, "select()")
+            shaped.append(ComputedColumn(item, alias or str(item)))
+        projection = [item for item in shaped if isinstance(item, str)]
+        computed = [item for item in shaped if not isinstance(item, str)]
+        interleaved = any(
+            isinstance(earlier, ComputedColumn)
+            for index, item in enumerate(shaped)
+            if isinstance(item, str)
+            for earlier in shaped[:index]
+        )
+        if computed and projection and interleaved:
+            # A computed column precedes a plain attribute, but the
+            # output schema lists projection columns first: preserve
+            # the select() call order by lifting plain attributes to
+            # identity computed columns.
+            projection = []
+            computed = [
+                item
+                if isinstance(item, ComputedColumn)
+                else ComputedColumn(Attr(item), item)
+                for item in shaped
+            ]
+        return replace(
+            self,
+            _projection=tuple(projection),
+            _computed=tuple(computed),
+        )
 
     def group_by(self, *attributes: str) -> "QueryBuilder":
         """Group the output by ``attributes``."""
@@ -160,10 +246,14 @@ class QueryBuilder:
     def agg(
         self,
         function: str,
-        attribute: str | None = None,
+        attribute: "str | Expr | None" = None,
         alias: str | None = None,
     ) -> "QueryBuilder":
-        """Add an aggregate ``alias ← function(attribute)``."""
+        """Add an aggregate ``alias ← function(argument)``.
+
+        The argument may be an attribute name or a scalar expression:
+        ``agg("sum", col("price") * col("qty"), "revenue")``.
+        """
         function = function.lower()
         if function not in AGGREGATE_FUNCTIONS:
             raise QueryError(
@@ -171,12 +261,14 @@ class QueryBuilder:
                 f"of: {', '.join(AGGREGATE_FUNCTIONS)}"
                 + _suggest(function, AGGREGATE_FUNCTIONS)
             )
-        if self._projection is not None:
+        if self._projection is not None or self._computed:
             raise QueryError(
                 "agg() cannot be combined with select(); group the query "
                 "with group_by() instead"
             )
-        if attribute is not None:
+        if isinstance(attribute, Expr):
+            self._check_expression(attribute, f"{function}()")
+        elif attribute is not None:
             self._check_attribute(attribute, f"{function}()")
         elif function != "count":
             raise QueryError(f"{function} requires an attribute")
@@ -192,19 +284,27 @@ class QueryBuilder:
         return replace(self, _aggregates=self._aggregates + (spec,))
 
     # Spelled-out conveniences for the five functions of the paper.
-    def sum(self, attribute: str, alias: str | None = None) -> "QueryBuilder":
+    def sum(
+        self, attribute: "str | Expr", alias: str | None = None
+    ) -> "QueryBuilder":
         return self.agg("sum", attribute, alias)
 
     def count(self, alias: str | None = None) -> "QueryBuilder":
         return self.agg("count", None, alias)
 
-    def min(self, attribute: str, alias: str | None = None) -> "QueryBuilder":
+    def min(
+        self, attribute: "str | Expr", alias: str | None = None
+    ) -> "QueryBuilder":
         return self.agg("min", attribute, alias)
 
-    def max(self, attribute: str, alias: str | None = None) -> "QueryBuilder":
+    def max(
+        self, attribute: "str | Expr", alias: str | None = None
+    ) -> "QueryBuilder":
         return self.agg("max", attribute, alias)
 
-    def avg(self, attribute: str, alias: str | None = None) -> "QueryBuilder":
+    def avg(
+        self, attribute: "str | Expr", alias: str | None = None
+    ) -> "QueryBuilder":
         return self.agg("avg", attribute, alias)
 
     def having(self, target: str, op: str, value: Any) -> "QueryBuilder":
@@ -261,11 +361,22 @@ class QueryBuilder:
         return replace(self, _order_by=self._order_by + tuple(normalised))
 
     def limit(self, count: int) -> "QueryBuilder":
-        """Keep only the first ``count`` tuples (the λ operator)."""
+        """Keep only the first ``count`` tuples (the λ operator).
+
+        ``count`` must be a positive integer: a float (even an
+        integral one) is almost certainly a bug at the call site, and a
+        non-positive limit would silently discard the whole result.
+        """
         if not isinstance(count, int) or isinstance(count, bool):
-            raise QueryError(f"limit must be an integer, got {count!r}")
-        if count < 0:
-            raise QueryError(f"limit must be non-negative, got {count}")
+            raise QueryError(
+                f"limit must be an integer, got {count!r}; "
+                "pass a positive int such as limit(10)"
+            )
+        if count <= 0:
+            raise QueryError(
+                f"limit must be positive, got {count}; a limit of 0 or "
+                "less would discard every result tuple"
+            )
         return replace(self, _limit=count)
 
     def distinct(self) -> "QueryBuilder":
@@ -286,6 +397,7 @@ class QueryBuilder:
             equalities=self._equalities,
             comparisons=self._comparisons,
             projection=self._projection,
+            computed=self._computed,
             group_by=self._group_by,
             aggregates=self._aggregates,
             having=self._having,

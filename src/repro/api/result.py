@@ -154,13 +154,47 @@ class Result:
     # Plan and stats
     # ------------------------------------------------------------------
     def explain(self) -> str:
-        """The engine's explain text for this query (computed lazily)."""
+        """The engine's explain text for this query (computed lazily).
+
+        Executions that evaluated scalar expressions append provenance
+        lines: which aliases were computed from which expression, and —
+        for the factorised engine — whether evaluation distributed over
+        independent branches or fell back to localised flattening.
+        """
         if self._explain_text is None:
             if self._explain_fn is not None:
                 self._explain_text = self._explain_fn()
             else:
                 self._explain_text = f"{self.engine}: {self.query}"
+            provenance = self._expression_provenance()
+            if provenance:
+                self._explain_text += "\n" + "\n".join(provenance)
         return self._explain_text
+
+    @property
+    def expression_stats(self):
+        """The engine's :class:`~repro.core.aggregates.ExpressionStats`
+        for this execution, or ``None`` (non-FDB engines, or queries
+        without expressions)."""
+        return getattr(self.trace, "expression_stats", None)
+
+    def _expression_provenance(self) -> list[str]:
+        lines: list[str] = []
+        for spec in self.query.aggregates:
+            if spec.is_expression:
+                lines.append(
+                    f"expression: {spec.alias} ← "
+                    f"{spec.function}({spec.expression})"
+                )
+        for column in self.query.computed:
+            lines.append(f"expression: {column.alias} ← {column.expression}")
+        for condition in self.query.comparisons:
+            if condition.is_expression:
+                lines.append(f"expression: σ[{condition}]")
+        stats = self.expression_stats
+        if lines and stats is not None:
+            lines.append(f"expression evaluation: {stats.describe()}")
+        return lines
 
     @property
     def stats(self) -> ResultStats:

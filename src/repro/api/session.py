@@ -2,7 +2,7 @@
 
 :func:`connect` is the front door of the library::
 
-    from repro import connect
+    from repro import col, connect
 
     session = connect(pizzeria_database())          # default engine: fdb
     top = (session.query("R")
@@ -13,6 +13,14 @@
            .run())
     print(top.pretty())
     print(top.explain())
+
+Aggregates and selections accept scalar expressions built with
+:func:`repro.col`; the factorised engine distributes them over
+independent branches (Section 3.2)::
+
+    session.query("Orders").group_by("customer").sum(
+        col("price") * col("qty"), alias="revenue"
+    ).run()
 
 A session caches one prepared backend instance per engine name, so
 e.g. the sqlite backend loads the database once and reuses the

@@ -30,6 +30,8 @@ from repro.bench.harness import (
     render_series,
     render_table,
     time_call,
+    time_call_stats,
+    write_bench_json,
 )
 from repro.core.build import factorise
 from repro.data.generator import GeneratorConfig, generate
@@ -73,9 +75,13 @@ def _measure(
         engine.prepare(database)
         for name in query_names:
             query = WORKLOAD[name].query
-            seconds, rows = time_call(lambda: engine.run(query), repeats)
+            seconds, median, rows = time_call_stats(
+                lambda: engine.run(query), repeats
+            )
             results.append(
-                BenchResult(engine.name, name, seconds, rows or 0, scale)
+                BenchResult(
+                    engine.name, name, seconds, rows or 0, scale, median
+                )
             )
     return results
 
@@ -404,6 +410,11 @@ def run_all(print_tables: bool = True) -> dict[str, ExperimentReport]:
         for report in reports.values():
             print(report.table)
             print()
+    write_bench_json(
+        (name, result)
+        for name, report in reports.items()
+        for result in report.results
+    )
     return reports
 
 

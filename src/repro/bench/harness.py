@@ -2,24 +2,50 @@
 
 from __future__ import annotations
 
+import json
 import os
+import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+#: Machine-readable results written next to the ASCII tables.
+BENCH_JSON_NAME = "BENCH_PR2.json"
 
 
 @dataclass
 class BenchResult:
-    """One measured cell: engine × query (× scale)."""
+    """One measured cell: engine × query (× scale).
+
+    ``seconds`` is best-of-N (the paper times warmed-up runs);
+    ``median`` is the median of the same N repeats, the robust figure
+    the machine-readable output reports.
+    """
 
     engine: str
     query: str
     seconds: float
     rows: int = 0
     scale: float | None = None
+    median: float | None = None
 
     def cell(self) -> str:
         return f"{self.seconds:.4f}s"
+
+    def record(self, benchmark: str = "") -> dict[str, Any]:
+        """JSON-serialisable form of this measurement."""
+        return {
+            "benchmark": benchmark,
+            "name": self.query,
+            "engine": self.engine,
+            "scale": self.scale,
+            "median_seconds": (
+                self.median if self.median is not None else self.seconds
+            ),
+            "best_seconds": self.seconds,
+            "rows": self.rows,
+        }
 
 
 @dataclass
@@ -35,14 +61,38 @@ class Series:
 
 def time_call(call: Callable[[], Any], repeats: int = 3) -> tuple[float, Any]:
     """Best-of-N wall-clock time (the paper times warmed-up runs)."""
-    best = float("inf")
+    best, _, result = time_call_stats(call, repeats)
+    return best, result
+
+
+def time_call_stats(
+    call: Callable[[], Any], repeats: int = 3
+) -> tuple[float, float, Any]:
+    """Best-of-N and median-of-N wall-clock times plus the last result."""
+    samples: list[float] = []
     result: Any = None
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
         result = call()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-    return best, result
+        samples.append(time.perf_counter() - start)
+    return min(samples), statistics.median(samples), result
+
+
+def write_bench_json(
+    results: "Iterable[tuple[str, BenchResult]]",
+    path: "str | Path" = BENCH_JSON_NAME,
+) -> Path:
+    """Write machine-readable measurements next to the ASCII tables.
+
+    ``results`` pairs each :class:`BenchResult` with the benchmark
+    (experiment) it came from; the output is a JSON list of flat
+    records — benchmark, name, engine, scale, median wall-clock —
+    consumable by dashboards and regression tooling.
+    """
+    records = [result.record(benchmark) for benchmark, result in results]
+    target = Path(path)
+    target.write_text(json.dumps(records, indent=2) + "\n")
+    return target
 
 
 def render_table(

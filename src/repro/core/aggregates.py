@@ -23,13 +23,21 @@ optimiser.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from dataclasses import dataclass
+from itertools import product as _cartesian
+from typing import Any, Iterator, Sequence
 
 from repro.core.frep import FRNode
 from repro.core.ftree import AggregateAttribute, FNode
+from repro.expr import Attr, Expr, Term, linearise
 
 #: A fragment is a node together with its union of entries.
 FragmentItem = tuple[FNode, list]
+
+#: One γ component: an aggregation function over a bare attribute
+#: (``("sum", "price")``), over nothing (``("count", None)``), or over
+#: a scalar expression (``("sum", col("price") * col("qty"))``).
+Component = tuple[str, "str | Expr | None"]
 
 
 class CompositionError(ValueError):
@@ -211,18 +219,445 @@ def _locate(items: Sequence[FragmentItem], attribute: str, function: str) -> int
 
 
 # ---------------------------------------------------------------------------
+# Aggregates over scalar expressions (Section 3.2 on arithmetic arguments)
+# ---------------------------------------------------------------------------
+@dataclass
+class ExpressionStats:
+    """Instrumentation of one execution's expression evaluation.
+
+    ``native_terms`` counts product terms distributed over independent
+    branches without enumeration; ``flatten_events`` counts the
+    localised-flattening fallbacks (expression attributes co-occurring
+    below a common branch), and ``flattened_rows`` the tuples those
+    fallbacks enumerated.  Exposed on the execution trace so tests and
+    ``Result.explain()`` can assert the factorised path stayed native.
+    """
+
+    native_terms: int = 0
+    flatten_events: int = 0
+    flattened_rows: int = 0
+
+    def record_flatten(self, rows: int) -> None:
+        self.flatten_events += 1
+        self.flattened_rows += rows
+
+    def describe(self) -> str:
+        if self.flatten_events == 0:
+            return (
+                f"factorisation-native ({self.native_terms} term(s), "
+                "no flattening)"
+            )
+        return (
+            f"{self.native_terms} native term(s), "
+            f"{self.flatten_events} localised flattening(s) over "
+            f"{self.flattened_rows} row(s)"
+        )
+
+
+def _available_attributes(node: FNode) -> set[str]:
+    """Attributes a fragment can speak about: atomic or aggregated-over."""
+    attrs: set[str] = set()
+    for current in node.walk():
+        attrs.update(current.attributes)
+        if current.aggregate is not None:
+            attrs.update(current.aggregate.over)
+    return attrs
+
+
+def sum_expression_forest(
+    expr: Expr,
+    items: Sequence[FragmentItem],
+    evaluator: "CachedEvaluator | None" = None,
+    stats: ExpressionStats | None = None,
+) -> Any:
+    """Σ of a scalar expression over the relation of a fragment forest.
+
+    The expression is linearised into Σ cᵢ·Πⱼ fᵢⱼ; each term's factors
+    are pushed to the independent fragments that carry their attributes
+    (partial sums multiply across branches, Section 3.2.2 generalised),
+    falling back to localised flattening only where a term's attributes
+    co-occur below a common branch.
+    """
+    total: Any = 0
+    for term in linearise(expr):
+        total += _term_sum_forest(term, items, evaluator, stats)
+    return total
+
+
+def _count_item(
+    node: FNode, union: list, evaluator: "CachedEvaluator | None"
+) -> int:
+    if evaluator is not None:
+        return evaluator.count_item(node, union)
+    return count_union(node, union)
+
+
+def _sum_item(
+    attribute: str,
+    node: FNode,
+    union: list,
+    evaluator: "CachedEvaluator | None",
+) -> Any:
+    if evaluator is not None:
+        return evaluator.sum_item(attribute, node, union)
+    return sum_union(attribute, node, union)
+
+
+def _term_sum_forest(
+    term: Term,
+    items: Sequence[FragmentItem],
+    evaluator: "CachedEvaluator | None",
+    stats: ExpressionStats | None,
+) -> Any:
+    items = list(items)
+    if not term.factors:
+        total = term.coefficient
+        for node, union in items:
+            total *= _count_item(node, union, evaluator)
+        return total
+    available = [_available_attributes(node) for node, _ in items]
+    assigned: list[list[Expr]] = [[] for _ in items]
+    spanning = False
+    for factor in term.factors:
+        attrs = set(factor.attributes())
+        holders = [i for i, a in enumerate(available) if attrs & a]
+        if not holders:
+            missing = attrs - set().union(*available) if available else attrs
+            raise CompositionError(
+                f"expression attributes {sorted(missing)} are not "
+                "available in the fragment forest"
+            )
+        if len(holders) == 1 and attrs <= available[holders[0]]:
+            assigned[holders[0]].append(factor)
+        else:
+            spanning = True
+            break
+    if spanning:
+        # A single factor straddles independent fragments (e.g. a
+        # quotient with attributes in two branches): enumerate the
+        # involved fragments jointly, counts for the rest.
+        needed = set(term.attributes())
+        involved = [i for i, a in enumerate(available) if a & needed]
+        total = term.coefficient * _flatten_sum(
+            term.factors, [items[i] for i in involved], needed, stats
+        )
+        for i, (node, union) in enumerate(items):
+            if i not in involved:
+                total *= _count_item(node, union, evaluator)
+        return total
+    if stats is not None:
+        stats.native_terms += 1
+    total = term.coefficient
+    for (node, union), factors in zip(items, assigned):
+        if factors:
+            total *= _term_sum_fragment(factors, node, union, evaluator, stats)
+        else:
+            total *= _count_item(node, union, evaluator)
+    return total
+
+
+def _term_sum_fragment(
+    factors: Sequence[Expr],
+    node: FNode,
+    union: list,
+    evaluator: "CachedEvaluator | None",
+    stats: ExpressionStats | None,
+) -> Any:
+    """Σ of a product of factors over one fragment's relation."""
+    if len(factors) == 1 and isinstance(factors[0], Attr):
+        # Bare attribute: the Section 3.2.2 evaluator (understands
+        # partial-sum components of aggregate attributes).
+        return _sum_item(factors[0].name, node, union, evaluator)
+    if evaluator is not None:
+        key = ("expr-term", tuple(factors), id(union))
+        return evaluator._memo(
+            key,
+            union,
+            lambda: _term_sum_fragment(factors, node, union, None, stats),
+        )
+    if node.aggregate is not None:
+        raise CompositionError(
+            f"cannot evaluate a product of factors over pre-aggregated "
+            f"attribute {node.aggregate} (joint distribution lost)"
+        )
+    node_attrs = set(node.attributes)
+    here: list[Expr] = []
+    rest: list[Expr] = []
+    for factor in factors:
+        if isinstance(factor, Attr) and factor.name in node_attrs:
+            here.append(factor)
+        else:
+            rest.append(factor)
+    child_available = [_available_attributes(c) for c in node.children]
+    child_factors: list[list[Expr]] = [[] for _ in node.children]
+    decomposable = True
+    for factor in rest:
+        attrs = set(factor.attributes())
+        if attrs & node_attrs:
+            decomposable = False  # composite factor mixing levels
+            break
+        holders = [i for i, a in enumerate(child_available) if attrs & a]
+        if len(holders) == 1 and attrs <= child_available[holders[0]]:
+            child_factors[holders[0]].append(factor)
+        else:
+            decomposable = False
+            break
+    if not decomposable:
+        needed = {a for factor in factors for a in factor.attributes()}
+        return _flatten_sum(factors, [(node, union)], needed, stats)
+    total: Any = 0
+    for entry in union:
+        prod: Any = 1
+        for _ in here:
+            prod *= entry.value
+        for child, assigned, child_union in zip(
+            node.children, child_factors, entry.children
+        ):
+            if assigned:
+                prod *= _term_sum_fragment(
+                    assigned, child, child_union, None, stats
+                )
+            else:
+                prod *= count_union(child, child_union)
+        total += prod
+    return total
+
+
+def _flatten_sum(
+    factors: Sequence[Expr],
+    items: Sequence[FragmentItem],
+    needed: set[str],
+    stats: ExpressionStats | None,
+) -> Any:
+    """Localised flattening: enumerate the involved fragments' rows."""
+    total: Any = 0
+    rows = 0
+    for binding, weight in _iter_forest_bindings(items, needed):
+        value: Any = weight
+        for factor in factors:
+            value *= factor.evaluate(binding)
+        total += value
+        rows += 1
+    if stats is not None:
+        stats.record_flatten(rows)
+    return total
+
+
+def extremum_expression_forest(
+    function: str,
+    expr: Expr,
+    items: Sequence[FragmentItem],
+    stats: ExpressionStats | None = None,
+) -> Any:
+    """min/max of a scalar expression over a fragment forest.
+
+    Extrema do not distribute over arithmetic, so the involved
+    fragments are enumerated (weights — multiplicities — are
+    irrelevant for extrema); independent fragments are ignored.
+    """
+    pick = min if function == "min" else max
+    needed = set(expr.attributes())
+    involved = [
+        (node, union)
+        for node, union in items
+        if _available_attributes(node) & needed
+    ]
+    covered = set().union(
+        *(_available_attributes(node) for node, _ in involved)
+    ) if involved else set()
+    if needed - covered:
+        raise CompositionError(
+            f"expression attributes {sorted(needed - covered)} are not "
+            "available in the fragment forest"
+        )
+    best: Any = None
+    seen = False
+    rows = 0
+    for binding, _ in _iter_forest_bindings(involved, needed):
+        value = expr.evaluate(binding)
+        best = value if not seen else pick(best, value)
+        seen = True
+        rows += 1
+    if stats is not None and needed:
+        stats.record_flatten(rows)
+    if not seen:
+        raise EmptyAggregateError(f"{function} over an empty fragment")
+    return best
+
+
+def _iter_forest_bindings(
+    items: Sequence[FragmentItem], needed: set[str]
+) -> Iterator[tuple[dict[str, Any], int]]:
+    """Weighted row bindings of a product of fragments, localised.
+
+    Yields ``(binding, weight)`` pairs covering exactly the ``needed``
+    attributes; subtrees without needed attributes contribute their
+    tuple counts to the weight instead of being expanded.
+    """
+    if not items:
+        yield {}, 1
+        return
+    streams = [
+        list(_iter_fragment_bindings(node, union, needed))
+        for node, union in items
+    ]
+    for combo in _cartesian(*streams):
+        binding: dict[str, Any] = {}
+        weight = 1
+        for part, part_weight in combo:
+            binding.update(part)
+            weight *= part_weight
+        yield binding, weight
+
+
+def _iter_fragment_bindings(
+    node: FNode, union: list, needed: set[str]
+) -> Iterator[tuple[dict[str, Any], int]]:
+    for entry in union:
+        if node.aggregate is not None:
+            if node.aggregate.over & needed:
+                raise CompositionError(
+                    f"attributes {sorted(node.aggregate.over & needed)} "
+                    f"were aggregated into {node.aggregate}; the joint "
+                    "values are no longer enumerable"
+                )
+            weight = _entry_multiplicity(node, entry)
+            base: dict[str, Any] = {}
+        else:
+            weight = 1
+            base = {
+                name: entry.value
+                for name in node.attributes
+                if name in needed
+            }
+        relevant = [
+            index
+            for index, child in enumerate(node.children)
+            if _available_attributes(child) & needed
+        ]
+        for index, child in enumerate(node.children):
+            if index not in relevant:
+                weight *= count_union(child, entry.children[index])
+        if not relevant:
+            yield base, weight
+            continue
+        child_items = [
+            (node.children[index], entry.children[index])
+            for index in relevant
+        ]
+        for child_binding, child_weight in _iter_forest_bindings(
+            child_items, needed
+        ):
+            binding = dict(base)
+            binding.update(child_binding)
+            yield binding, weight * child_weight
+
+
+# ---------------------------------------------------------------------------
+# Planner-facing expression analysis
+# ---------------------------------------------------------------------------
+def expression_constraints(
+    specs: Sequence,
+) -> tuple[tuple[frozenset[str], ...], frozenset[str]]:
+    """γ-placement constraints induced by expression aggregates.
+
+    Returns ``(coupled, protected)``: ``coupled`` groups of attributes
+    that co-occur multiplicatively in one term (a γ may absorb at most
+    one of each group — separate partial sums cannot recover the joint
+    product); ``protected`` attributes that must stay atomic entirely
+    (arguments of min/max expressions, attributes inside opaque factors
+    such as non-constant divisors, and attributes squared within a
+    term).
+    """
+    coupled: list[frozenset[str]] = []
+    protected: set[str] = set()
+    for spec in specs:
+        target = spec.attribute
+        if not isinstance(target, Expr):
+            continue
+        if spec.function in ("min", "max"):
+            protected.update(target.attributes())
+            continue
+        for term in linearise(target):
+            occurrences: dict[str, int] = {}
+            for factor in term.factors:
+                if isinstance(factor, Attr):
+                    occurrences[factor.name] = occurrences.get(factor.name, 0) + 1
+                else:
+                    protected.update(factor.attributes())
+            protected.update(a for a, n in occurrences.items() if n > 1)
+            attrs = frozenset(term.attributes())
+            if len(attrs) > 1 and attrs not in coupled:
+                coupled.append(attrs)
+    return tuple(coupled), frozenset(protected)
+
+
+def planner_components(
+    specs: Sequence,
+) -> tuple[tuple[str, str | None], ...]:
+    """Attribute-level γ components the optimiser may materialise.
+
+    For classical specs this matches :func:`repro.core.engine.
+    expand_functions`; expression aggregates contribute per-attribute
+    partial sums (one per linear factor occurrence) plus a shared
+    count, which is exactly what the final expression evaluation can
+    compose (Σ a·b over independent branches = Σa · Σb).
+    """
+    components: list[tuple[str, str | None]] = []
+
+    def want(component: tuple[str, str | None]) -> None:
+        if component not in components:
+            components.append(component)
+
+    for spec in specs:
+        target = spec.attribute
+        if spec.function == "count":
+            want(("count", None))
+        elif isinstance(target, Expr):
+            if spec.function in ("sum", "avg"):
+                for term in linearise(target):
+                    occurrences: dict[str, int] = {}
+                    opaque: set[str] = set()
+                    for factor in term.factors:
+                        if isinstance(factor, Attr):
+                            occurrences[factor.name] = (
+                                occurrences.get(factor.name, 0) + 1
+                            )
+                        else:
+                            opaque.update(factor.attributes())
+                    for name, count in occurrences.items():
+                        if count == 1 and name not in opaque:
+                            want(("sum", name))
+                want(("count", None))
+            # min/max expressions: no usable attribute-level partials;
+            # their attributes are protected from aggregation instead.
+        elif spec.function == "avg":
+            want(("sum", target))
+            want(("count", None))
+        else:
+            want((spec.function, target))
+    if specs and not components:
+        # Pure expression-extremum queries still need counts so the
+        # planner can aggregate unrelated subtrees and group.
+        components.append(("count", None))
+    return tuple(components)
+
+
+# ---------------------------------------------------------------------------
 # Composite aggregation functions (Section 3.2.4)
 # ---------------------------------------------------------------------------
 def evaluate_components(
-    functions: Sequence[tuple[str, str | None]],
+    functions: Sequence[Component],
     items: Sequence[FragmentItem],
+    stats: ExpressionStats | None = None,
 ) -> tuple:
     """Evaluate several aggregation functions over one fragment forest.
 
     Shared work: the count is computed once even when several components
     need it (the paper notes the two count computations of an avg are
-    shared).  Returns the tuple of component values aligned with
-    ``functions``.
+    shared).  Components over scalar expressions route through the
+    Section 3.2 distribution machinery.  Returns the tuple of component
+    values aligned with ``functions``.
     """
     count_cache: int | None = None
 
@@ -236,6 +671,21 @@ def evaluate_components(
     for function, attribute in functions:
         if function == "count":
             values.append(counted())
+        elif isinstance(attribute, Expr):
+            if function == "sum":
+                values.append(
+                    sum_expression_forest(attribute, items, stats=stats)
+                )
+            elif function in ("min", "max"):
+                values.append(
+                    extremum_expression_forest(
+                        function, attribute, items, stats=stats
+                    )
+                )
+            else:
+                raise CompositionError(
+                    f"unknown aggregation function {function!r}"
+                )
         elif function == "sum":
             values.append(sum_forest(attribute, items))
         elif function in ("min", "max"):
@@ -255,9 +705,10 @@ class CachedEvaluator:
     so ``id`` reuse cannot alias entries.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, stats: ExpressionStats | None = None) -> None:
         self._cache: dict[tuple, Any] = {}
         self._pins: list = []
+        self.stats = stats
 
     def _memo(self, key: tuple, union: list, compute) -> Any:
         if key not in self._cache:
@@ -307,6 +758,23 @@ class CachedEvaluator:
         for function, attribute in functions:
             if function == "count":
                 values.append(counted())
+            elif isinstance(attribute, Expr):
+                if function == "sum":
+                    values.append(
+                        sum_expression_forest(
+                            attribute, items, evaluator=self, stats=self.stats
+                        )
+                    )
+                elif function in ("min", "max"):
+                    values.append(
+                        extremum_expression_forest(
+                            function, attribute, items, stats=self.stats
+                        )
+                    )
+                else:
+                    raise CompositionError(
+                        f"unknown aggregation function {function!r}"
+                    )
             elif function == "sum":
                 carrier = _locate(items, attribute, "sum")
                 node, union = items[carrier]

@@ -29,6 +29,7 @@ unchanged fragments instead of mutating them.
 
 from __future__ import annotations
 
+import warnings
 from itertools import islice
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
@@ -74,6 +75,7 @@ class FactorisedResult:
         specs: Sequence[AggregateSpec] = (),
         order: Sequence[SortKey] = (),
         limit: int | None = None,
+        computed: Sequence = (),
     ) -> None:
         self.factorisation = factorisation
         self.output_schema = tuple(output_schema)
@@ -81,6 +83,7 @@ class FactorisedResult:
         self.specs = tuple(specs)
         self.order = tuple(order)
         self.limit = limit
+        self.computed = tuple(computed)
 
     def size(self) -> int:
         """Singleton count of the result representation."""
@@ -94,14 +97,28 @@ class FactorisedResult:
         ]
         raw_schema = fact.schema()
         aliases = {spec.alias: spec for spec in self.specs}
-        positions = []
+        computed_by_alias = {
+            column.alias: column for column in self.computed
+        }
+        positions: list[int | None] = []
         component_of: dict[int, AggregateSpec] = {}
+        computed_of: dict[int, Any] = {}
         for out_index, name in enumerate(self.output_schema):
             if self.aggregate_node is not None and name in aliases:
                 # An aggregate alias: resolved from the aggregate node's
                 # component tuple (the node may itself carry the alias).
                 positions.append(raw_schema.index(self.aggregate_node))
                 component_of[out_index] = aliases[name]
+            elif name in computed_by_alias:
+                column = computed_by_alias[name]
+                positions.append(None)
+                computed_of[out_index] = (
+                    column.expression,
+                    [
+                        (a, raw_schema.index(a))
+                        for a in column.source_attributes
+                    ],
+                )
             else:
                 positions.append(raw_schema.index(name))
 
@@ -115,6 +132,12 @@ class FactorisedResult:
         def shape(row: tuple) -> tuple:
             out = []
             for out_index, position in enumerate(positions):
+                if position is None:
+                    expression, slots = computed_of[out_index]
+                    out.append(
+                        expression.evaluate({a: row[p] for a, p in slots})
+                    )
+                    continue
                 value = row[position]
                 if out_index in component_of:
                     value = _spec_value(component_of[out_index], functions, value)
@@ -171,8 +194,46 @@ class FDBEngine:
         self.optimizer = (
             GreedyOptimizer() if optimizer == "greedy" else ExhaustiveOptimizer()
         )
-        self.last_trace: ExecutionTrace | None = None
-        self.last_plan: FPlan | None = None
+        self._last_trace: ExecutionTrace | None = None
+        self._last_plan: FPlan | None = None
+
+    # ------------------------------------------------------------------
+    # Deprecated engine-state accessors
+    # ------------------------------------------------------------------
+    @property
+    def last_plan(self) -> FPlan | None:
+        """Deprecated: the plan of the most recent :meth:`execute` call.
+
+        Engine state cannot distinguish concurrent callers; use
+        :meth:`execute_traced` (or the :class:`repro.api.Result`, which
+        carries the plan that produced it) instead.
+        """
+        warnings.warn(
+            "FDBEngine.last_plan is deprecated; use execute_traced() or "
+            "the Result object of the session API instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_plan
+
+    @last_plan.setter
+    def last_plan(self, value: FPlan | None) -> None:
+        self._last_plan = value
+
+    @property
+    def last_trace(self) -> ExecutionTrace | None:
+        """Deprecated: the trace of the most recent :meth:`execute` call."""
+        warnings.warn(
+            "FDBEngine.last_trace is deprecated; use execute_traced() or "
+            "the Result object of the session API instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_trace
+
+    @last_trace.setter
+    def last_trace(self, value: ExecutionTrace | None) -> None:
+        self._last_trace = value
 
     # ------------------------------------------------------------------
     # Public API
@@ -186,8 +247,8 @@ class FDBEngine:
         ``Result`` carries the plan) instead of reading engine state.
         """
         result, plan, trace = self.execute_traced(query, database)
-        self.last_plan = plan
-        self.last_trace = trace
+        self._last_plan = plan
+        self._last_trace = trace
         return result
 
     def execute_traced(
@@ -202,9 +263,15 @@ class FDBEngine:
         query = _with_effective_projection(query, database)
         fact, hypergraph, equalities = self._prepare_inputs(query, database)
         trace = ExecutionTrace()
+        stats = agg.ExpressionStats()
+        trace.expression_stats = stats
 
-        # Constant selections first (Section 5.1: evaluated in one pass).
-        select_plan = FPlan([SelectStep(c) for c in query.comparisons])
+        # Constant selections first (Section 5.1: evaluated in one
+        # pass); expression selections were pushed into the inputs by
+        # ``_prepare_inputs``.
+        select_plan = FPlan(
+            [SelectStep(c) for c in query.comparisons if not c.is_expression]
+        )
         fact = select_plan.execute(fact, trace)
 
         ctx = self._plan_context(query, fact.ftree, hypergraph, equalities)
@@ -212,7 +279,7 @@ class FDBEngine:
         fact = plan.execute(fact, trace)
 
         if query.aggregates:
-            result = self._shape_aggregate_output(query, fact)
+            result = self._shape_aggregate_output(query, fact, stats)
         else:
             result = self._shape_spj_output(query, fact)
         return result, plan, trace
@@ -231,10 +298,18 @@ class FDBEngine:
         ctx = self._plan_context(query, fact.ftree, hypergraph, equalities)
         plan = self.optimizer.plan(fact.ftree, ctx)
         trees = plan.simulate(fact.ftree)
-        lines = [f"query: {query}", "input f-tree:"]
+        lines = [f"query: {query}"]
+        expression_selects = [c for c in query.comparisons if c.is_expression]
+        if expression_selects:
+            conditions = " ∧ ".join(str(c) for c in expression_selects)
+            lines.append(
+                f"σ[{conditions}]  (row-wise on the owning input relation)"
+            )
+        lines.append("input f-tree:")
         lines.extend("  " + line for line in fact.ftree.pretty().splitlines())
-        if query.comparisons:
-            conditions = " ∧ ".join(str(c) for c in query.comparisons)
+        simple_selects = [c for c in query.comparisons if not c.is_expression]
+        if simple_selects:
+            conditions = " ∧ ".join(str(c) for c in simple_selects)
             lines.append(f"σ[{conditions}]  (one traversal)")
         for step, tree in zip(plan, trees[1:]):
             exponent = s_parameter(tree, hypergraph)
@@ -246,6 +321,19 @@ class FDBEngine:
                 else "enumerate groups, combining partial aggregates on the fly"
             )
             lines.append(f"output: {mode}")
+            expression_specs = [
+                spec for spec in query.aggregates if spec.is_expression
+            ]
+            if expression_specs:
+                rendered = ", ".join(str(s) for s in expression_specs)
+                lines.append(
+                    f"expression aggregates: {rendered} — sums of products "
+                    "distribute over independent branches (Section 3.2); "
+                    "co-occurring attributes flatten locally"
+                )
+        elif query.computed:
+            rendered = ", ".join(str(c) for c in query.computed)
+            lines.append(f"computed columns: {rendered} (evaluated row-wise)")
         elif query.order_by:
             lines.append(
                 "output: ordered constant-delay enumeration "
@@ -265,6 +353,7 @@ class FDBEngine:
     ) -> tuple[Factorisation, Hypergraph, tuple]:
         schemas = {name: database.schema(name) for name in query.relations}
         renames, natural = natural_equalities(schemas, query.relations)
+        selections = _assign_expression_selections(query, schemas, renames)
 
         facts = []
         hyperedges: dict[str, set[str]] = {}
@@ -275,14 +364,37 @@ class FDBEngine:
         for name in query.relations:
             mapping = renames[name]
             registered = database.get_factorised(name)
-            if registered is not None:
+            if registered is not None and name not in selections:
                 fact = registered
                 for old, new in mapping.items():
                     fact = ops.rename(fact, old, new)
             else:
+                # Expression selections are evaluated row-wise on the
+                # (possibly flattened) input before factorisation — a
+                # localised filter, since each condition's attributes
+                # live in exactly one input.
                 relation = database.flat(name)
                 if mapping:
                     relation = relation.rename(mapping)
+                for condition in selections.get(name, ()):
+                    expression = condition.attribute
+                    positions = [
+                        (a, relation.position(a))
+                        for a in expression.attributes()
+                    ]
+                    relation = Relation(
+                        relation.schema,
+                        [
+                            row
+                            for row in relation.rows
+                            if condition.test(
+                                expression.evaluate(
+                                    {a: row[p] for a, p in positions}
+                                )
+                            )
+                        ],
+                        name=relation.name,
+                    )
                 schema = relation.schema
                 order = sorted(
                     schema,
@@ -314,12 +426,19 @@ class FDBEngine:
         equalities: tuple,
     ) -> PlanContext:
         aliases = {spec.alias for spec in query.aggregates}
+        aliases.update(column.alias for column in query.computed)
         order = tuple(
             key for key in query.order_by if key.attribute not in aliases
         )
+        coupled: tuple = ()
+        protected: frozenset = frozenset()
         if query.aggregates:
             kept = frozenset(query.group_by)
-            functions = expand_functions(query.aggregates)
+            # The planner materialises attribute-level partials only;
+            # expression components are evaluated by the output stage
+            # over whatever fragments the constraints kept atomic.
+            functions = agg.planner_components(query.aggregates)
+            coupled, protected = agg.expression_constraints(query.aggregates)
         else:
             kept_list = (
                 query.projection
@@ -327,6 +446,8 @@ class FDBEngine:
                 else tuple(query.group_by) or tuple(ftree.attribute_names())
             )
             kept = frozenset(kept_list) | {key.attribute for key in order}
+            for column in query.computed:
+                kept |= set(column.source_attributes)
             functions = ()
         for attribute in kept | {k.attribute for k in order}:
             if attribute not in ftree:
@@ -339,23 +460,30 @@ class FDBEngine:
             kept=kept,
             functions=functions,
             order=order,
+            coupled=coupled,
+            protected=protected,
         )
 
     # ------------------------------------------------------------------
     # Aggregate output
     # ------------------------------------------------------------------
-    def _shape_aggregate_output(self, query: Query, fact: Factorisation):
+    def _shape_aggregate_output(
+        self,
+        query: Query,
+        fact: Factorisation,
+        stats: "agg.ExpressionStats | None" = None,
+    ):
         aliases = {spec.alias for spec in query.aggregates}
         order_has_alias = any(
             key.attribute in aliases for key in query.order_by
         )
         if self.output == "factorised":
-            return self._finalised_result(query, fact)
+            return self._finalised_result(query, fact, stats)
         if order_has_alias:
             if len(query.aggregates) == 1:
                 # The paper's route: finalise, promote the aggregate node
                 # (a swap), enumerate in sorted order.
-                return self._finalised_result(query, fact).to_relation(
+                return self._finalised_result(query, fact, stats).to_relation(
                     query.name
                 )
             # Several aggregates ordered by one alias: combine on the fly
@@ -363,14 +491,19 @@ class FDBEngine:
             from dataclasses import replace
 
             unordered = replace(query, order_by=(), limit=None)
-            result = self._flat_aggregate_output(unordered, fact)
+            result = self._flat_aggregate_output(unordered, fact, stats)
             rows = sort_rows(result.rows, result.schema, query.order_by)
             if query.limit is not None:
                 rows = rows[: query.limit]
             return Relation(result.schema, rows, name=query.name or "result")
-        return self._flat_aggregate_output(query, fact)
+        return self._flat_aggregate_output(query, fact, stats)
 
-    def _flat_aggregate_output(self, query: Query, fact: Factorisation) -> Relation:
+    def _flat_aggregate_output(
+        self,
+        query: Query,
+        fact: Factorisation,
+        stats: "agg.ExpressionStats | None" = None,
+    ) -> Relation:
         """Enumerate groups, combining partial aggregates on the fly."""
         functions = expand_functions(query.aggregates)
         order = [
@@ -378,20 +511,18 @@ class FDBEngine:
             for key in query.order_by
             if key.attribute in query.group_by
         ]
-        evaluator = agg.CachedEvaluator()
+        evaluator = agg.CachedEvaluator(stats=stats)
         having = [
             (h.target, h) for h in query.having
         ]
         schema = query.output_schema
-        alias_index = {
-            spec.alias: i for i, spec in enumerate(query.aggregates)
-        }
         rows: list[tuple] = []
         want = query.limit if (query.limit is not None and not query.having) else None
         group_sources = {
             attr
-            for _, attr in functions
-            if attr is not None and attr in query.group_by
+            for _, target in functions
+            for attr in _target_attributes(target)
+            if attr in query.group_by
         }
         for assignment, leftovers in iter_group_contexts(
             fact, query.group_by, order
@@ -404,7 +535,7 @@ class FDBEngine:
                 items = leftovers + _group_value_fragments(
                     group_sources, assignment
                 )
-                components = agg.evaluate_components(functions, items)
+                components = agg.evaluate_components(functions, items, stats)
             else:
                 components = evaluator.components(functions, leftovers)
             values = tuple(
@@ -423,13 +554,18 @@ class FDBEngine:
             rows = rows[: query.limit]
         return Relation(schema, rows, name=query.name or "result")
 
-    def _finalised_result(self, query: Query, fact: Factorisation) -> FactorisedResult:
+    def _finalised_result(
+        self,
+        query: Query,
+        fact: Factorisation,
+        stats: "agg.ExpressionStats | None" = None,
+    ) -> FactorisedResult:
         """Collapse partial aggregates into a single aggregate node."""
         functions = expand_functions(query.aggregates)
         aliases = {spec.alias for spec in query.aggregates}
         group_order = _group_path_order(query)
         fact = _linearise_group(fact, group_order)
-        fact, node_name = _collapse_partials(fact, group_order, functions)
+        fact, node_name = _collapse_partials(fact, group_order, functions, stats)
 
         # Ordering: group-attribute keys are honoured by the linearised
         # path; an alias key requires promoting the aggregate node.
@@ -484,38 +620,103 @@ class FDBEngine:
     # SPJ output
     # ------------------------------------------------------------------
     def _shape_spj_output(self, query: Query, fact: Factorisation):
+        computed = query.computed
+        computed_aliases = {column.alias for column in computed}
         kept = (
             set(query.projection)
             if query.projection is not None
             else set(query.group_by) or None
         )
         if kept is not None:
-            kept |= {key.attribute for key in query.order_by}
+            kept |= {
+                key.attribute
+                for key in query.order_by
+                if key.attribute not in computed_aliases
+            }
+            for column in computed:
+                kept |= set(column.source_attributes)
+            if not kept:
+                # Attribute-free output: every computed column is
+                # constant, so set semantics yield at most one row.
+                row = tuple(c.expression.evaluate({}) for c in computed)
+                return Relation(
+                    [c.alias for c in computed],
+                    [] if fact.is_empty() else [row],
+                    name=query.name or "result",
+                )
             fact = _project_to(fact, kept)
         if self.output == "factorised":
+            if any(
+                key.attribute in computed_aliases for key in query.order_by
+            ):
+                raise QueryError(
+                    "ordering by a computed column is not supported in "
+                    "factorised output; use the flat fdb engine instead"
+                )
             schema = (
                 tuple(query.projection)
                 if query.projection is not None
                 else tuple(fact.schema())
-            )
+            ) + tuple(column.alias for column in computed)
             return FactorisedResult(
-                fact, schema, order=query.order_by, limit=query.limit
+                fact,
+                schema,
+                order=query.order_by,
+                limit=query.limit,
+                computed=computed,
             )
-        order = normalise_order(query.order_by)
+        alias_keys = any(
+            key.attribute in computed_aliases for key in query.order_by
+        )
+        # Ordering by a computed alias cannot ride the factorisation:
+        # enumerate unordered, compute, sort the materialised rows.
+        order = () if alias_keys else normalise_order(query.order_by)
         if order and not supports_order(fact.ftree, order):
             for child in restructure_for_order(fact.ftree, order):
                 fact = ops.swap(fact, child)
         raw_schema = fact.schema()
-        out_schema = (
+        base_schema = (
             list(query.projection)
             if query.projection is not None
             else raw_schema
         )
-        positions = [raw_schema.index(a) for a in out_schema]
-        rows = (
-            tuple(row[p] for p in positions)
-            for row in iter_tuples(fact, order)
-        )
+        out_schema = list(base_schema) + [c.alias for c in computed]
+        positions = [raw_schema.index(a) for a in base_schema]
+        if computed:
+            expr_slots = [
+                (
+                    column.expression,
+                    [(a, raw_schema.index(a)) for a in column.source_attributes],
+                )
+                for column in computed
+            ]
+
+            def shape(row: tuple) -> tuple:
+                values = [row[p] for p in positions]
+                for expression, slots in expr_slots:
+                    values.append(
+                        expression.evaluate({a: row[p] for a, p in slots})
+                    )
+                return tuple(values)
+
+            def deduped() -> Iterator[tuple]:
+                # π is set semantics: a non-injective expression can
+                # map distinct source tuples to equal output rows.
+                seen: set[tuple] = set()
+                for row in iter_tuples(fact, order):
+                    shaped = shape(row)
+                    if shaped not in seen:
+                        seen.add(shaped)
+                        yield shaped
+
+            rows = deduped()
+        else:
+            rows = (
+                tuple(row[p] for p in positions)
+                for row in iter_tuples(fact, order)
+            )
+        if alias_keys:
+            rows = iter(sort_rows(list(rows), out_schema, query.order_by))
         if query.limit is not None:
             rows = islice(rows, query.limit)
         return Relation(out_schema, list(rows), name=query.name or "result")
@@ -526,11 +727,14 @@ class FDBEngine:
 # ---------------------------------------------------------------------------
 def expand_functions(
     specs: Sequence[AggregateSpec],
-) -> tuple[tuple[str, str | None], ...]:
+) -> tuple[tuple[str, "str | None"], ...]:
     """Query aggregates as γ components, avg expanded to sum+count.
 
     Components are deduplicated so shared counts are computed once
-    (Section 3.2.4).
+    (Section 3.2.4).  Expression aggregates appear as components over
+    their expression tree (``("sum", col("a") * col("b"))``); the
+    evaluators of :mod:`repro.core.aggregates` distribute them over the
+    factorisation.
     """
     components: list[tuple[str, str | None]] = []
 
@@ -562,6 +766,49 @@ def _component_value(
     if spec.function == "count":
         return components[functions.index(("count", None))]
     return components[functions.index((spec.function, spec.attribute))]
+
+
+def _target_attributes(target) -> tuple[str, ...]:
+    """Attribute names of a γ component target (None/str/Expr)."""
+    from repro.query import target_attributes
+
+    return target_attributes(target)
+
+
+def _assign_expression_selections(
+    query: Query,
+    schemas: dict[str, Sequence[str]],
+    renames: dict[str, dict[str, str]],
+) -> dict[str, list]:
+    """Map each expression selection to the one input relation owning
+    all its attributes (post-rename names).
+
+    The FDB engine evaluates these row-wise on that input before
+    factorisation — a localised filter.  A condition whose attributes
+    span inputs has no single carrier and is rejected.
+    """
+    conditions = [c for c in query.comparisons if c.is_expression]
+    if not conditions:
+        return {}
+    post_rename = {
+        name: {renames[name].get(a, a) for a in schemas[name]}
+        for name in query.relations
+    }
+    assigned: dict[str, list] = {}
+    for condition in conditions:
+        attrs = set(condition.attributes)
+        owners = [
+            name for name in query.relations if attrs <= post_rename[name]
+        ]
+        if not owners:
+            raise QueryError(
+                f"expression selection {condition} references attributes "
+                "of more than one input relation (or unknown attributes); "
+                "the FDB engine evaluates expression selections per input "
+                "relation"
+            )
+        assigned.setdefault(owners[0], []).append(condition)
+    return assigned
 
 
 def _comparison(condition) -> "Comparison":
@@ -721,6 +968,7 @@ def _collapse_partials(
     fact: Factorisation,
     group_order: list[str],
     functions: Sequence[tuple[str, str | None]],
+    stats: "agg.ExpressionStats | None" = None,
 ) -> tuple[Factorisation, str]:
     """Replace leftover fragments with one final aggregate node.
 
@@ -730,7 +978,7 @@ def _collapse_partials(
     """
     tree = fact.ftree
     group_set = set(group_order)
-    evaluator = agg.CachedEvaluator()
+    evaluator = agg.CachedEvaluator(stats=stats)
     name = fresh_aggregate_name("final")
     over: set[str] = set()
     for node in tree.nodes():
@@ -760,8 +1008,9 @@ def _collapse_partials(
     fresh_key = f"__dep_final_{name}"
     group_sources = {
         attr
-        for _, attr in functions
-        if attr is not None and attr in group_set
+        for _, target in functions
+        for attr in _target_attributes(target)
+        if attr in group_set
     }
     assignment: dict[str, Any] = {}
 
@@ -797,7 +1046,7 @@ def _collapse_partials(
                     items = entry_pending + _group_value_fragments(
                         group_sources, assignment
                     )
-                    value = agg.evaluate_components(functions, items)
+                    value = agg.evaluate_components(functions, items, stats)
                 else:
                     value = evaluator.components(functions, items)
                 new_union.append(

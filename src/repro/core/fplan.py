@@ -162,11 +162,18 @@ class RemoveLeafStep(Step):
 
 @dataclass
 class ExecutionTrace:
-    """Sizes and trees recorded while executing an f-plan."""
+    """Sizes and trees recorded while executing an f-plan.
+
+    ``expression_stats`` (a
+    :class:`repro.core.aggregates.ExpressionStats`, when the engine
+    evaluated expression aggregates) records whether evaluation stayed
+    factorisation-native or fell back to localised flattening.
+    """
 
     steps: list[str] = field(default_factory=list)
     sizes: list[int] = field(default_factory=list)
     trees: list[FTree] = field(default_factory=list)
+    expression_stats: object | None = None
 
     def describe(self) -> str:
         lines = ["f-plan execution:"]

@@ -55,6 +55,14 @@ class PlanContext:
     attributes for select-project-join queries.  ``functions`` lists the
     query's aggregation function components ((fn, attr) pairs, with avg
     already expanded to sum+count); empty for non-aggregate queries.
+
+    Expression aggregates add two γ-placement constraints: ``coupled``
+    groups of attributes co-occur multiplicatively in one term, so a γ
+    may absorb at most one attribute per group (separate partial sums
+    cannot recover Σ a·b when a and b are dependent); ``protected``
+    attributes must stay atomic entirely (min/max expression arguments
+    and opaque factors), leaving their evaluation to the engine's final
+    expression pass.
     """
 
     hypergraph: Hypergraph
@@ -63,6 +71,8 @@ class PlanContext:
     functions: tuple[tuple[str, str | None], ...] = ()
     order: tuple[SortKey, ...] = ()
     scale: float = 1024.0
+    coupled: tuple[frozenset[str], ...] = ()
+    protected: frozenset[str] = frozenset()
 
     def __post_init__(self) -> None:
         self.order = tuple(normalise_order(self.order))
@@ -175,13 +185,27 @@ def _eligible_children(
     blocked = _blocked_attributes(pending)
     children = tree.roots if parent is None else parent.children
     eligible = []
+    combined_covered: set[str] = set()
     for child in children:
         names = child.subtree_names()
         if names & ctx.kept or names & blocked:
             continue
+        # Expression constraints apply to the *covered* attribute set
+        # (including attributes already folded into inner aggregates):
+        # once two coupled attributes share one γ, their joint products
+        # are unrecoverable.  The constraint binds the whole step — the
+        # selected children are aggregated into one node — so coupled
+        # attributes in sibling subtrees must go to separate γs.
+        covered = _aggregated_attributes(child)
+        if covered & ctx.protected:
+            continue
+        joint = combined_covered | covered
+        if any(len(group & joint) >= 2 for group in ctx.coupled):
+            continue
         if not _composable_subtree(child, ctx):
             continue
         eligible.append(child)
+        combined_covered = joint
     return eligible
 
 
@@ -390,12 +414,17 @@ class ExhaustiveOptimizer:
         from repro.core.enumerate import supports_grouping, supports_order
 
         if ctx.functions:
+            # Attributes an expression aggregate needs atomic can (and
+            # must) survive to the final evaluation pass.
+            allowed = set(ctx.protected)
+            for group in ctx.coupled:
+                allowed |= group
             non_kept_atomic = {
                 name
                 for node in tree.nodes()
                 if node.aggregate is None
                 for name in node.attributes
-                if name not in ctx.kept
+                if name not in ctx.kept and name not in allowed
             }
             if non_kept_atomic:
                 return False

@@ -180,11 +180,84 @@ def _renamed(query: Query, name: str) -> Query:
     return replace(query, name=name)
 
 
+def expression_queries() -> dict[str, Workload]:
+    """Expression-aggregate workloads (group "EXPR", beyond Figure 3).
+
+    Section 3.2 evaluates aggregates over arithmetic expressions on
+    the factorisation; these queries exercise the expression surface
+    end to end — linear arithmetic, products of a repeated attribute,
+    composite averages, computed output columns, and expression
+    selections — over the same scaled views as Q1–Q13.
+    """
+    from repro.expr import col
+    from repro.query import Comparison, ComputedColumn
+
+    price = col("price")
+    queries: dict[str, Workload] = {}
+
+    def add(name: str, query: Query) -> None:
+        queries[name] = Workload(name, "EXPR", query)
+
+    add(
+        "E1",
+        Query(
+            relations=("R1",),
+            group_by=("customer",),
+            aggregates=(aggregate("sum", price * 2 + 1, "adjusted"),),
+            name="E1",
+        ),
+    )
+    add(
+        "E2",
+        Query(
+            relations=("R1",),
+            group_by=("package",),
+            aggregates=(aggregate("sum", price * price, "sum_sq"),),
+            name="E2",
+        ),
+    )
+    add(
+        "E3",
+        Query(
+            relations=("R1",),
+            group_by=("date",),
+            aggregates=(aggregate("avg", price * 3 - 1, "mean_scaled"),),
+            name="E3",
+        ),
+    )
+    add(
+        "E4",
+        Query(
+            relations=("R1",),
+            projection=("customer",),
+            computed=(ComputedColumn(price / 2, "half_price"),),
+            name="E4",
+        ),
+    )
+    add(
+        "E5",
+        Query(
+            relations=("R1",),
+            comparisons=(Comparison(price * 2, ">", 20),),
+            group_by=("customer",),
+            aggregates=(aggregate("sum", "price", "revenue"),),
+            name="E5",
+        ),
+    )
+    return queries
+
+
 WORKLOAD = figure3_queries()
 
 AGG_QUERIES = ("Q1", "Q2", "Q3", "Q4", "Q5")
 AGG_ORD_QUERIES = ("Q6", "Q7", "Q8", "Q9")
 ORD_QUERIES = ("Q10", "Q11", "Q12", "Q13")
+
+EXPRESSION_WORKLOAD = expression_queries()
+EXPRESSION_QUERIES = tuple(EXPRESSION_WORKLOAD)
+
+#: The full catalogue: Figure 3 plus the expression workloads.
+FULL_WORKLOAD = {**WORKLOAD, **EXPRESSION_WORKLOAD}
 
 
 def build_workload_database(

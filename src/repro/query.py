@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
+from repro.expr import Attr, Expr, as_expr
 from repro.relational.sort import SortKey, normalise_order
 
 AGGREGATE_FUNCTIONS = ("sum", "count", "min", "max", "avg")
@@ -39,17 +40,63 @@ class QueryError(ValueError):
     """Raised for malformed queries (unknown attributes, bad specs...)."""
 
 
+def _normalise_target(value: "str | Expr | None") -> "str | Expr | None":
+    """Canonical form of an expression-or-attribute slot.
+
+    Bare attribute references collapse to their name (the historical
+    string form every engine already understands); composite
+    expressions stay expression trees.
+    """
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, Attr):
+        return value.name
+    if isinstance(value, Expr):
+        return value
+    raise QueryError(
+        f"expected an attribute name or expression, got {value!r}"
+    )
+
+
+def target_attributes(target: "str | Expr | None") -> tuple[str, ...]:
+    """Attribute names referenced by an attribute-or-expression slot."""
+    if target is None:
+        return ()
+    if isinstance(target, str):
+        return (target,)
+    return target.attributes()
+
+
 @dataclass(frozen=True)
 class Comparison:
-    """A constant selection condition ``attribute op value`` (φ)."""
+    """A constant selection condition ``target op value`` (φ).
 
-    attribute: str
+    ``attribute`` is an attribute name in the classical case; it may
+    also be a scalar :class:`repro.expr.Expr` (``col("price") *
+    col("qty") > 100``), which engines evaluate row-wise.
+    """
+
+    attribute: "str | Expr"
     op: str
     value: Any
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
             raise QueryError(f"unknown comparison operator {self.op!r}")
+        object.__setattr__(
+            self, "attribute", _normalise_target(self.attribute)
+        )
+        if self.attribute is None:
+            raise QueryError("comparison needs an attribute or expression")
+
+    @property
+    def is_expression(self) -> bool:
+        return isinstance(self.attribute, Expr)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Attribute names the condition reads."""
+        return target_attributes(self.attribute)
 
     def test(self, value: Any) -> bool:
         """Evaluate the condition against a concrete value."""
@@ -83,27 +130,78 @@ class Equality:
 
 @dataclass(frozen=True)
 class AggregateSpec:
-    """One aggregation function application ``alias ← function(attribute)``.
+    """One aggregation function application ``alias ← function(argument)``.
 
-    ``attribute`` is ``None`` only for ``count`` (tuple counting); ``avg``
-    is internally evaluated as the pair (sum, count) per Section 3.2.4.
+    ``attribute`` is ``None`` only for ``count`` (tuple counting); it is
+    an attribute name for the classical single-attribute aggregates, or
+    a scalar :class:`repro.expr.Expr` for expression aggregates such as
+    ``SUM(price * qty)`` (Section 3.2 evaluates these directly on the
+    factorisation).  Plain strings and bare ``col(...)`` references are
+    interchangeable; ``avg`` is internally evaluated as the pair
+    (sum, count) per Section 3.2.4.
     """
 
     function: str
-    attribute: str | None
+    attribute: "str | Expr | None"
     alias: str
 
     def __post_init__(self) -> None:
         if self.function not in AGGREGATE_FUNCTIONS:
             raise QueryError(f"unknown aggregation function {self.function!r}")
+        object.__setattr__(
+            self, "attribute", _normalise_target(self.attribute)
+        )
         if self.attribute is None and self.function != "count":
             raise QueryError(f"{self.function} requires an attribute")
         if not self.alias:
             raise QueryError("aggregate needs a result alias")
 
+    @property
+    def is_expression(self) -> bool:
+        """Whether the argument is a composite scalar expression."""
+        return isinstance(self.attribute, Expr)
+
+    @property
+    def expression(self) -> "Expr | None":
+        """The argument as an expression tree (None for ``count(*)``)."""
+        if self.attribute is None:
+            return None
+        return as_expr(self.attribute)
+
+    @property
+    def source_attributes(self) -> tuple[str, ...]:
+        """Attribute names the aggregate reads."""
+        return target_attributes(self.attribute)
+
     def __str__(self) -> str:
-        arg = self.attribute if self.attribute is not None else "*"
+        arg = str(self.attribute) if self.attribute is not None else "*"
         return f"{self.alias} ← {self.function}({arg})"
+
+
+@dataclass(frozen=True)
+class ComputedColumn:
+    """A computed output column ``alias ← expression`` (no aggregation).
+
+    Appears after the plain projection columns in the output schema of
+    select-project-join queries; every engine evaluates the expression
+    row-wise over the joined input.
+    """
+
+    expression: Expr
+    alias: str
+
+    def __post_init__(self) -> None:
+        expression = as_expr(self.expression)
+        object.__setattr__(self, "expression", expression)
+        if not self.alias:
+            object.__setattr__(self, "alias", str(expression))
+
+    @property
+    def source_attributes(self) -> tuple[str, ...]:
+        return self.expression.attributes()
+
+    def __str__(self) -> str:
+        return f"{self.alias} ← {self.expression}"
 
 
 @dataclass(frozen=True)
@@ -137,6 +235,7 @@ class Query:
     equalities: tuple[Equality, ...] = ()
     comparisons: tuple[Comparison, ...] = ()
     projection: tuple[str, ...] | None = None
+    computed: tuple[ComputedColumn, ...] = ()
     group_by: tuple[str, ...] = ()
     aggregates: tuple[AggregateSpec, ...] = ()
     having: tuple[Having, ...] = ()
@@ -155,6 +254,19 @@ class Query:
             raise QueryError(f"duplicate aggregate aliases in {aliases}")
         if self.having and not self.aggregates:
             raise QueryError("HAVING requires aggregates")
+        if self.computed:
+            if self.aggregates:
+                raise QueryError(
+                    "computed columns cannot be combined with aggregates; "
+                    "use an expression aggregate instead"
+                )
+            taken = list(self.projection or ())
+            for column in self.computed:
+                if column.alias in taken:
+                    raise QueryError(
+                        f"duplicate output column {column.alias!r}"
+                    )
+                taken.append(column.alias)
 
     # ------------------------------------------------------------------
     # Derived properties
@@ -165,6 +277,10 @@ class Query:
         if self.aggregates:
             return tuple(self.group_by) + tuple(
                 spec.alias for spec in self.aggregates
+            )
+        if self.computed:
+            return tuple(self.projection or ()) + tuple(
+                column.alias for column in self.computed
             )
         if self.projection is not None:
             return tuple(self.projection)
@@ -183,14 +299,17 @@ class Query:
         attrs: set[str] = set()
         for eq in self.equalities:
             attrs.update((eq.left, eq.right))
-        attrs.update(c.attribute for c in self.comparisons)
+        for c in self.comparisons:
+            attrs.update(c.attributes)
         if self.projection:
             attrs.update(self.projection)
         attrs.update(self.group_by)
-        attrs.update(
-            spec.attribute for spec in self.aggregates if spec.attribute
-        )
+        for spec in self.aggregates:
+            attrs.update(spec.source_attributes)
+        for column in self.computed:
+            attrs.update(column.source_attributes)
         aliases = {spec.alias for spec in self.aggregates}
+        aliases.update(column.alias for column in self.computed)
         attrs.update(
             key.attribute
             for key in self.order_by
@@ -214,8 +333,11 @@ class Query:
         if self.aggregates:
             aggs = ", ".join(str(a) for a in self.aggregates)
             parts.append(f"; ϖ[{', '.join(self.group_by)}; {aggs}]")
-        elif self.projection is not None:
-            parts.append(f"; π[{', '.join(self.projection)}]")
+        elif self.projection is not None or self.computed:
+            columns = list(self.projection or ()) + [
+                str(c) for c in self.computed
+            ]
+            parts.append(f"; π[{', '.join(columns)}]")
         if self.order_by:
             parts.append(f"; o[{', '.join(str(k) for k in self.order_by)}]")
         if self.limit is not None:
@@ -223,8 +345,14 @@ class Query:
         return "".join(parts) + ")"
 
 
-def aggregate(function: str, attribute: str | None = None, alias: str = "") -> AggregateSpec:
-    """Convenience constructor: ``aggregate("sum", "price", "revenue")``."""
+def aggregate(
+    function: str, attribute: "str | Expr | None" = None, alias: str = ""
+) -> AggregateSpec:
+    """Convenience constructor: ``aggregate("sum", "price", "revenue")``.
+
+    The argument may be a scalar expression:
+    ``aggregate("sum", col("price") * col("qty"), "revenue")``.
+    """
     if not alias:
         alias = f"{function}({attribute if attribute is not None else '*'})"
     return AggregateSpec(function, attribute, alias)

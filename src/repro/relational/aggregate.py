@@ -15,8 +15,9 @@ relation with schema ``group_by + aliases``.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
+from repro.expr import Expr
 from repro.query import AggregateSpec, QueryError
 from repro.relational.relation import Relation, Row
 
@@ -80,23 +81,38 @@ def _make_accumulators(specs: Sequence[AggregateSpec]) -> list[Accumulator]:
 def _fold_row(
     accs: list[Accumulator],
     specs: Sequence[AggregateSpec],
-    positions: list[int | None],
+    getters: list["Callable[[Row], Any] | None"],
     row: Row,
 ) -> None:
-    for acc, spec, pos in zip(accs, specs, positions):
-        if spec.function == "count":
-            acc.add(None)
+    for acc, get in zip(accs, getters):
+        if get is None:
+            acc.add(None)  # count(*)
         else:
-            acc.add(row[pos])
+            acc.add(get(row))
+
+
+def value_getter(
+    relation: Relation, target: "str | Expr | None"
+) -> "Callable[[Row], Any] | None":
+    """Row-wise accessor for an aggregate argument or computed column.
+
+    ``None`` for ``count(*)``, a direct position lookup for a bare
+    attribute, and an expression evaluation over a per-row binding for
+    composite arguments.
+    """
+    if target is None:
+        return None
+    if isinstance(target, str):
+        position = relation.position(target)
+        return lambda row: row[position]
+    slots = [(name, relation.position(name)) for name in target.attributes()]
+    return lambda row: target.evaluate({name: row[p] for name, p in slots})
 
 
 def _positions_for(
     relation: Relation, specs: Sequence[AggregateSpec]
-) -> list[int | None]:
-    return [
-        relation.position(spec.attribute) if spec.attribute is not None else None
-        for spec in specs
-    ]
+) -> list["Callable[[Row], Any] | None"]:
+    return [value_getter(relation, spec.attribute) for spec in specs]
 
 
 def _output(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import IO, Iterable
+from typing import IO
 
 from repro.database import Database
 from repro.relational.relation import Relation

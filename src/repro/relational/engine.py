@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Sequence
 
 from repro.query import Query, QueryError
-from repro.relational.aggregate import group_aggregate
+from repro.relational.aggregate import group_aggregate, value_getter
 from repro.relational.operators import multiway_join
 from repro.relational.relation import Relation
 from repro.relational.sort import limit_rows, sort_rows
@@ -61,7 +61,11 @@ class RDBEngine:
         return multiway_join(inputs, method=self.join_method)
 
     def apply_selections(self, query: Query, relation: Relation) -> Relation:
-        """Equality and constant selections, in one scan."""
+        """Equality and constant selections, in one scan.
+
+        Expression selections (``price * qty > 100``) evaluate their
+        scalar expression row-wise in the same scan.
+        """
         if not query.equalities and not query.comparisons:
             return relation
         eq_pairs = [
@@ -69,20 +73,21 @@ class RDBEngine:
             for eq in query.equalities
         ]
         cmp_tests = [
-            (relation.position(c.attribute), c) for c in query.comparisons
+            (value_getter(relation, c.attribute), c)
+            for c in query.comparisons
         ]
         rows = [
             row
             for row in relation.rows
             if all(row[i] == row[j] for i, j in eq_pairs)
-            and all(c.test(row[p]) for p, c in cmp_tests)
+            and all(c.test(get(row)) for get, c in cmp_tests)
         ]
         return Relation(relation.schema, rows, name=f"σ({relation.name})")
 
     def apply_aggregation_or_projection(
         self, query: Query, relation: Relation
     ) -> Relation:
-        """The ϖ (or π) stage, plus HAVING and DISTINCT."""
+        """The ϖ (or π) stage, plus computed columns, HAVING, DISTINCT."""
         if query.aggregates:
             result = group_aggregate(
                 relation, query.group_by, query.aggregates, method=self.grouping
@@ -90,6 +95,8 @@ class RDBEngine:
             if query.having:
                 result = self._apply_having(query, result)
             return result
+        if query.computed:
+            return self._apply_computed(query, relation)
         if query.projection is not None:
             return relation.project(query.projection, dedup=True)
         if query.distinct:
@@ -111,6 +118,27 @@ class RDBEngine:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _apply_computed(self, query: Query, relation: Relation) -> Relation:
+        """Projection with computed output columns, set semantics."""
+        base = list(query.projection or ())
+        positions = [relation.position(name) for name in base]
+        getters = [
+            value_getter(relation, column.expression)
+            for column in query.computed
+        ]
+        schema = query.output_schema
+        seen: set[tuple] = set()
+        rows: list[tuple] = []
+        for row in relation.rows:
+            shaped = tuple(row[p] for p in positions) + tuple(
+                get(row) for get in getters
+            )
+            if shaped in seen:
+                continue
+            seen.add(shaped)
+            rows.append(shaped)
+        return Relation(schema, rows, name=f"π({relation.name})")
+
     def _apply_having(self, query: Query, relation: Relation) -> Relation:
         positions = [
             (relation.position(h.target), h) for h in query.having

@@ -221,6 +221,15 @@ def eager_aggregation(
     """
     if not query.aggregates:
         raise QueryError("eager aggregation applies to aggregate queries only")
+    unsupported = [
+        spec for spec in query.aggregates if spec.is_expression
+    ]
+    if unsupported or any(c.is_expression for c in query.comparisons):
+        raise QueryError(
+            "the eager-aggregation rewrite supports single-attribute "
+            "aggregates and selections only; run expression queries "
+            "through the fdb/rdb/sqlite engines instead"
+        )
 
     schemas = {name: set(database.schema(name)) for name in query.relations}
 

@@ -2,22 +2,18 @@
 
 from __future__ import annotations
 
+from repro.expr import Attr, simplify
 from repro.query import (
     AggregateSpec,
     Comparison,
+    ComputedColumn,
     Equality,
     Having,
     Query,
     QueryError,
 )
 from repro.relational.sort import SortKey
-from repro.sql.parser import (
-    ColumnRef,
-    Condition,
-    SelectItem,
-    SelectStatement,
-    parse_select,
-)
+from repro.sql.parser import SelectItem, SelectStatement, parse_select
 
 
 def compile_select(statement: SelectStatement, name: str = "") -> Query:
@@ -25,8 +21,10 @@ def compile_select(statement: SelectStatement, name: str = "") -> Query:
 
     Table qualifiers are dropped (attribute names are globally unique in
     the paper's formulation); aggregates without an explicit alias get
-    the canonical ``function(attribute)`` alias, which HAVING and ORDER
-    BY clauses can reference.
+    the canonical ``function(argument)`` alias, which HAVING and ORDER
+    BY clauses can reference.  Arithmetic select items become computed
+    columns (``SELECT price * qty AS total``); arithmetic aggregate
+    arguments become expression aggregates.
     """
     equalities = []
     comparisons = []
@@ -35,6 +33,14 @@ def compile_select(statement: SelectStatement, name: str = "") -> Query:
             equalities.append(
                 Equality(condition.left.name, condition.right.name)
             )
+        elif condition.left_expression is not None:
+            comparisons.append(
+                Comparison(
+                    simplify(condition.left_expression),
+                    condition.op,
+                    condition.right,
+                )
+            )
         else:
             comparisons.append(
                 Comparison(condition.left.name, condition.op, condition.right)
@@ -42,21 +48,57 @@ def compile_select(statement: SelectStatement, name: str = "") -> Query:
 
     aggregates = []
     projection: list[str] = []
+    computed: list[ComputedColumn] = []
     for item in statement.items:
         if item.aggregate is not None:
-            attribute = item.column.name if item.column is not None else None
+            if item.expression is not None:
+                attribute = simplify(item.expression)
+            elif item.column is not None:
+                attribute = item.column.name
+            else:
+                attribute = None
             alias = item.alias or _default_alias(item)
             aggregates.append(AggregateSpec(item.aggregate, attribute, alias))
+        elif item.expression is not None:
+            expression = simplify(item.expression)
+            computed.append(
+                ComputedColumn(expression, item.alias or str(expression))
+            )
+        elif item.alias is not None:
+            # A renamed column is a computed column over a bare
+            # attribute reference.
+            computed.append(ComputedColumn(Attr(item.column.name), item.alias))
         else:
-            if item.alias is not None:
-                raise QueryError(
-                    "column aliases are not supported (rename attributes "
-                    "in the schema instead)"
-                )
             projection.append(item.column.name)
+    if computed and projection and _order_interleaved(statement.items):
+        # A computed item precedes a plain column, but the output
+        # schema lists projection columns before computed aliases:
+        # preserve the SELECT-list order by lifting plain columns to
+        # identity computed columns.
+        computed = []
+        projection = []
+        for item in statement.items:
+            if item.expression is not None:
+                expression = simplify(item.expression)
+                computed.append(
+                    ComputedColumn(expression, item.alias or str(expression))
+                )
+            else:
+                computed.append(
+                    ComputedColumn(
+                        Attr(item.column.name),
+                        item.alias or item.column.name,
+                    )
+                )
 
     group_by = tuple(column.name for column in statement.group_by)
     if aggregates:
+        if computed:
+            raise QueryError(
+                "non-aggregated expression columns cannot be combined "
+                "with aggregates; move the arithmetic into the aggregate "
+                "argument"
+            )
         if projection and set(projection) != set(group_by):
             raise QueryError(
                 f"non-aggregated columns {projection} must match GROUP BY "
@@ -73,6 +115,13 @@ def compile_select(statement: SelectStatement, name: str = "") -> Query:
             None if statement.star else tuple(projection)
         )
 
+    for condition in statement.having:
+        if condition.left is None:
+            raise QueryError(
+                "HAVING supports aggregate aliases and grouping "
+                "attributes, not arithmetic; alias the aggregate and "
+                "compare the alias instead"
+            )
     having = tuple(
         Having(condition.left.name, condition.op, condition.right)
         for condition in statement.having
@@ -86,6 +135,7 @@ def compile_select(statement: SelectStatement, name: str = "") -> Query:
         equalities=tuple(equalities),
         comparisons=tuple(comparisons),
         projection=effective_projection,
+        computed=tuple(computed),
         group_by=group_by,
         aggregates=tuple(aggregates),
         having=having,
@@ -96,8 +146,24 @@ def compile_select(statement: SelectStatement, name: str = "") -> Query:
     )
 
 
+def _order_interleaved(items: list[SelectItem]) -> bool:
+    """Whether a computed item precedes a plain projection column."""
+    seen_computed = False
+    for item in items:
+        if item.expression is not None or item.alias is not None:
+            seen_computed = True
+        elif seen_computed:
+            return True
+    return False
+
+
 def _default_alias(item: SelectItem) -> str:
-    inner = str(item.column) if item.column is not None else "*"
+    if item.expression is not None:
+        inner = str(simplify(item.expression))
+    elif item.column is not None:
+        inner = str(item.column)
+    else:
+        inner = "*"
     return f"{item.aggregate}({inner})"
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.expr import Expr
 from repro.query import AggregateSpec, Query
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -22,23 +23,41 @@ def _quote(value) -> str:
     return str(value)
 
 
+def _target_sql(target: "str | Expr | None") -> str:
+    """SQL text of an aggregate argument or selection target."""
+    if target is None:
+        return "*"
+    if isinstance(target, Expr):
+        return target.sql()
+    return target
+
+
 def _spec_sql(spec: AggregateSpec) -> str:
-    inner = spec.attribute if spec.attribute is not None else "*"
-    return f'{spec.function.upper()}({inner}) AS "{spec.alias}"'
+    return (
+        f'{spec.function.upper()}({_target_sql(spec.attribute)}) '
+        f'AS "{spec.alias}"'
+    )
 
 
 def query_to_sql(query: Query) -> str:
     """Standard (lazy) SQL for a query, natural-join style FROM list."""
+    distinct = query.distinct
     if query.aggregates:
         select_list = list(query.group_by) + [
             _spec_sql(spec) for spec in query.aggregates
         ]
-    elif query.projection is not None:
-        select_list = list(query.projection)
+    elif query.projection is not None or query.computed:
+        select_list = list(query.projection or ()) + [
+            f'{column.expression.sql()} AS "{column.alias}"'
+            for column in query.computed
+        ]
+        # π is set semantics in every native engine (Relation.project
+        # deduplicates); DISTINCT keeps SQLite on the same semantics.
+        distinct = True
     else:
         select_list = ["*"]
     parts = ["SELECT"]
-    if query.distinct:
+    if distinct:
         parts.append("DISTINCT")
     parts.append(", ".join(select_list))
     if len(query.relations) == 1:
@@ -53,7 +72,8 @@ def query_to_sql(query: Query) -> str:
     conditions = [
         f"{eq.left} = {eq.right}" for eq in query.equalities
     ] + [
-        f"{c.attribute} {c.op} {_quote(c.value)}" for c in query.comparisons
+        f"{_target_sql(c.attribute)} {c.op} {_quote(c.value)}"
+        for c in query.comparisons
     ]
     if conditions:
         parts.append("WHERE " + " AND ".join(conditions))

@@ -31,7 +31,16 @@ KEYWORDS = {
 }
 
 OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
-PUNCTUATION = {"(": "LPAREN", ")": "RPAREN", ",": "COMMA", "*": "STAR", ".": "DOT"}
+PUNCTUATION = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    "*": "STAR",
+    ".": "DOT",
+    "+": "PLUS",
+    "-": "MINUS",
+    "/": "SLASH",
+}
 
 
 class SQLSyntaxError(ValueError):

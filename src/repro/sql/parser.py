@@ -1,16 +1,26 @@
 """Recursive-descent parser producing a small SQL AST.
 
-The grammar matches the paper's query class (Section 5.1):
+The grammar matches the paper's query class (Section 5.1), extended
+with scalar arithmetic in select items, aggregate arguments, and the
+left side of WHERE conditions (Section 3.2 evaluates aggregates over
+arithmetic expressions):
 
     select    := SELECT [DISTINCT] items FROM tables
                  [WHERE conj] [GROUP BY cols] [HAVING conj]
                  [ORDER BY orders] [LIMIT n]
     items     := '*' | item (',' item)*
-    item      := agg '(' ('*' | column) ')' [AS ident] | column
+    item      := agg '(' ('*' | expr) ')' [AS ident] | expr [AS ident]
+    expr      := term (('+'|'-') term)*
+    term      := unary (('*'|'/') unary)*
+    unary     := '-' unary | NUMBER | column | '(' expr ')'
     tables    := table ((',' | [NATURAL|INNER] JOIN) table [ON cond])*
     conj      := cond (AND cond)*
-    cond      := column op (column | literal)
+    cond      := expr op (column | literal)
     orders    := column [ASC|DESC] (',' column [ASC|DESC])*
+
+Arithmetic parses into the shared scalar-expression AST of
+:mod:`repro.expr`; a bare column stays a :class:`ColumnRef` so the
+classical single-attribute forms round-trip unchanged.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.expr import Attr, BinOp, Const, Expr, Neg
 from repro.sql.lexer import SQLSyntaxError, Token, tokenize
 
 AGG_KEYWORDS = {"SUM", "COUNT", "MIN", "MAX", "AVG"}
@@ -36,21 +47,25 @@ class ColumnRef:
 
 @dataclass(frozen=True)
 class SelectItem:
-    """One projection item: a column or an aggregate application."""
+    """One projection item: a column, an aggregate application, or a
+    scalar expression (``expression`` set, ``column`` None)."""
 
-    column: ColumnRef | None  # None for count(*)
+    column: ColumnRef | None  # None for count(*) and expressions
     aggregate: str | None = None  # sum/count/min/max/avg, lowercase
     alias: str | None = None
+    expression: Expr | None = None
 
 
 @dataclass(frozen=True)
 class Condition:
-    """A conjunct: column-op-column or column-op-literal."""
+    """A conjunct: column-op-column, column-op-literal, or
+    expression-op-literal (``left_expression`` set, ``left`` None)."""
 
-    left: ColumnRef
+    left: ColumnRef | None
     op: str
     right: Any  # ColumnRef or a Python literal
     right_is_column: bool = False
+    left_expression: Expr | None = None
 
 
 @dataclass(frozen=True)
@@ -149,26 +164,30 @@ class _Parser:
         if token.kind == "KEYWORD" and token.value in AGG_KEYWORDS:
             self.advance()
             self.expect("LPAREN")
-            column: ColumnRef | None
+            column: ColumnRef | None = None
+            expression: Expr | None = None
             if self.accept("STAR"):
                 if token.value != "COUNT":
                     raise SQLSyntaxError(
                         f"{token.value}(*) is not valid at position "
                         f"{token.position}"
                     )
-                column = None
             else:
-                column = self._parse_column()
+                expression, column = self._parse_arith()
+                if column is not None:
+                    expression = None
             self.expect("RPAREN")
             alias = None
             if self.accept("KEYWORD", "AS"):
                 alias = self.expect("IDENT").value
-            return SelectItem(column, token.value.lower(), alias)
-        column = self._parse_column()
+            return SelectItem(column, token.value.lower(), alias, expression)
+        expression, column = self._parse_arith()
         alias = None
         if self.accept("KEYWORD", "AS"):
             alias = self.expect("IDENT").value
-        return SelectItem(column, None, alias)
+        if column is not None:
+            return SelectItem(column, None, alias)
+        return SelectItem(None, None, alias, expression)
 
     def _parse_tables(self, statement: SelectStatement) -> None:
         statement.tables.append(self.expect("IDENT").value)
@@ -197,11 +216,27 @@ class _Parser:
         return conditions
 
     def _parse_condition(self, allow_agg: bool = False) -> Condition:
-        left = self._parse_column(allow_agg=allow_agg)
+        left: ColumnRef | None
+        left_expression: Expr | None = None
+        if (
+            allow_agg
+            and self.peek().kind == "KEYWORD"
+            and self.peek().value in AGG_KEYWORDS
+        ):
+            left = self._parse_column(allow_agg=True)
+        else:
+            expression, left = self._parse_arith()
+            if left is None:
+                left_expression = expression
         op_token = self.expect("OP")
         op = "!=" if op_token.value == "<>" else op_token.value
         token = self.peek()
         if token.kind == "IDENT":
+            if left_expression is not None:
+                raise SQLSyntaxError(
+                    f"an arithmetic left-hand side compares against a "
+                    f"literal, not a column, at position {token.position}"
+                )
             right = self._parse_column()
             return Condition(left, op, right, right_is_column=True)
         if token.kind == "NUMBER":
@@ -209,13 +244,84 @@ class _Parser:
             value: Any = (
                 float(token.value) if "." in token.value else int(token.value)
             )
-            return Condition(left, op, value)
+            return Condition(left, op, value, left_expression=left_expression)
         if token.kind == "STRING":
             self.advance()
-            return Condition(left, op, token.value)
+            return Condition(
+                left, op, token.value, left_expression=left_expression
+            )
         raise SQLSyntaxError(
             f"expected a column or literal at position {token.position}"
         )
+
+    # -- scalar arithmetic ----------------------------------------------
+    def _parse_arith(self) -> tuple[Expr, ColumnRef | None]:
+        """Parse a scalar expression.
+
+        Returns ``(expression, column)`` where ``column`` is the
+        original :class:`ColumnRef` when the whole expression is one
+        bare column reference (so classical forms keep their table
+        qualifiers), else ``None``.
+        """
+        expr, lone = self._parse_arith_term()
+        while True:
+            if self.accept("PLUS"):
+                op = "+"
+            elif self.accept("MINUS"):
+                op = "-"
+            elif self.peek().kind == "NUMBER" and self.peek().value.startswith(
+                "-"
+            ):
+                # The lexer reads "price -2" as a negative literal;
+                # in infix position that is a subtraction.  Re-sign the
+                # token and let the term parser bind "*"/"/" tighter.
+                token = self.peek()
+                self.tokens[self.index] = Token(
+                    "NUMBER", token.value[1:], token.position + 1
+                )
+                op = "-"
+            else:
+                break
+            right, _ = self._parse_arith_term()
+            expr = BinOp(op, expr, right)
+            lone = None
+        return expr, lone
+
+    def _parse_arith_term(self) -> tuple[Expr, ColumnRef | None]:
+        expr, lone = self._parse_arith_unary()
+        while True:
+            if self.accept("STAR"):
+                op = "*"
+            elif self.accept("SLASH"):
+                op = "/"
+            else:
+                break
+            right, _ = self._parse_arith_unary()
+            expr = BinOp(op, expr, right)
+            lone = None
+        return expr, lone
+
+    def _parse_arith_unary(self) -> tuple[Expr, ColumnRef | None]:
+        if self.accept("MINUS"):
+            inner, _ = self._parse_arith_unary()
+            return Neg(inner), None
+        return self._parse_arith_primary()
+
+    def _parse_arith_primary(self) -> tuple[Expr, ColumnRef | None]:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value: Any = (
+                float(token.value) if "." in token.value else int(token.value)
+            )
+            return Const(value), None
+        if token.kind == "LPAREN":
+            self.advance()
+            expr, _ = self._parse_arith()
+            self.expect("RPAREN")
+            return expr, None
+        column = self._parse_column()
+        return Attr(column.name), column
 
     def _parse_column(self, allow_agg: bool = False) -> ColumnRef:
         token = self.peek()

@@ -159,10 +159,16 @@ def test_order_by_outside_output_schema(session):
 
 
 def test_limit_validation(session):
-    with pytest.raises(QueryError, match="non-negative"):
+    with pytest.raises(QueryError, match="must be positive"):
         session.query("R").limit(-1)
+    with pytest.raises(QueryError, match="must be positive"):
+        session.query("R").limit(0)
+    with pytest.raises(QueryError, match="must be an integer"):
+        session.query("R").limit(2.5)
     with pytest.raises(QueryError, match="must be an integer"):
         session.query("R").limit("ten")
+    with pytest.raises(QueryError, match="must be an integer"):
+        session.query("R").limit(True)
 
 
 def test_empty_query_rejected(session):

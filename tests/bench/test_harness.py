@@ -92,3 +92,57 @@ def test_fit_loglog_slope_linear():
 
 def test_fit_loglog_slope_degenerate():
     assert fit_loglog_slope([(1, 5), (1, 5)]) == 0.0
+
+
+def test_time_call_stats_returns_best_and_median():
+    from repro.bench.harness import time_call_stats
+
+    calls = []
+
+    def work():
+        calls.append(1)
+        return "result"
+
+    best, median, result = time_call_stats(work, repeats=5)
+    assert len(calls) == 5
+    assert result == "result"
+    assert 0 <= best <= median
+
+
+def test_write_bench_json(tmp_path):
+    import json
+
+    from repro.bench.harness import BenchResult, write_bench_json
+
+    results = [
+        ("fig5", BenchResult("FDB", "Q2", 0.5, rows=10, scale=1.0, median=0.6)),
+        ("fig5", BenchResult("SQLite", "Q2", 1.5, rows=10, scale=1.0)),
+    ]
+    path = write_bench_json(results, tmp_path / "BENCH_PR2.json")
+    records = json.loads(path.read_text())
+    assert records == [
+        {
+            "benchmark": "fig5",
+            "name": "Q2",
+            "engine": "FDB",
+            "scale": 1.0,
+            "median_seconds": 0.6,
+            "best_seconds": 0.5,
+            "rows": 10,
+        },
+        {
+            "benchmark": "fig5",
+            "name": "Q2",
+            "engine": "SQLite",
+            "scale": 1.0,
+            "median_seconds": 1.5,  # falls back to best-of-N
+            "best_seconds": 1.5,
+            "rows": 10,
+        },
+    ]
+
+
+def test_bench_json_default_name():
+    from repro.bench.harness import BENCH_JSON_NAME
+
+    assert BENCH_JSON_NAME == "BENCH_PR2.json"

@@ -28,9 +28,10 @@ def test_aggregate_on_view_uses_factorisation(pizzeria, engines):
         group_by=("customer",),
         aggregates=(aggregate("sum", "price", "revenue"),),
     )
-    assert_same_relation(fdb.execute(q, pizzeria), rdb.execute(q, pizzeria))
+    result, plan, _ = fdb.execute_traced(q, pizzeria)
+    assert_same_relation(result, rdb.execute(q, pizzeria))
     # The plan must include at least one partial aggregation.
-    assert any("γ" in str(s) for s in fdb.last_plan)
+    assert any("γ" in str(s) for s in plan)
 
 
 def test_flat_input_builds_factorisation(pizzeria, engines):
@@ -230,9 +231,9 @@ def test_trace_available_after_execution(pizzeria):
         group_by=("customer",),
         aggregates=(aggregate("sum", "price", "rev"),),
     )
-    fdb.execute(q, pizzeria)
-    assert fdb.last_trace is not None
-    assert len(fdb.last_trace.sizes) == len(fdb.last_plan)
+    _, plan, trace = fdb.execute_traced(q, pizzeria)
+    assert trace is not None
+    assert len(trace.sizes) == len(plan)
 
 
 def test_exhaustive_optimizer_engine(pizzeria):

@@ -1,0 +1,217 @@
+"""Factorised evaluation of expression aggregates (Section 3.2).
+
+The key claims: SUM over a product of attributes on *independent*
+branches distributes as a product of partial sums (no flattening —
+asserted via the execution trace's expression stats), and localised
+flattening only occurs where an expression genuinely needs joint
+values (min/max over arithmetic, opaque quotients).
+"""
+
+import pytest
+
+from repro.core import aggregates as agg
+from repro.core.engine import FDBEngine
+from repro.database import Database
+from repro.expr import col
+from repro.query import Comparison, Query, QueryError, aggregate
+from repro.relational.engine import RDBEngine
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def branch_db():
+    """price and qty live on independent branches below the join key."""
+    return Database(
+        [
+            Relation(("k", "price"), [(1, 10), (1, 20), (2, 5)], "S"),
+            Relation(("k", "qty"), [(1, 2), (1, 3), (2, 4)], "T"),
+        ]
+    )
+
+
+def branch_query(**kwargs) -> Query:
+    defaults = dict(
+        relations=("S", "T"),
+        group_by=("k",),
+        aggregates=(aggregate("sum", col("price") * col("qty"), "rev"),),
+    )
+    defaults.update(kwargs)
+    return Query(**defaults)
+
+
+def test_sum_product_independent_branches_native(branch_db):
+    engine = FDBEngine()
+    result, _, trace = engine.execute_traced(branch_query(), branch_db)
+    # k=1: (10+20)·(2+3) = 150; k=2: 5·4 = 20.
+    assert sorted(result.rows) == [(1, 150), (2, 20)]
+    stats = trace.expression_stats
+    assert stats.flatten_events == 0
+    assert stats.native_terms > 0
+
+
+def test_sum_product_matches_flat_baseline(branch_db):
+    query = branch_query()
+    factorised, _, _ = FDBEngine().execute_traced(query, branch_db)
+    flat = RDBEngine().execute(query, branch_db)
+    assert sorted(factorised.rows) == sorted(flat.rows)
+
+
+def test_factorised_output_mode_agrees(branch_db):
+    query = branch_query()
+    result, _, trace = FDBEngine(output="factorised").execute_traced(
+        query, branch_db
+    )
+    assert sorted(result.iter_tuples()) == [(1, 150), (2, 20)]
+    assert trace.expression_stats.flatten_events == 0
+
+
+def test_avg_expression(branch_db):
+    query = branch_query(
+        aggregates=(aggregate("avg", col("price") * col("qty"), "m"),)
+    )
+    result, _, trace = FDBEngine().execute_traced(query, branch_db)
+    assert sorted(result.rows) == [(1, 37.5), (2, 20.0)]
+    assert trace.expression_stats.flatten_events == 0
+
+
+def test_linear_expression_single_attribute(branch_db):
+    query = branch_query(
+        aggregates=(aggregate("sum", col("price") * 2 + 1, "adj"),)
+    )
+    result, _, trace = FDBEngine().execute_traced(query, branch_db)
+    flat = RDBEngine().execute(query, branch_db)
+    assert sorted(result.rows) == sorted(flat.rows)
+    assert trace.expression_stats.flatten_events == 0
+
+
+def test_squared_attribute_is_native(branch_db):
+    # price² needs the joint distribution of price with itself, which
+    # the atomic union supplies directly (entry.value squared).
+    query = branch_query(
+        aggregates=(aggregate("sum", col("price") * col("price"), "sq"),)
+    )
+    result, _, _ = FDBEngine().execute_traced(query, branch_db)
+    flat = RDBEngine().execute(query, branch_db)
+    assert sorted(result.rows) == sorted(flat.rows)
+
+
+def test_min_max_expression_flattens_locally(branch_db):
+    query = branch_query(
+        aggregates=(aggregate("min", col("price") + col("qty"), "lo"),)
+    )
+    result, _, trace = FDBEngine().execute_traced(query, branch_db)
+    assert sorted(result.rows) == [(1, 12), (2, 9)]
+    assert trace.expression_stats.flatten_events > 0
+
+
+def test_opaque_quotient_across_branches(branch_db):
+    # price/qty does not distribute: the involved fragments flatten.
+    query = branch_query(
+        aggregates=(aggregate("sum", col("price") / col("qty"), "ratio"),)
+    )
+    result, _, trace = FDBEngine().execute_traced(query, branch_db)
+    flat = RDBEngine().execute(query, branch_db)
+    for (k1, v1), (k2, v2) in zip(sorted(result.rows), sorted(flat.rows)):
+        assert k1 == k2 and v1 == pytest.approx(v2)
+    assert trace.expression_stats.flatten_events > 0
+
+
+def test_expression_over_group_attribute(branch_db):
+    # SUM(k * price) GROUP BY k: the group value joins the forest as a
+    # one-entry fragment.
+    query = branch_query(
+        aggregates=(aggregate("sum", col("k") * col("price"), "kp"),)
+    )
+    result, _, _ = FDBEngine().execute_traced(query, branch_db)
+    flat = RDBEngine().execute(query, branch_db)
+    assert sorted(result.rows) == sorted(flat.rows)
+
+
+def test_expression_where_filters_input(branch_db):
+    query = branch_query(
+        comparisons=(Comparison(col("price") * 2, ">", 10),),
+        aggregates=(aggregate("sum", "price", "s"),),
+    )
+    result, _, _ = FDBEngine().execute_traced(query, branch_db)
+    flat = RDBEngine().execute(query, branch_db)
+    assert sorted(result.rows) == sorted(flat.rows)
+    assert sorted(result.rows) == [(1, 60)]  # k=2's price 5 filtered out
+
+
+def test_expression_where_spanning_relations_rejected(branch_db):
+    query = branch_query(
+        comparisons=(Comparison(col("price") * col("qty"), ">", 0),),
+    )
+    with pytest.raises(QueryError, match="more than one input relation"):
+        FDBEngine().execute_traced(query, branch_db)
+
+
+def test_scalar_expression_aggregate_without_grouping(branch_db):
+    query = branch_query(group_by=())
+    result, _, trace = FDBEngine().execute_traced(query, branch_db)
+    flat = RDBEngine().execute(query, branch_db)
+    assert result.rows == flat.rows == [(170,)]
+    assert trace.expression_stats.flatten_events == 0
+
+
+def test_exhaustive_optimizer_handles_expressions(branch_db):
+    query = branch_query()
+    result, _, _ = FDBEngine(optimizer="exhaustive").execute_traced(
+        query, branch_db
+    )
+    assert sorted(result.rows) == [(1, 150), (2, 20)]
+
+
+def test_expression_stats_describe():
+    stats = agg.ExpressionStats()
+    stats.native_terms = 2
+    assert "no flattening" in stats.describe()
+    stats.record_flatten(7)
+    assert "7 row(s)" in stats.describe()
+
+
+def test_computed_columns_on_fdb(branch_db):
+    from repro.query import ComputedColumn
+
+    query = Query(
+        relations=("S",),
+        projection=("k",),
+        computed=(ComputedColumn(col("price") * 2, "double"),),
+    )
+    result, _, _ = FDBEngine().execute_traced(query, branch_db)
+    assert sorted(result.rows) == [(1, 20), (1, 40), (2, 10)]
+    flat = RDBEngine().execute(query, branch_db)
+    assert sorted(result.rows) == sorted(flat.rows)
+
+
+def test_order_by_computed_alias(branch_db):
+    from repro.query import ComputedColumn
+
+    query = Query(
+        relations=("S",),
+        projection=("k",),
+        computed=(ComputedColumn(col("price") * 2, "double"),),
+    ).with_order([("double", "desc")])
+    result, _, _ = FDBEngine().execute_traced(query, branch_db)
+    assert result.rows == [(1, 40), (1, 20), (2, 10)]
+
+
+def test_deep_expression_three_branches():
+    db = Database(
+        [
+            Relation(("k", "a"), [(1, 2), (1, 3), (2, 1)], "A"),
+            Relation(("k", "b"), [(1, 5), (2, 7)], "B"),
+            Relation(("k", "c"), [(1, 11), (2, 13), (2, 17)], "C"),
+        ]
+    )
+    query = Query(
+        relations=("A", "B", "C"),
+        group_by=("k",),
+        aggregates=(
+            aggregate("sum", col("a") * col("b") * col("c") + col("a"), "s"),
+        ),
+    )
+    result, _, trace = FDBEngine().execute_traced(query, db)
+    flat = RDBEngine().execute(query, db)
+    assert sorted(result.rows) == sorted(flat.rows)
+    assert trace.expression_stats.flatten_events == 0

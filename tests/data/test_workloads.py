@@ -82,3 +82,19 @@ def test_r2_sorted_and_r3_sorted(tiny_workload_db):
 
 def test_r3_is_orders_sorted(tiny_workload_db):
     assert tiny_workload_db.flat("R3") == tiny_workload_db.flat("Orders")
+
+
+def test_expression_catalogue():
+    from repro.data.workloads import (
+        EXPRESSION_QUERIES,
+        EXPRESSION_WORKLOAD,
+        FULL_WORKLOAD,
+        WORKLOAD,
+    )
+
+    assert len(WORKLOAD) == 13  # Figure 3 stays untouched
+    assert set(EXPRESSION_QUERIES) == {"E1", "E2", "E3", "E4", "E5"}
+    assert set(FULL_WORKLOAD) == set(WORKLOAD) | set(EXPRESSION_WORKLOAD)
+    sums = EXPRESSION_WORKLOAD["E1"].query.aggregates
+    assert sums[0].is_expression
+    assert sums[0].source_attributes == ("price",)

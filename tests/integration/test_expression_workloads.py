@@ -1,0 +1,47 @@
+"""The expression workload catalogue (E1–E5) across every engine."""
+
+import pytest
+
+from repro.api.engines import create_engine
+from repro.data.workloads import EXPRESSION_QUERIES, EXPRESSION_WORKLOAD
+from repro.relational.engine import RDBEngine
+
+
+ENGINES = ("fdb", "rdb", "rdb-hash", "sqlite")
+
+
+def test_catalogue_shape():
+    assert set(EXPRESSION_QUERIES) == {"E1", "E2", "E3", "E4", "E5"}
+    assert all(
+        EXPRESSION_WORKLOAD[name].group == "EXPR"
+        for name in EXPRESSION_QUERIES
+    )
+
+
+@pytest.mark.parametrize("name", EXPRESSION_QUERIES)
+def test_expression_workloads_engine_parity(tiny_workload_db, name):
+    query = EXPRESSION_WORKLOAD[name].query
+    baseline = sorted(RDBEngine().execute(query, tiny_workload_db).rows)
+    assert baseline, f"{name} returned no rows — weak test data"
+    for engine_name in ENGINES:
+        engine = create_engine(engine_name)
+        engine.prepare(tiny_workload_db)
+        run = engine.run(query, tiny_workload_db)
+        rows = sorted(tuple(r) for r in run.relation.rows)
+        assert len(rows) == len(baseline), engine_name
+        for left, right in zip(rows, baseline):
+            assert left == pytest.approx(right), (engine_name, left, right)
+
+
+def test_expression_workloads_have_sql_form(tiny_workload_db):
+    from repro.sql import parse_query, query_to_sql
+
+    for name in EXPRESSION_QUERIES:
+        query = EXPRESSION_WORKLOAD[name].query
+        sql = query_to_sql(query)
+        reparsed = parse_query(sql)
+        left = sorted(RDBEngine().execute(query, tiny_workload_db).rows)
+        right = sorted(RDBEngine().execute(reparsed, tiny_workload_db).rows)
+        assert len(left) == len(right)
+        for a, b in zip(left, right):
+            assert a == pytest.approx(b), name

@@ -63,8 +63,7 @@ def test_figure3_queries_expressible_in_sql(tiny_workload_db, name):
 def test_fdb_plan_sizes_shrink_with_aggregation(tiny_workload_db):
     """Execution traces: γ steps reduce representation size."""
     engine = FDBEngine()
-    engine.execute(WORKLOAD["Q2"].query, tiny_workload_db)
-    trace = engine.last_trace
+    _, _, trace = engine.execute_traced(WORKLOAD["Q2"].query, tiny_workload_db)
     input_size = tiny_workload_db.get_factorised("R1").size()
     gamma_sizes = [
         size
@@ -78,8 +77,8 @@ def test_fdb_plan_sizes_shrink_with_aggregation(tiny_workload_db):
 def test_q6_order_free_for_fdb(tiny_workload_db):
     """Experiment 3: Q6's order-by is satisfied by Q2's result already."""
     engine = FDBEngine()
-    engine.execute(WORKLOAD["Q2"].query, tiny_workload_db)
-    q2_steps = len(engine.last_plan)
-    engine.execute(WORKLOAD["Q6"].query, tiny_workload_db)
-    q6_steps = len(engine.last_plan)
+    _, q2_plan, _ = engine.execute_traced(WORKLOAD["Q2"].query, tiny_workload_db)
+    q2_steps = len(q2_plan)
+    _, q6_plan, _ = engine.execute_traced(WORKLOAD["Q6"].query, tiny_workload_db)
+    q6_steps = len(q6_plan)
     assert q6_steps == q2_steps  # no extra restructuring work

@@ -63,9 +63,13 @@ def test_having_without_aggregates_rejected():
         parse_query("SELECT a FROM R HAVING a > 1")
 
 
-def test_column_alias_rejected():
-    with pytest.raises(QueryError):
-        parse_query("SELECT a AS x FROM R")
+def test_column_alias_becomes_computed_column():
+    q = parse_query("SELECT a AS x FROM R")
+    assert q.projection == ()
+    assert len(q.computed) == 1
+    assert q.computed[0].alias == "x"
+    assert q.computed[0].source_attributes == ("a",)
+    assert q.output_schema == ("x",)
 
 
 def test_table_qualifiers_dropped():

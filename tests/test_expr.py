@@ -1,0 +1,166 @@
+"""Unit tests for the scalar-expression AST (repro.expr)."""
+
+import pytest
+
+from repro.expr import (
+    Attr,
+    BinOp,
+    Const,
+    Expr,
+    ExprError,
+    Neg,
+    Term,
+    as_expr,
+    col,
+    linearise,
+    lit,
+    simplify,
+)
+
+
+# ---------------------------------------------------------------------------
+# Construction and operator overloading
+# ---------------------------------------------------------------------------
+def test_col_builds_attr():
+    e = col("price")
+    assert isinstance(e, Attr)
+    assert e.name == "price"
+    assert e.is_attribute
+
+
+def test_operator_overloading_builds_trees():
+    e = col("a") * col("b") + 2
+    assert isinstance(e, BinOp) and e.op == "+"
+    assert isinstance(e.left, BinOp) and e.left.op == "*"
+    assert e.right == Const(2)
+
+
+def test_reflected_operators():
+    assert (2 + col("a")) == BinOp("+", Const(2), Attr("a"))
+    assert (2 - col("a")) == BinOp("-", Const(2), Attr("a"))
+    assert (2 * col("a")) == BinOp("*", Const(2), Attr("a"))
+    assert (2 / col("a")) == BinOp("/", Const(2), Attr("a"))
+
+
+def test_negation_and_pos():
+    assert -col("a") == Neg(Attr("a"))
+    assert +col("a") == Attr("a")
+
+
+def test_expressions_are_hashable_and_equal_by_value():
+    assert hash(col("a") * 2) == hash(col("a") * 2)
+    assert col("a") * 2 == col("a") * 2
+    assert col("a") * 2 != col("a") * 3
+
+
+def test_invalid_constructions_rejected():
+    with pytest.raises(ExprError):
+        Const("text")
+    with pytest.raises(ExprError):
+        Const(True)
+    with pytest.raises(ExprError):
+        BinOp("%", Attr("a"), Const(1))
+    with pytest.raises(ExprError):
+        as_expr(object())
+
+
+def test_as_expr_promotions():
+    assert as_expr("a") == Attr("a")
+    assert as_expr(3) == Const(3)
+    assert as_expr(2.5) == Const(2.5)
+    e = col("a") + 1
+    assert as_expr(e) is e
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+def test_evaluate_arithmetic():
+    e = (col("a") + col("b")) * 2 - col("c") / 4
+    assert e.evaluate({"a": 1, "b": 2, "c": 8}) == 4.0
+
+
+def test_evaluate_true_division():
+    assert (col("a") / col("b")).evaluate({"a": 3, "b": 2}) == 1.5
+
+
+def test_evaluate_missing_attribute():
+    with pytest.raises(ExprError, match="no value for attribute"):
+        col("missing").evaluate({"a": 1})
+
+
+def test_attributes_unique_in_order():
+    e = col("b") * col("a") + col("b")
+    assert e.attributes() == ("b", "a")
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+def test_str_uses_precedence_parens():
+    assert str((col("a") + col("b")) * col("c")) == "(a + b) * c"
+    assert str(col("a") + col("b") * col("c")) == "a + b * c"
+    assert str(col("a") - (col("b") - col("c"))) == "a - (b - c)"
+    assert str(-(col("a") + 1)) == "-(a + 1)"
+
+
+def test_sql_division_true_semantics():
+    assert (col("a") / col("b")).sql() == "1.0 * a / b"
+    assert ((col("a") + 1) / 2).sql() == "1.0 * (a + 1) / 2"
+
+
+# ---------------------------------------------------------------------------
+# Linearisation
+# ---------------------------------------------------------------------------
+def test_linearise_products_expand():
+    terms = linearise((col("a") + 1) * col("b"))
+    assert terms == (
+        Term(1, (Attr("a"), Attr("b"))),
+        Term(1, (Attr("b"),)),
+    )
+
+
+def test_linearise_constant_division_scales():
+    (term,) = linearise(col("a") / 4)
+    assert term.coefficient == 0.25
+    assert term.factors == (Attr("a"),)
+
+
+def test_linearise_opaque_quotient():
+    (term,) = linearise(col("a") / col("b"))
+    assert term.coefficient == 1
+    assert len(term.factors) == 1
+    assert term.factors[0] == BinOp("/", Attr("a"), Attr("b"))
+
+
+def test_linearise_negation_folds_into_coefficients():
+    terms = linearise(-(col("a") - 2))
+    assert terms == (Term(-1, (Attr("a"),)), Term(2, ()))
+
+
+def test_linearise_division_by_zero_rejected():
+    with pytest.raises(ExprError, match="division by zero"):
+        linearise(col("a") / 0)
+
+
+def test_term_evaluate():
+    (term,) = linearise(col("a") * col("b") * 3)
+    assert term.evaluate({"a": 2, "b": 5}) == 30
+
+
+# ---------------------------------------------------------------------------
+# Simplification (generated-SQL normalisation)
+# ---------------------------------------------------------------------------
+def test_simplify_strips_unit_factor():
+    assert simplify(BinOp("/", BinOp("*", Const(1.0), Attr("a")), Attr("b"))) == (
+        BinOp("/", Attr("a"), Attr("b"))
+    )
+
+
+def test_simplify_folds_negated_constants():
+    assert simplify(Neg(Const(2))) == Const(-2)
+
+
+def test_lit_helper():
+    assert lit(7) == Const(7)
+    assert isinstance(lit(7), Expr)

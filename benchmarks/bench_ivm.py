@@ -1,0 +1,253 @@
+"""Incremental maintenance vs full recompute vs sqlite re-query.
+
+Applies batches of Orders deltas to the fig4-scale workload and times
+three ways of keeping derived state fresh:
+
+- ``incremental`` — ``Database.apply``: the delta subsystem splices the
+  three registered factorisations (R1, R2, R3) locally;
+- ``rebuild``     — re-derive the three views from scratch (join +
+  factorise), the cost every query would otherwise pay;
+- ``sqlite``      — forward the base change to a prepared sqlite
+  connection and re-run the Q2 aggregation over the base join.
+
+Writes ``BENCH_PR3.json``.  The default (full) run checks the PR's
+acceptance criterion: incremental maintenance beats the factorisation
+rebuild by ≥ 5× median wall-clock for single-row deltas, with zero
+rebuilds recorded (the independence-preserving path ran throughout).
+
+Usage::
+
+    python benchmarks/bench_ivm.py             # fig4 scale (1.0)
+    python benchmarks/bench_ivm.py --quick     # CI smoke: small scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Delta, Query, aggregate, connect  # noqa: E402
+from repro.core.build import factorise, factorise_path  # noqa: E402
+from repro.data.workloads import (  # noqa: E402
+    WORKLOAD,
+    build_workload_database,
+    section6_ftree,
+)
+from repro.relational.operators import multiway_join  # noqa: E402
+from repro.relational.sort import sort_relation  # noqa: E402
+
+
+def _make_deltas(database, rng, delta_rows, count):
+    """``count`` alternating insert/delete Orders deltas of ``delta_rows``."""
+    orders = list(database.flat("Orders").rows)
+    customers = sorted({row[0] for row in orders})
+    packages = sorted({row[2] for row in orders})
+    deltas = []
+    serial = 0
+    for index in range(count):
+        if index % 2 == 0:
+            rows = []
+            for _ in range(delta_rows):
+                serial += 1
+                rows.append(
+                    (
+                        rng.choice(customers),
+                        f"dNEW{serial:06d}",
+                        rng.choice(packages),
+                    )
+                )
+            deltas.append(Delta.insert("Orders", rows))
+        else:
+            victims = rng.sample(orders, min(delta_rows, len(orders)))
+            for victim in victims:
+                orders.remove(victim)
+            deltas.append(Delta.delete("Orders", victims))
+    return deltas
+
+
+def _rebuild_views(database):
+    """Re-derive R1/R2/R3 the way build_workload_database does."""
+    joined = multiway_join(
+        [database.flat(n) for n in ("Orders", "Packages", "Items")]
+    )
+    r1 = sort_relation(joined, ["package", "date", "item"])
+    fact1 = factorise(r1, section6_ftree())
+    fact2 = factorise(r1, section6_ftree())
+    fact3 = factorise_path(
+        database.flat("Orders"),
+        key="Orders",
+        order=["date", "customer", "package"],
+    )
+    return fact1, fact2, fact3
+
+
+def _median_ms(samples):
+    return statistics.median(samples) * 1000.0
+
+
+def bench_incremental(scale, seed, delta_rows, count):
+    database = build_workload_database(scale=scale, seed=seed)
+    deltas = _make_deltas(database, random.Random(f"ivm/{seed}/inc"), delta_rows, count)
+    samples = []
+    for delta in deltas:
+        start = time.perf_counter()
+        database.apply(delta)
+        samples.append(time.perf_counter() - start)
+    return samples, database.maintenance
+
+
+def bench_rebuild(scale, seed, delta_rows, count):
+    # No registered factorisations: apply only touches the flat rows,
+    # and the timed work is the full view re-derivation.
+    database = build_workload_database(
+        scale=scale, seed=seed, materialise_views=False
+    )
+    deltas = _make_deltas(database, random.Random(f"ivm/{seed}/inc"), delta_rows, count)
+    samples = []
+    for delta in deltas:
+        database.apply(delta)
+        start = time.perf_counter()
+        _rebuild_views(database)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def bench_sqlite(scale, seed, delta_rows, count):
+    database = build_workload_database(
+        scale=scale, seed=seed, materialise_views=False
+    )
+    session = connect(database, engine="sqlite")
+    query = Query(
+        relations=("Orders", "Packages", "Items"),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "revenue"),),
+        name="Q2-over-bases",
+    )
+    session.execute(query)  # load the connection once, like prepare()
+    deltas = _make_deltas(database, random.Random(f"ivm/{seed}/inc"), delta_rows, count)
+    samples = []
+    for delta in deltas:
+        start = time.perf_counter()
+        database.apply(delta)
+        session.execute(query)  # forward + re-query
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def live_view_proof(scale, seed):
+    """Run a watched Q2 through one delta and return the explain text."""
+    database = build_workload_database(scale=scale, seed=seed)
+    session = connect(database)
+    live = session.watch(WORKLOAD["Q2"].query)
+    live.result
+    session.apply(
+        Delta.insert("Orders", [("c000", "dPROOF01", "p00000")])
+    )
+    text = live.result.explain()
+    return text, database.maintenance
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scale and few repeats (CI smoke; skips the 5x check)",
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument(
+        "--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_PR3.json")
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.1 if args.quick else 1.0)
+    repeats = args.repeats if args.repeats is not None else (6 if args.quick else 20)
+    delta_sizes = (1, 8) if args.quick else (1, 8, 64)
+
+    results = []
+    single_row_ratio = None
+    maintenance_text = ""
+    for delta_rows in delta_sizes:
+        inc_samples, maintenance = bench_incremental(
+            scale, args.seed, delta_rows, repeats
+        )
+        maintenance_text = maintenance.describe()
+        if maintenance.rebuilds:
+            print(
+                f"WARNING: {maintenance.rebuilds} rebuilds during "
+                f"incremental maintenance: {maintenance.rebuild_reasons}"
+            )
+        reb_samples = bench_rebuild(scale, args.seed, delta_rows, repeats)
+        sql_samples = bench_sqlite(scale, args.seed, delta_rows, repeats)
+        inc, reb, sql = (
+            _median_ms(inc_samples),
+            _median_ms(reb_samples),
+            _median_ms(sql_samples),
+        )
+        ratio = reb / inc if inc else float("inf")
+        if delta_rows == 1:
+            single_row_ratio = ratio
+        for approach, median, samples in (
+            ("incremental", inc, inc_samples),
+            ("rebuild", reb, reb_samples),
+            ("sqlite", sql, sql_samples),
+        ):
+            results.append(
+                {
+                    "delta_rows": delta_rows,
+                    "approach": approach,
+                    "median_ms": median,
+                    "samples_ms": [s * 1000.0 for s in samples],
+                }
+            )
+        print(
+            f"delta_rows={delta_rows:>3}  incremental {inc:8.3f} ms  "
+            f"rebuild {reb:8.3f} ms  sqlite {sql:8.3f} ms  "
+            f"(rebuild/incremental = {ratio:.1f}x)"
+        )
+
+    proof, proof_stats = live_view_proof(scale, args.seed)
+    print("\nLiveView explain() proof:")
+    print("\n".join(f"  {line}" for line in proof.splitlines()[-2:]))
+
+    payload = {
+        "benchmark": "bench_ivm",
+        "config": {
+            "scale": scale,
+            "repeats": repeats,
+            "delta_sizes": list(delta_sizes),
+            "seed": args.seed,
+            "quick": args.quick,
+        },
+        "results": results,
+        "single_row_rebuild_over_incremental": single_row_ratio,
+        "maintenance": maintenance_text,
+        "factorisation_rebuilds": proof_stats.rebuilds,
+        "live_view_explain": proof,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if proof_stats.rebuilds:
+        print("FAIL: independence-preserving deltas caused rebuilds")
+        return 1
+    if not args.quick and (single_row_ratio or 0) < 5.0:
+        print(
+            f"FAIL: single-row incremental speedup {single_row_ratio:.1f}x "
+            "< 5x over full rebuild"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,11 +58,16 @@ __all__ = [
     "ComputedColumn",
     "Const",
     "Database",
+    "Delta",
+    "Deletion",
     "Engine",
     "Equality",
     "Expr",
     "FDBEngine",
     "Having",
+    "Insertion",
+    "LiveView",
+    "MaintenanceStats",
     "Neg",
     "Query",
     "QueryBuilder",
@@ -94,6 +99,11 @@ _LAZY_ATTRIBUTES = {
     "available_engines": ("repro.api", "available_engines"),
     "connect": ("repro.api", "connect"),
     "register_engine": ("repro.api", "register_engine"),
+    "Delta": ("repro.ivm", "Delta"),
+    "Deletion": ("repro.ivm", "Deletion"),
+    "Insertion": ("repro.ivm", "Insertion"),
+    "LiveView": ("repro.ivm", "LiveView"),
+    "MaintenanceStats": ("repro.ivm", "MaintenanceStats"),
 }
 
 

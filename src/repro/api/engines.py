@@ -72,6 +72,19 @@ class Engine(ABC):
         """Describe the evaluation strategy without executing."""
         return f"{self.name}: {query}"
 
+    def forward(self, records, database: "Database") -> bool:
+        """Absorb logged mutations into prepared state.
+
+        ``records`` are :class:`repro.database.LogRecord` entries newer
+        than the version this backend last observed.  Returning False
+        tells the session to re-run :meth:`prepare` instead — the safe
+        default for backends whose prepared state the session cannot
+        see.  Stateless backends (reading the database afresh per run)
+        return True; the sqlite backend replays the row deltas on its
+        live connection.
+        """
+        return False
+
 
 class FDBBackend(Engine):
     """Factorised evaluation; ``output`` selects FDB vs FDB f/o."""
@@ -89,6 +102,11 @@ class FDBBackend(Engine):
     def explain(self, query: Query, database: "Database") -> str:
         return self._engine.explain(query, database)
 
+    def forward(self, records, database: "Database") -> bool:
+        # FDB holds no prepared copy: every run reads the (maintained)
+        # factorisations and flat relations from the database.
+        return True
+
 
 class RDBBackend(Engine):
     """The flat relational baseline (sort or hash grouping)."""
@@ -99,6 +117,11 @@ class RDBBackend(Engine):
 
     def run(self, query: Query, database: "Database") -> EngineRun:
         return EngineRun(relation=self._engine.execute(query, database))
+
+    def forward(self, records, database: "Database") -> bool:
+        # The flat baseline re-reads database.flat() per run (stale flat
+        # copies of maintained views refresh lazily there).
+        return True
 
     def explain(self, query: Query, database: "Database") -> str:
         engine = self._engine
@@ -141,6 +164,7 @@ class SQLiteBackend(Engine):
     def __init__(self) -> None:
         self._connection: sqlite3.Connection | None = None
         self._database: "Database | None" = None
+        self._schemas: dict[str, tuple[str, ...]] = {}
 
     @property
     def connection(self) -> sqlite3.Connection:
@@ -159,8 +183,10 @@ class SQLiteBackend(Engine):
     def _ensure(self, database: "Database") -> sqlite3.Connection:
         if self._connection is None or self._database is not database:
             connection = sqlite3.connect(":memory:")
+            self._schemas = {}
             for name in database.names():
                 relation = database.flat(name)
+                self._schemas[name] = relation.schema
                 columns = ", ".join(f'"{a}"' for a in relation.schema)
                 connection.execute(f'CREATE TABLE "{name}" ({columns})')
                 marks = ",".join("?" * len(relation.schema))
@@ -171,6 +197,61 @@ class SQLiteBackend(Engine):
             self._connection = connection
             self._database = database
         return self._connection
+
+    def forward(self, records, database: "Database") -> bool:
+        """Replay logged row deltas on the live connection.
+
+        Base changes and the exact per-view deltas the maintenance
+        subsystem reported are translated to INSERT/DELETE statements.
+        Registrations and view rebuilds are not expressible as row
+        deltas, so they fall back to a full reload (return False).
+        """
+        if self._connection is None or self._database is not database:
+            return False
+        for record in records:
+            if record.kind == "register":
+                return False
+            if any(delta.rebuilt for delta in record.view_deltas.values()):
+                return False
+            if record.relation not in self._schemas:
+                return False
+            for delta in record.view_deltas.values():
+                if delta.name not in self._schemas:
+                    return False
+        for record in records:
+            self._replay(record.relation, record.columns, record.rows,
+                         record.kind == "insert")
+            for delta in record.view_deltas.values():
+                if delta.name == record.relation:
+                    continue  # the base replay already covered it
+                self._replay(delta.name, delta.schema, delta.added, True)
+                self._replay(delta.name, delta.schema, delta.removed, False)
+        self._connection.commit()
+        return True
+
+    def _replay(
+        self,
+        table: str,
+        columns: "tuple[str, ...]",
+        rows: "tuple[tuple, ...]",
+        insert: bool,
+    ) -> None:
+        if not rows:
+            return
+        schema = self._schemas[table]
+        positions = [columns.index(a) for a in schema]
+        ordered = [tuple(row[p] for p in positions) for row in rows]
+        assert self._connection is not None
+        if insert:
+            marks = ",".join("?" * len(schema))
+            self._connection.executemany(
+                f'INSERT INTO "{table}" VALUES ({marks})', ordered
+            )
+        else:
+            conditions = " AND ".join(f'"{a}" = ?' for a in schema)
+            self._connection.executemany(
+                f'DELETE FROM "{table}" WHERE {conditions}', ordered
+            )
 
     def run(self, query: Query, database: "Database") -> EngineRun:
         connection = self._ensure(database)

@@ -74,6 +74,7 @@ class Result:
         trace: "ExecutionTrace | None" = None,
         explain_fn: Callable[[], str] | None = None,
         seconds: float = 0.0,
+        maintenance=None,
     ) -> None:
         if relation is None and factorised is None:
             raise ValueError("a Result needs a relation or a factorisation")
@@ -83,6 +84,7 @@ class Result:
         self.trace = trace
         self.seconds = seconds
         self.factorised = factorised
+        self.maintenance = maintenance
         self._relation = relation
         self._explain_fn = explain_fn
         self._explain_text: str | None = None
@@ -169,7 +171,11 @@ class Result:
             provenance = self._expression_provenance()
             if provenance:
                 self._explain_text += "\n" + "\n".join(provenance)
-        return self._explain_text
+        text = self._explain_text
+        if self.maintenance is not None:
+            # Appended outside the cache: the live stats keep counting.
+            text += f"\nmaintenance: {self.maintenance.describe()}"
+        return text
 
     @property
     def expression_stats(self):

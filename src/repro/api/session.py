@@ -24,24 +24,43 @@ independent branches (Section 3.2)::
 
 A session caches one prepared backend instance per engine name, so
 e.g. the sqlite backend loads the database once and reuses the
-connection across queries.
+connection across queries.  Every cached backend is checked against
+the database's version stamp before each use: after a mutation, the
+pending changes are delta-forwarded to backends that support it (the
+sqlite connection receives the corresponding INSERT/DELETE statements)
+and the rest re-prepare — a stale backend can never serve a query.
+
+Sessions are also the write path.  :meth:`Session.insert`,
+:meth:`Session.delete` and :meth:`Session.apply` mutate the database
+through the delta subsystem (keeping factorised views incrementally
+maintained), and :meth:`Session.watch` returns a
+:class:`repro.ivm.view.LiveView` whose aggregates stay fresh under
+those mutations::
+
+    live = session.watch(
+        session.query("R").group_by("customer").sum("price", "revenue")
+    )
+    session.insert("Orders", [("Lucia", "Monday", "Margherita")])
+    print(live.result.pretty())   # already reflects the new order
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Iterable, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, Union
 
 from repro.api.builder import QueryBuilder
 from repro.api.engines import Engine, available_engines, create_engine
 from repro.api.result import Result
 from repro.api.util import suggest
-from repro.database import Database
+from repro.database import ApplyReport, Database
 from repro.query import Query, QueryError
 from repro.relational.relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.core.frep import Factorisation
+    from repro.ivm.delta import Delta
+    from repro.ivm.view import LiveView
 
 Queryish = Union[Query, QueryBuilder, str]
 
@@ -69,10 +88,11 @@ class Session:
         self._default_engine: "str | Engine" = engine
         self._default_options = engine_options
         self._engines: dict = {}
-        # Engine instances this session prepared.  Keyed by id() but the
-        # values hold strong references: a bare id set would let a freed
+        # Engine instances this session prepared, with the database
+        # version each one last observed.  Keyed by id() but the values
+        # hold strong references: a bare id set would let a freed
         # instance's recycled address masquerade as already-prepared.
-        self._prepared: dict[int, Engine] = {}
+        self._prepared: dict[int, tuple[Engine, int]] = {}
 
     # ------------------------------------------------------------------
     # Building queries
@@ -84,11 +104,21 @@ class Session:
         self._check_relations(relations)
         return QueryBuilder(self, tuple(relations))
 
-    def sql(self, text: str, engine=None, name: str = "") -> Result:
-        """Parse a SQL string and execute it."""
-        from repro.sql import parse_query
+    def sql(self, text: str, engine=None, name: str = ""):
+        """Parse a SQL string and execute it.
 
-        return self.execute(parse_query(text, name=name), engine=engine)
+        SELECT statements run through the chosen engine and return a
+        :class:`Result`; INSERT/DELETE statements are lowered to a
+        :class:`repro.ivm.delta.Delta` and applied, returning the
+        :class:`repro.database.ApplyReport`.
+        """
+        from repro.ivm.delta import Delta
+        from repro.sql import parse_statement
+
+        parsed = parse_statement(text, name=name)
+        if isinstance(parsed, Delta):
+            return self.apply(parsed)
+        return self.execute(parsed, engine=engine)
 
     # ------------------------------------------------------------------
     # Execution
@@ -147,26 +177,78 @@ class Session:
                     f"configure the {type(engine).__name__} instance "
                     "directly instead"
                 )
-            if id(engine) not in self._prepared:
-                engine.prepare(self.database)
-                self._prepared[id(engine)] = engine
-            return engine
+            return self._freshened(engine)
         key = (engine.lower(), tuple(sorted(options.items())))
         if key not in self._engines:
-            backend = create_engine(engine, **options)
-            backend.prepare(self.database)
-            self._engines[key] = backend
-        return self._engines[key]
+            self._engines[key] = create_engine(engine, **options)
+        return self._freshened(self._engines[key])
+
+    def _freshened(self, backend: Engine) -> Engine:
+        """Prepare ``backend`` or bring it up to the database version.
+
+        The per-backend version stamp is the stale-cache guard: after
+        any mutation (through this session, the database directly, or
+        SQL), a cached backend either absorbs the logged changes via
+        :meth:`repro.api.engines.Engine.forward` or re-prepares.
+        """
+        database = self.database
+        known = self._prepared.get(id(backend))
+        if known is None:
+            backend.prepare(database)
+        elif known[1] != database.version:
+            records = database.changes_since(known[1])
+            if records is None or not backend.forward(records, database):
+                backend.prepare(database)
+        self._prepared[id(backend)] = (backend, database.version)
+        return backend
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[Any]],
+        columns: Sequence[str] | None = None,
+    ) -> ApplyReport:
+        """Insert rows into a relation, maintaining every derived view."""
+        return self.database.insert(relation, rows, columns)
+
+    def delete(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[Any]] | None = None,
+        where: "Callable[[dict], bool] | Sequence | None" = None,
+    ) -> ApplyReport:
+        """Delete rows (by value, predicate, or all) from a relation."""
+        return self.database.delete(relation, rows, where)
+
+    def apply(self, delta: "Delta") -> ApplyReport:
+        """Apply a batched :class:`repro.ivm.delta.Delta` atomically.
+
+        Factorised views are delta-maintained, cached engine backends
+        are invalidated or delta-forwarded on their next use, and live
+        views created with :meth:`watch` pick the changes up from the
+        database's change log.
+        """
+        return self.database.apply(delta)
+
+    def watch(self, query: Queryish, engine=None) -> "LiveView":
+        """A maintained result that stays fresh under mutations."""
+        from repro.ivm.view import LiveView
+
+        return LiveView(self, self._coerce(query), engine=engine)
 
     # ------------------------------------------------------------------
     # Catalogue management
     # ------------------------------------------------------------------
     def add_relation(self, relation: Relation, name: str = "") -> "Session":
-        """Register a flat relation; returns self for chaining."""
+        """Register a flat relation; returns self for chaining.
+
+        Registration bumps the database version, so prepared backends
+        re-prepare on their next use.
+        """
         self.database.add_relation(relation, name=name)
-        # Prepared backends may hold stale loads of the old catalogue.
-        self._engines.clear()
-        self._prepared.clear()
         return self
 
     def add_factorised(
@@ -174,8 +256,6 @@ class Session:
     ) -> "Session":
         """Register a factorised materialised view; returns self."""
         self.database.add_factorised(name, factorisation)
-        self._engines.clear()
-        self._prepared.clear()
         return self
 
     def names(self) -> list[str]:

@@ -13,28 +13,122 @@ Either engine falls back to the other representation when asked for a
 view it only has in the other form (FDB factorises flat input on the
 fly; RDB flattens factorised input), so the same workload can be run
 against every engine regardless of which representation was registered.
+
+Databases are **mutable**: :meth:`insert`, :meth:`delete` and
+:meth:`apply` change the catalogue in place and keep every registered
+factorisation fresh through the delta-maintenance subsystem of
+:mod:`repro.ivm` — routed splices where the f-tree's independence
+assumptions allow, recorded rebuilds where they do not.  Every mutation
+bumps :attr:`version` and appends to a bounded change log
+(:meth:`changes_since`), which is how cached engine backends and live
+views detect and forward changes.  The mutation API uses set semantics
+(the paper's relations are sets): inserting an existing row is a no-op
+and deleting a row removes every occurrence.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.relational.relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.frep import Factorisation
+    from repro.ivm.delta import Delta, Deletion, Insertion
+    from repro.ivm.maintain import ViewDelta
+
+#: Retained change-log length; older records force full re-preparation.
+MAX_LOG = 512
 
 
 class UnknownRelationError(KeyError):
     """Raised when a query references a name the database does not hold."""
 
 
+def _path_fallback_tree(ftree):
+    """The path f-tree chaining ``ftree``'s nodes in pre-order.
+
+    Attribute classes and dependency keys are preserved, so routed
+    maintenance keeps working after a view falls back to its (always
+    valid, less succinct) path factorisation.
+    """
+    from repro.core.ftree import FNode, FTree
+
+    chained = None
+    for node in reversed(list(ftree.nodes())):
+        label = node.aggregate if node.aggregate is not None else node.attributes
+        chained = FNode(
+            label, (chained,) if chained is not None else (), node.keys
+        )
+    return FTree([chained])
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One applied change: the resolved base rows plus per-view deltas.
+
+    ``kind`` is ``"insert"``/``"delete"`` for data changes and
+    ``"register"`` for catalogue registrations (which cannot be
+    forwarded as row deltas).  ``rows`` are the rows actually inserted
+    or deleted after set-semantics normalisation, in ``columns`` order.
+    """
+
+    version: int
+    kind: str
+    relation: str
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple, ...] = ()
+    view_deltas: "dict[str, ViewDelta]" = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ApplyReport:
+    """Summary of one :meth:`Database.apply` call."""
+
+    version: int
+    inserted: int
+    deleted: int
+    records: tuple[LogRecord, ...] = ()
+
+    @property
+    def rebuilds(self) -> int:
+        return sum(
+            1
+            for record in self.records
+            for delta in record.view_deltas.values()
+            if delta.rebuilt
+        )
+
+    def __str__(self) -> str:
+        parts = [f"v{self.version}: +{self.inserted}/-{self.deleted} rows"]
+        maintained = sorted(
+            {
+                name
+                for record in self.records
+                for name in record.view_deltas
+            }
+        )
+        if maintained:
+            parts.append(f"views maintained: {', '.join(maintained)}")
+        if self.rebuilds:
+            parts.append(f"{self.rebuilds} rebuilds")
+        return "; ".join(parts)
+
+
 class Database:
     """Catalogue of flat relations and factorised views, by name."""
 
     def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        from repro.ivm.stats import MaintenanceStats
+
         self.relations: dict[str, Relation] = {}
         self.factorised: dict[str, "Factorisation"] = {}
+        self.version = 0
+        self.maintenance = MaintenanceStats()
+        self._log: list[LogRecord] = []
+        self._log_floor = 0  # versions ≤ this are no longer replayable
+        self._stale_flat: set[str] = set()
         for relation in relations:
             self.add_relation(relation)
 
@@ -43,11 +137,21 @@ class Database:
     # ------------------------------------------------------------------
     def add_relation(self, relation: Relation, name: str = "") -> None:
         """Register a flat relation (name defaults to ``relation.name``)."""
-        self.relations[name or relation.name] = relation
+        name = name or relation.name
+        self.relations[name] = relation
+        self._stale_flat.discard(name)
+        self._record_registration(name)
 
     def add_factorised(self, name: str, factorisation: "Factorisation") -> None:
         """Register a factorised materialised view."""
         self.factorised[name] = factorisation
+        self._record_registration(name)
+
+    def _record_registration(self, name: str) -> None:
+        self.version += 1
+        self._append_log(
+            LogRecord(version=self.version, kind="register", relation=name)
+        )
 
     # ------------------------------------------------------------------
     # Lookup
@@ -56,7 +160,21 @@ class Database:
         return name in self.relations or name in self.factorised
 
     def flat(self, name: str) -> Relation:
-        """The flat form of a view, flattening a factorisation if needed."""
+        """The flat form of a view, flattening a factorisation if needed.
+
+        Flat copies of delta-maintained views refresh lazily here after
+        a base-relation change marked them stale.
+        """
+        if name in self._stale_flat and name in self.factorised:
+            stale = self.relations.get(name)
+            refreshed = self.factorised[name].to_relation()
+            if stale is not None and set(stale.schema) == set(
+                refreshed.schema
+            ):
+                refreshed = refreshed.project(stale.schema, dedup=False)
+            refreshed.name = name
+            self.relations[name] = refreshed
+            self._stale_flat.discard(name)
         if name in self.relations:
             return self.relations[name]
         if name in self.factorised:
@@ -80,3 +198,349 @@ class Database:
     def names(self) -> list[str]:
         """All registered view names (flat and factorised, deduplicated)."""
         return sorted(set(self.relations) | set(self.factorised))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[Any]],
+        columns: Sequence[str] | None = None,
+    ) -> ApplyReport:
+        """Insert rows (skipping ones already present); returns a report."""
+        from repro.ivm.delta import Delta
+
+        return self.apply(Delta.insert(relation, rows, columns))
+
+    def delete(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[Any]] | None = None,
+        where: "Callable[[dict], bool] | Sequence | None" = None,
+    ) -> ApplyReport:
+        """Delete rows (by value, by predicate, or all); returns a report."""
+        from repro.ivm.delta import Delta
+
+        return self.apply(Delta.delete(relation, rows, where))
+
+    def apply(self, delta: "Delta | Insertion | Deletion") -> ApplyReport:
+        """Apply a batch of changes, maintaining every factorised view.
+
+        Every change is validated up front (relation existence, column
+        lists, row arities), so a malformed delta raises before any
+        change takes effect; the valid changes then apply in order.
+        """
+        from repro.ivm.delta import Delta, Deletion, Insertion
+
+        if isinstance(delta, (Insertion, Deletion)):
+            delta = Delta((delta,))
+        for change in delta.changes:
+            self._validate_change(change)
+        records: list[LogRecord] = []
+        inserted = deleted = 0
+        for change in delta.changes:
+            record = self._apply_change(change)
+            records.append(record)
+            if record.kind == "insert":
+                inserted += len(record.rows)
+            else:
+                deleted += len(record.rows)
+        return ApplyReport(self.version, inserted, deleted, tuple(records))
+
+    def changes_since(self, version: int) -> list[LogRecord] | None:
+        """Replayable records after ``version``, or None if truncated."""
+        if version < self._log_floor:
+            return None
+        return [record for record in self._log if record.version > version]
+
+    # ------------------------------------------------------------------
+    # Change application internals
+    # ------------------------------------------------------------------
+    def _validate_change(self, change) -> None:
+        """State-independent checks, run for the whole delta up front."""
+        from repro.ivm.delta import DeltaError, Insertion
+
+        name = change.relation
+        if name not in self:
+            raise UnknownRelationError(name)
+        schema = self.schema(name)
+        if isinstance(change, Insertion):
+            columns = change.columns or tuple(schema)
+            unknown = [c for c in columns if c not in schema]
+            if unknown:
+                raise DeltaError(
+                    f"unknown columns {unknown!r} for relation {name!r} "
+                    f"(schema: {tuple(schema)!r})"
+                )
+            missing = [c for c in schema if c not in columns]
+            if missing:
+                raise DeltaError(
+                    f"insert into {name!r} misses columns {missing!r}; "
+                    "partial rows are not supported"
+                )
+            arity = len(columns)
+        elif change.rows is not None:
+            arity = len(schema)
+        else:
+            return
+        rows = change.rows or ()
+        for row in rows:
+            if len(row) != arity:
+                raise DeltaError(
+                    f"row arity {len(row)} does not match the {arity} "
+                    f"expected columns of {name!r}"
+                )
+
+    def _apply_change(self, change) -> LogRecord:
+        from repro.ivm.delta import Insertion
+
+        name = change.relation
+        if name not in self:
+            raise UnknownRelationError(name)
+        schema = self.schema(name)
+        if isinstance(change, Insertion):
+            rows = self._resolve_insert(change, schema)
+            kind = "insert"
+        else:
+            rows = self._resolve_delete(change, schema)
+            kind = "delete"
+
+        # 1. The flat form of the named relation changes first, so that
+        #    fragment construction during routed maintenance sees the
+        #    post-change base data.
+        if name in self.relations:
+            relation = self.flat(name)  # refreshes a stale copy first
+            if kind == "insert":
+                relation.rows.extend(rows)
+            else:
+                doomed = set(rows)
+                relation.rows = [
+                    row for row in relation.rows if row not in doomed
+                ]
+
+        self.version += 1
+        stats = self.maintenance
+        stats.deltas_applied += 1
+        if kind == "insert":
+            stats.rows_inserted += len(rows)
+        else:
+            stats.rows_deleted += len(rows)
+
+        # 2. Route the change to every affected factorised view.
+        view_deltas: "dict[str, ViewDelta]" = {}
+        if rows:
+            view_deltas = self._maintain_views(name, kind, rows, schema)
+
+        record = LogRecord(
+            version=self.version,
+            kind=kind,
+            relation=name,
+            columns=tuple(schema),
+            rows=tuple(rows),
+            view_deltas=view_deltas,
+        )
+        self._append_log(record)
+        return record
+
+    def _resolve_insert(self, change, schema: Sequence[str]) -> list[tuple]:
+        from repro.ivm.delta import DeltaError
+
+        columns = change.columns or tuple(schema)
+        unknown = [c for c in columns if c not in schema]
+        if unknown:
+            raise DeltaError(
+                f"unknown columns {unknown!r} for relation "
+                f"{change.relation!r} (schema: {tuple(schema)!r})"
+            )
+        missing = [c for c in schema if c not in columns]
+        if missing:
+            raise DeltaError(
+                f"insert into {change.relation!r} misses columns "
+                f"{missing!r}; partial rows are not supported"
+            )
+        positions = [columns.index(c) for c in schema]
+        current = set(self._current_rows(change.relation, schema))
+        out: list[tuple] = []
+        for row in change.rows:
+            if len(row) != len(columns):
+                raise DeltaError(
+                    f"row arity {len(row)} does not match columns "
+                    f"{tuple(columns)!r}"
+                )
+            ordered = tuple(row[p] for p in positions)
+            if ordered in current:
+                continue  # set semantics: already present
+            current.add(ordered)
+            out.append(ordered)
+        return out
+
+    def _resolve_delete(self, change, schema: Sequence[str]) -> list[tuple]:
+        from repro.ivm.delta import DeltaError
+
+        current = self._current_rows(change.relation, schema)
+        present = set(current)
+        if change.rows is not None:
+            out: list[tuple] = []
+            seen: set[tuple] = set()
+            for row in change.rows:
+                if len(row) != len(schema):
+                    raise DeltaError(
+                        f"row arity {len(row)} does not match schema "
+                        f"{tuple(schema)!r} of {change.relation!r}"
+                    )
+                row = tuple(row)
+                if row in present and row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            return out
+        out = []
+        seen = set()
+        for row in current:
+            if row in seen:
+                continue
+            seen.add(row)
+            if change.matches(dict(zip(schema, row))):
+                out.append(row)
+        return out
+
+    def _current_rows(self, name: str, schema: Sequence[str]) -> list[tuple]:
+        if name in self.relations or name in self._stale_flat:
+            return list(self.flat(name).rows)
+        return list(self.factorised[name].iter_tuples())
+
+    def _maintain_views(
+        self, name: str, kind: str, rows: list[tuple], schema: Sequence[str]
+    ) -> "dict[str, ViewDelta]":
+        from repro.ivm.maintain import (
+            IndependenceViolation,
+            ViewDelta,
+            _Splice,
+            contributors,
+            direct_delete,
+            direct_insert,
+            routed_delete,
+            routed_insert,
+        )
+
+        view_deltas: "dict[str, ViewDelta]" = {}
+        for view_name, fact in list(self.factorised.items()):
+            direct = view_name == name
+            if not direct and name not in contributors(fact):
+                continue
+            splice = _Splice()
+            try:
+                if direct and kind == "insert":
+                    new_fact = direct_insert(fact, rows, schema, splice)
+                elif direct:
+                    new_fact = direct_delete(fact, rows, schema, splice)
+                elif kind == "insert":
+                    new_fact = routed_insert(
+                        fact, name, rows, schema, self, splice
+                    )
+                else:
+                    new_fact = routed_delete(
+                        fact, name, rows, schema, self, splice
+                    )
+                self.factorised[view_name] = new_fact
+                self.maintenance.record_incremental(splice.nodes_touched)
+                view_deltas[view_name] = ViewDelta(
+                    name=view_name,
+                    schema=tuple(new_fact.schema()),
+                    added=tuple(splice.added),
+                    removed=tuple(splice.removed),
+                    nodes_touched=splice.nodes_touched,
+                )
+            except IndependenceViolation as violation:
+                new_fact = self._rebuild_view(
+                    view_name, fact, direct, kind, rows, schema
+                )
+                self.factorised[view_name] = new_fact
+                self.maintenance.record_rebuild(violation.reason)
+                view_deltas[view_name] = ViewDelta(
+                    name=view_name,
+                    schema=tuple(new_fact.schema()),
+                    rebuilt=True,
+                    reason=violation.reason,
+                )
+            if not direct and view_name in self.relations:
+                # The view's own flat copy is now stale; it refreshes
+                # from the maintained factorisation on next access.
+                self._stale_flat.add(view_name)
+        return view_deltas
+
+    def _rebuild_view(
+        self,
+        view_name: str,
+        fact: "Factorisation",
+        direct: bool,
+        kind: str,
+        rows: list[tuple],
+        schema: Sequence[str],
+    ) -> "Factorisation":
+        """Fall back to re-factorising a view after a failed splice."""
+        from repro.core.build import factorise
+        from repro.ivm.delta import DeltaError
+        from repro.ivm.maintain import contributors
+        from repro.relational.operators import multiway_join
+
+        if any(node.is_aggregate for node in fact.ftree.nodes()):
+            raise DeltaError(
+                f"view {view_name!r} holds aggregate nodes and cannot be "
+                "maintained or rebuilt; re-register it from its defining "
+                "query instead"
+            )
+        attributes = [
+            name
+            for node in fact.ftree.nodes()
+            for name in node.attributes
+        ]
+        if direct:
+            # The flat copy (updated before maintenance) is the source
+            # of truth for changes addressed to the view itself; a
+            # factorised-only view still needs the change applied to
+            # its flattened rows.
+            if view_name in self.relations:
+                source = self.relations[view_name]
+            else:
+                source = fact.to_relation(view_name)
+                positions = [schema.index(a) for a in source.schema]
+                changed = [tuple(row[p] for p in positions) for row in rows]
+                if kind == "insert":
+                    source.rows.extend(changed)
+                else:
+                    doomed = set(changed)
+                    source.rows = [
+                        row for row in source.rows if row not in doomed
+                    ]
+            rebuilt = factorise(source, fact.ftree)
+            if rebuilt.tuple_count() == len(set(source.rows)):
+                return rebuilt
+            # The updated relation no longer satisfies the f-tree's join
+            # dependencies (factorise would silently represent the join
+            # of the subtree projections).  Every relation admits a path
+            # factorisation (Section 2.1), so re-register over the path
+            # f-tree — keeping each node's dependency keys for routing.
+            return factorise(source, _path_fallback_tree(fact.ftree))
+        missing = sorted(key for key in contributors(fact) if key not in self)
+        if missing:
+            raise DeltaError(
+                f"view {view_name!r} needs a rebuild but its contributors "
+                f"{missing!r} are not in the catalogue"
+            )
+        names = sorted(contributors(fact))
+        joined = multiway_join([self.flat(key) for key in names])
+        absent = [a for a in attributes if a not in joined.schema]
+        if absent:
+            raise DeltaError(
+                f"view {view_name!r} cannot be rebuilt: its contributors "
+                f"do not produce attributes {absent!r}"
+            )
+        return factorise(joined.project(attributes), fact.ftree)
+
+    def _append_log(self, record: LogRecord) -> None:
+        self._log.append(record)
+        if len(self._log) > MAX_LOG:
+            dropped = self._log[: len(self._log) - MAX_LOG]
+            self._log = self._log[len(self._log) - MAX_LOG :]
+            self._log_floor = dropped[-1].version

@@ -1,0 +1,217 @@
+"""Immutable descriptions of database mutations.
+
+A :class:`Delta` is a batch of :class:`Insertion` and :class:`Deletion`
+changes, applied atomically by :meth:`repro.database.Database.apply`.
+Deltas are *descriptions*, not effects: building one never touches a
+database, so the same delta can be rendered to SQL, applied to several
+databases, or logged for replay.
+
+The subsystem works with the paper's set semantics: a relation is a set
+of tuples (duplicates are never created by an insertion, and a deletion
+removes every occurrence of a row).  This keeps the flat catalogue, the
+delta-maintained factorisations — which are sets by construction — and
+the SQL backend in agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+Row = tuple
+
+
+class DeltaError(ValueError):
+    """Raised for malformed deltas (bad arity, unknown columns...)."""
+
+
+def _freeze_rows(rows: Iterable[Sequence[Any]]) -> tuple[Row, ...]:
+    return tuple(tuple(row) for row in rows)
+
+
+@dataclass(frozen=True)
+class Insertion:
+    """Insert ``rows`` into ``relation``.
+
+    ``columns`` optionally names the positions of the supplied rows
+    (``INSERT INTO t (b, a) VALUES ...``); ``None`` means the relation's
+    own schema order.  Rows already present are skipped (set semantics).
+    """
+
+    relation: str
+    rows: tuple[Row, ...]
+    columns: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", _freeze_rows(self.rows))
+        if self.columns is not None:
+            object.__setattr__(self, "columns", tuple(self.columns))
+            for row in self.rows:
+                if len(row) != len(self.columns):
+                    raise DeltaError(
+                        f"row arity {len(row)} does not match column list "
+                        f"{self.columns!r}"
+                    )
+
+    @property
+    def kind(self) -> str:
+        return "insert"
+
+    def __str__(self) -> str:
+        cols = f" ({', '.join(self.columns)})" if self.columns else ""
+        return f"+{self.relation}{cols} «{len(self.rows)} rows»"
+
+
+@dataclass(frozen=True)
+class Deletion:
+    """Delete rows from ``relation``.
+
+    Exactly one selection mechanism applies:
+
+    - ``rows`` — concrete tuples in schema order (every occurrence of
+      each is removed);
+    - ``predicate`` — either a callable over attribute→value dicts or a
+      sequence of :class:`repro.query.Comparison` /
+      :class:`repro.query.Equality` conjuncts (the SQL ``WHERE`` form),
+      resolved against the relation's current rows at apply time;
+    - neither — the relation is emptied.
+    """
+
+    relation: str
+    rows: tuple[Row, ...] | None = None
+    predicate: "Callable[[dict], bool] | tuple | None" = None
+
+    def __post_init__(self) -> None:
+        if self.rows is not None and self.predicate is not None:
+            raise DeltaError("a deletion takes rows or a predicate, not both")
+        if self.rows is not None:
+            object.__setattr__(self, "rows", _freeze_rows(self.rows))
+        if self.predicate is not None and not callable(self.predicate):
+            object.__setattr__(self, "predicate", tuple(self.predicate))
+
+    @property
+    def kind(self) -> str:
+        return "delete"
+
+    def matches(self, binding: dict) -> bool:
+        """Whether a row (as an attribute dict) satisfies the predicate."""
+        if self.predicate is None:
+            return True
+        if callable(self.predicate):
+            return bool(self.predicate(binding))
+        for condition in self.predicate:
+            if hasattr(condition, "left"):  # Equality
+                if binding[condition.left] != binding[condition.right]:
+                    return False
+            else:  # Comparison (possibly over an expression)
+                target = condition.attribute
+                if isinstance(target, str):
+                    value = binding[target]
+                else:
+                    value = target.evaluate(binding)
+                if not condition.test(value):
+                    return False
+        return True
+
+    def __str__(self) -> str:
+        if self.rows is not None:
+            return f"-{self.relation} «{len(self.rows)} rows»"
+        if self.predicate is None:
+            return f"-{self.relation} «all rows»"
+        if callable(self.predicate):
+            return f"-{self.relation} «predicate»"
+        where = " ∧ ".join(str(c) for c in self.predicate)
+        return f"-{self.relation} «{where}»"
+
+
+Change = "Insertion | Deletion"
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An immutable, ordered batch of changes.
+
+    Construct with the :meth:`insert` / :meth:`delete` factories and
+    combine with ``+``::
+
+        delta = (Delta.insert("Orders", [("Lucia", "Monday", "Margherita")])
+                 + Delta.delete("Items", where=[Comparison("price", ">", 10)]))
+        session.apply(delta)
+    """
+
+    changes: tuple["Insertion | Deletion", ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "changes", tuple(self.changes))
+        for change in self.changes:
+            if not isinstance(change, (Insertion, Deletion)):
+                raise DeltaError(
+                    f"expected Insertion or Deletion, got {change!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @staticmethod
+    def insert(
+        relation: str,
+        rows: Iterable[Sequence[Any]],
+        columns: Sequence[str] | None = None,
+    ) -> "Delta":
+        return Delta(
+            (
+                Insertion(
+                    relation,
+                    _freeze_rows(rows),
+                    tuple(columns) if columns is not None else None,
+                ),
+            )
+        )
+
+    @staticmethod
+    def delete(
+        relation: str,
+        rows: Iterable[Sequence[Any]] | None = None,
+        where: "Callable[[dict], bool] | Sequence | None" = None,
+    ) -> "Delta":
+        return Delta(
+            (
+                Deletion(
+                    relation,
+                    _freeze_rows(rows) if rows is not None else None,
+                    where,
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Composition and inspection
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Delta") -> "Delta":
+        if not isinstance(other, Delta):
+            return NotImplemented
+        return Delta(self.changes + other.changes)
+
+    def then(self, other: "Delta") -> "Delta":
+        """Sequential composition (``+`` spelled as a method)."""
+        return self + other
+
+    def relations(self) -> tuple[str, ...]:
+        """Distinct relation names touched, in first-touch order."""
+        seen: list[str] = []
+        for change in self.changes:
+            if change.relation not in seen:
+                seen.append(change.relation)
+        return tuple(seen)
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __bool__(self) -> bool:
+        return bool(self.changes)
+
+    def __iter__(self):
+        return iter(self.changes)
+
+    def __str__(self) -> str:
+        return f"Delta({'; '.join(str(c) for c in self.changes)})"

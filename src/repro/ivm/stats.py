@@ -1,0 +1,98 @@
+"""Counters describing how update maintenance was carried out.
+
+One :class:`MaintenanceStats` instance lives on every
+:class:`repro.database.Database` (counting factorisation maintenance)
+and on every :class:`repro.ivm.view.LiveView` (additionally counting
+result-level incremental updates vs full recomputations).  The stats
+appear in ``Result.explain()`` so a caller can *prove* that the
+incremental path ran — the acceptance test of this subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters for delta processing.
+
+    ``deltas_applied``
+        individual changes processed;
+    ``rows_inserted`` / ``rows_deleted``
+        base-row effects after set-semantics normalisation;
+    ``nodes_touched``
+        factorisation union entries created, removed, or rebuilt along
+        splice paths (the locality measure — a full rebuild would touch
+        every node);
+    ``incremental``
+        maintenance operations completed by local splicing;
+    ``rebuilds``
+        operations that fell back to re-factorising (with reasons);
+    ``recomputes``
+        live-view refreshes answered by re-running the query;
+    ``groups_touched``
+        aggregate groups adjusted by additive deltas.
+    """
+
+    deltas_applied: int = 0
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    nodes_touched: int = 0
+    incremental: int = 0
+    rebuilds: int = 0
+    recomputes: int = 0
+    groups_touched: int = 0
+    rebuild_reasons: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_incremental(self, nodes_touched: int = 0) -> None:
+        self.incremental += 1
+        self.nodes_touched += nodes_touched
+
+    def record_rebuild(self, reason: str) -> None:
+        self.rebuilds += 1
+        self.rebuild_reasons.append(reason)
+
+    def absorb(self, other: "MaintenanceStats") -> None:
+        """Fold another stats object into this one (log replay)."""
+        self.deltas_applied += other.deltas_applied
+        self.rows_inserted += other.rows_inserted
+        self.rows_deleted += other.rows_deleted
+        self.nodes_touched += other.nodes_touched
+        self.incremental += other.incremental
+        self.rebuilds += other.rebuilds
+        self.recomputes += other.recomputes
+        self.groups_touched += other.groups_touched
+        self.rebuild_reasons.extend(other.rebuild_reasons)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def incremental_ratio(self) -> float:
+        """Fraction of maintenance answered incrementally (1.0 = all)."""
+        total = self.incremental + self.rebuilds + self.recomputes
+        if total == 0:
+            return 1.0
+        return self.incremental / total
+
+    def describe(self) -> str:
+        text = (
+            f"{self.deltas_applied} deltas applied "
+            f"(+{self.rows_inserted}/-{self.rows_deleted} rows), "
+            f"{self.nodes_touched} nodes touched, "
+            f"{self.incremental} incremental, {self.rebuilds} rebuilds, "
+            f"{self.recomputes} recomputes "
+            f"(incremental ratio {self.incremental_ratio:.2f})"
+        )
+        if self.groups_touched:
+            text += f", {self.groups_touched} groups touched"
+        if self.rebuild_reasons:
+            text += f"; last rebuild: {self.rebuild_reasons[-1]}"
+        return text
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -15,17 +15,29 @@ sum/count/min/max/avg aggregates with GROUP BY and HAVING, ORDER BY
 with directions, LIMIT, and DISTINCT.
 """
 
-from repro.sql.compiler import compile_select, parse_query
-from repro.sql.generator import query_to_sql
+from repro.sql.compiler import (
+    compile_delete,
+    compile_insert,
+    compile_select,
+    parse_query,
+    parse_statement,
+)
+from repro.sql.generator import change_to_sql, delta_to_sql, query_to_sql
 from repro.sql.lexer import SQLSyntaxError, tokenize
-from repro.sql.parser import parse_select
+from repro.sql.parser import parse_select, parse_sql
 
 __all__ = [
     "SQLSyntaxError",
+    "change_to_sql",
+    "compile_delete",
+    "compile_insert",
     "compile_select",
+    "delta_to_sql",
     "execute_sql",
     "parse_query",
     "parse_select",
+    "parse_sql",
+    "parse_statement",
     "query_to_sql",
     "tokenize",
 ]

@@ -1,8 +1,14 @@
-"""Compile the SQL AST into the shared :class:`repro.query.Query`."""
+"""Compile the SQL AST into the shared query and mutation structures.
+
+SELECT statements lower to :class:`repro.query.Query`; INSERT and
+DELETE statements lower to :class:`repro.ivm.delta.Delta`, the
+immutable mutation batches of the incremental-maintenance subsystem.
+"""
 
 from __future__ import annotations
 
 from repro.expr import Attr, simplify
+from repro.ivm.delta import Delta
 from repro.query import (
     AggregateSpec,
     Comparison,
@@ -13,7 +19,14 @@ from repro.query import (
     QueryError,
 )
 from repro.relational.sort import SortKey
-from repro.sql.parser import SelectItem, SelectStatement, parse_select
+from repro.sql.parser import (
+    DeleteStatement,
+    InsertStatement,
+    SelectItem,
+    SelectStatement,
+    parse_select,
+    parse_sql,
+)
 
 
 def compile_select(statement: SelectStatement, name: str = "") -> Query:
@@ -167,6 +180,61 @@ def _default_alias(item: SelectItem) -> str:
     return f"{item.aggregate}({inner})"
 
 
+def compile_insert(statement: InsertStatement) -> Delta:
+    """Translate a parsed INSERT into a one-change :class:`Delta`.
+
+    Column order is preserved on the delta; the database resolves it
+    against the relation's schema at apply time (so the same delta text
+    works against any catalogue holding the relation).
+    """
+    return Delta.insert(
+        statement.table,
+        statement.rows,
+        columns=statement.columns or None,
+    )
+
+
+def compile_delete(statement: DeleteStatement) -> Delta:
+    """Translate a parsed DELETE into a one-change :class:`Delta`.
+
+    WHERE conjuncts become the delta's structured predicate — the same
+    :class:`~repro.query.Comparison` / :class:`~repro.query.Equality`
+    objects the query path uses — so the generator can round-trip the
+    statement back to SQL.
+    """
+    conditions: list = []
+    for condition in statement.where:
+        if condition.right_is_column:
+            conditions.append(
+                Equality(condition.left.name, condition.right.name)
+            )
+        elif condition.left_expression is not None:
+            conditions.append(
+                Comparison(
+                    simplify(condition.left_expression),
+                    condition.op,
+                    condition.right,
+                )
+            )
+        else:
+            conditions.append(
+                Comparison(condition.left.name, condition.op, condition.right)
+            )
+    return Delta.delete(
+        statement.table, where=tuple(conditions) if conditions else None
+    )
+
+
 def parse_query(text: str, name: str = "") -> Query:
     """One-shot convenience: SQL text → :class:`repro.query.Query`."""
     return compile_select(parse_select(text), name=name)
+
+
+def parse_statement(text: str, name: str = "") -> "Query | Delta":
+    """SQL text → :class:`Query` (SELECT) or :class:`Delta` (mutation)."""
+    statement = parse_sql(text)
+    if isinstance(statement, InsertStatement):
+        return compile_insert(statement)
+    if isinstance(statement, DeleteStatement):
+        return compile_delete(statement)
+    return compile_select(statement, name=name)

@@ -39,6 +39,58 @@ def _spec_sql(spec: AggregateSpec) -> str:
     )
 
 
+def change_to_sql(change) -> str:
+    """SQL text of one :class:`repro.ivm.delta.Insertion`/``Deletion``.
+
+    The rendering round-trips: ``parse_statement(change_to_sql(c))``
+    yields a delta equivalent to ``Delta((c,))``.  Deletions resolved
+    by arbitrary Python callables cannot be rendered and raise
+    ``ValueError``; use the structured (Comparison/Equality) predicate
+    form instead.
+    """
+    from repro.ivm.delta import Deletion, Insertion
+
+    if isinstance(change, Insertion):
+        columns = ""
+        if change.columns:
+            columns = f" ({', '.join(change.columns)})"
+        rows = ", ".join(
+            f"({', '.join(_quote(value) for value in row)})"
+            for row in change.rows
+        )
+        return f"INSERT INTO {change.relation}{columns} VALUES {rows}"
+    if isinstance(change, Deletion):
+        if change.rows is not None:
+            raise ValueError(
+                "row-listing deletions have no single-statement SQL "
+                "form; use a predicate deletion instead"
+            )
+        if change.predicate is None:
+            return f"DELETE FROM {change.relation}"
+        if callable(change.predicate):
+            raise ValueError(
+                "callable deletion predicates cannot be rendered to SQL"
+            )
+        conditions = []
+        for condition in change.predicate:
+            if hasattr(condition, "left"):  # Equality
+                conditions.append(f"{condition.left} = {condition.right}")
+            else:
+                conditions.append(
+                    f"{_target_sql(condition.attribute)} {condition.op} "
+                    f"{_quote(condition.value)}"
+                )
+        return (
+            f"DELETE FROM {change.relation} WHERE {' AND '.join(conditions)}"
+        )
+    raise TypeError(f"expected an Insertion or Deletion, got {change!r}")
+
+
+def delta_to_sql(delta) -> list[str]:
+    """One SQL statement per change of a :class:`repro.ivm.delta.Delta`."""
+    return [change_to_sql(change) for change in delta.changes]
+
+
 def query_to_sql(query: Query) -> str:
     """Standard (lazy) SQL for a query, natural-join style FROM list."""
     distinct = query.distinct

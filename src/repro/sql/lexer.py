@@ -28,6 +28,10 @@ KEYWORDS = {
     "MIN",
     "MAX",
     "AVG",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "DELETE",
 }
 
 OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")

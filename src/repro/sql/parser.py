@@ -87,6 +87,23 @@ class SelectStatement:
     limit: int | None = None
 
 
+@dataclass
+class InsertStatement:
+    """``INSERT INTO table [(columns)] VALUES (...), (...)``."""
+
+    table: str
+    columns: list[str] = field(default_factory=list)  # empty = schema order
+    rows: list[tuple] = field(default_factory=list)
+
+
+@dataclass
+class DeleteStatement:
+    """``DELETE FROM table [WHERE conjunction]``."""
+
+    table: str
+    where: list[Condition] = field(default_factory=list)
+
+
 class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
@@ -118,6 +135,69 @@ class _Parser:
         return None
 
     # -- grammar --------------------------------------------------------
+    def parse_any(self) -> "SelectStatement | InsertStatement | DeleteStatement":
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.value == "INSERT":
+            return self.parse_insert()
+        if token.kind == "KEYWORD" and token.value == "DELETE":
+            return self.parse_delete()
+        return self.parse()
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect("KEYWORD", "INSERT")
+        self.expect("KEYWORD", "INTO")
+        table = self.expect("IDENT").value
+        columns: list[str] = []
+        if self.accept("LPAREN"):
+            columns.append(self.expect("IDENT").value)
+            while self.accept("COMMA"):
+                columns.append(self.expect("IDENT").value)
+            self.expect("RPAREN")
+        self.expect("KEYWORD", "VALUES")
+        rows = [self._parse_value_row()]
+        while self.accept("COMMA"):
+            rows.append(self._parse_value_row())
+        self.expect("EOF")
+        return InsertStatement(table, columns, rows)
+
+    def _parse_value_row(self) -> tuple:
+        self.expect("LPAREN")
+        values = [self._parse_literal()]
+        while self.accept("COMMA"):
+            values.append(self._parse_literal())
+        self.expect("RPAREN")
+        return tuple(values)
+
+    def _parse_literal(self):
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "STRING":
+            self.advance()
+            return token.value
+        if token.kind == "MINUS":
+            self.advance()
+            number = self.expect("NUMBER")
+            value = (
+                float(number.value) if "." in number.value else int(number.value)
+            )
+            return -value
+        raise SQLSyntaxError(
+            f"expected a literal value at position {token.position}, "
+            f"found {token.value or token.kind!r}"
+        )
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect("KEYWORD", "DELETE")
+        self.expect("KEYWORD", "FROM")
+        table = self.expect("IDENT").value
+        statement = DeleteStatement(table)
+        if self.accept("KEYWORD", "WHERE"):
+            statement.where.extend(self._parse_conjunction())
+        self.expect("EOF")
+        return statement
+
     def parse(self) -> SelectStatement:
         statement = SelectStatement()
         self.expect("KEYWORD", "SELECT")
@@ -357,3 +437,11 @@ def parse_select(text: str) -> SelectStatement:
     """Parse one SELECT statement (trailing semicolon tolerated)."""
     text = text.strip().rstrip(";")
     return _Parser(tokenize(text)).parse()
+
+
+def parse_sql(
+    text: str,
+) -> "SelectStatement | InsertStatement | DeleteStatement":
+    """Parse one statement of any supported kind (SELECT/INSERT/DELETE)."""
+    text = text.strip().rstrip(";")
+    return _Parser(tokenize(text)).parse_any()

@@ -202,5 +202,65 @@ def test_engine_instances_are_cached_per_session(session):
     second = session._resolve("sqlite")
     assert first is second
     session.add_relation(Relation(("z",), [(1,)], "Z"))
-    assert session._resolve("sqlite") is not first  # cache invalidated
+    # The cached instance survives but re-prepares against the new
+    # catalogue (the database version stamp flags it as stale).
     assert session.query("Z").count("n").run(engine="sqlite").rows == [(1,)]
+
+
+# ---------------------------------------------------------------------------
+# Stale-backend regression (PR 3): cached backends must observe mutations
+# ---------------------------------------------------------------------------
+def test_cached_sqlite_backend_observes_session_mutations(session):
+    query = session.query("R").group_by("customer").sum("price", "rev")
+    before = sorted(session.execute(query, engine="sqlite").rows)
+    backend = session._resolve("sqlite")  # cached connection
+    session.insert("Orders", [("Lucia", "Monday", "Margherita")])
+    after = sorted(session.execute(query, engine="sqlite").rows)
+    assert after != before
+    # The connection was delta-forwarded, not rebuilt.
+    assert session._resolve("sqlite") is backend
+    assert after == sorted(session.execute(query, engine="fdb").rows)
+    assert after == sorted(session.execute(query, engine="rdb").rows)
+
+
+def test_cached_backend_observes_direct_database_mutation(session):
+    query = session.query("Items").group_by("item").count("n")
+    sorted(session.execute(query, engine="sqlite").rows)
+    # Mutate behind the session's back: the version stamp still bumps.
+    session.database.insert("Items", [("truffle", 9)])
+    rows = dict(session.execute(query, engine="sqlite").rows)
+    assert rows["truffle"] == 1
+
+
+def test_every_engine_observes_mutations(session):
+    query = session.query("R").group_by("pizza").sum("price", "total")
+    for engine in ("fdb", "fdb-factorised", "rdb", "rdb-hash", "sqlite"):
+        session.execute(query, engine=engine)  # warm the cache
+    session.delete("Orders", [("Pietro", "Friday", "Hawaii")])
+    reference = sorted(session.execute(query, engine="rdb").rows)
+    for engine in ("fdb", "fdb-factorised", "rdb-hash", "sqlite"):
+        assert sorted(session.execute(query, engine=engine).rows) == reference
+
+
+def test_version_stamp_bumps_on_every_mutation_path(session):
+    database = session.database
+    v0 = database.version
+    session.insert("Items", [("x1", 1)])
+    v1 = database.version
+    assert v1 > v0
+    session.sql("DELETE FROM Items WHERE item = 'x1'")
+    v2 = database.version
+    assert v2 > v1
+    database.insert("Items", [("x2", 2)])
+    assert database.version > v2
+
+
+def test_apply_report_surface(session):
+    from repro import Delta
+
+    report = session.apply(
+        Delta.insert("Items", [("truffle", 9)])
+        + Delta.delete("Items", rows=[("truffle", 9)])
+    )
+    assert report.inserted == 1 and report.deleted == 1
+    assert "views maintained" in str(report)

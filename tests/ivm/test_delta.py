@@ -1,0 +1,75 @@
+"""Delta objects: immutable descriptions of mutations."""
+
+import pytest
+
+from repro.ivm.delta import Delta, DeltaError, Deletion, Insertion
+from repro.query import Comparison, Equality
+
+
+def test_insert_factory_freezes_rows():
+    delta = Delta.insert("R", [["a", 1], ("b", 2)])
+    (change,) = delta.changes
+    assert isinstance(change, Insertion)
+    assert change.rows == (("a", 1), ("b", 2))
+    assert change.columns is None
+    assert change.kind == "insert"
+
+
+def test_insert_columns_arity_checked():
+    with pytest.raises(DeltaError, match="arity"):
+        Insertion("R", ((1, 2, 3),), columns=("a", "b"))
+
+
+def test_delete_rows_or_predicate_not_both():
+    with pytest.raises(DeltaError, match="not both"):
+        Deletion("R", rows=((1,),), predicate=lambda b: True)
+
+
+def test_delete_predicate_conditions():
+    change = Deletion(
+        "R",
+        predicate=(
+            Comparison("price", ">", 5),
+            Equality("a", "b"),
+        ),
+    )
+    assert change.matches({"price": 6, "a": 1, "b": 1})
+    assert not change.matches({"price": 6, "a": 1, "b": 2})
+    assert not change.matches({"price": 5, "a": 1, "b": 1})
+
+
+def test_delete_expression_predicate():
+    from repro.expr import col
+
+    change = Deletion("R", predicate=(Comparison(col("x") * 2, ">=", 10),))
+    assert change.matches({"x": 5})
+    assert not change.matches({"x": 4})
+
+
+def test_delete_without_selector_matches_everything():
+    change = Deletion("R")
+    assert change.matches({"anything": 1})
+
+
+def test_composition_preserves_order():
+    delta = (
+        Delta.insert("A", [(1,)])
+        + Delta.delete("B", rows=[(2,)])
+        + Delta.insert("A", [(3,)])
+    )
+    assert [c.kind for c in delta] == ["insert", "delete", "insert"]
+    assert delta.relations() == ("A", "B")
+    assert len(delta) == 3 and bool(delta)
+
+
+def test_delta_rejects_foreign_changes():
+    with pytest.raises(DeltaError):
+        Delta(("not a change",))
+
+
+def test_str_forms():
+    assert "«2 rows»" in str(Delta.insert("R", [(1,), (2,)]))
+    assert "«all rows»" in str(Deletion("R"))
+    assert "price > 5" in str(
+        Deletion("R", predicate=(Comparison("price", ">", 5),))
+    )

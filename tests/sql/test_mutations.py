@@ -1,0 +1,198 @@
+"""SQL INSERT/DELETE: lexing, parsing, lowering, generation, execution."""
+
+import pytest
+
+from repro import connect
+from repro.data.pizzeria import pizzeria_database
+from repro.ivm.delta import Delta, Deletion, Insertion
+from repro.query import Comparison, Equality
+from repro.sql import (
+    SQLSyntaxError,
+    change_to_sql,
+    delta_to_sql,
+    parse_sql,
+    parse_statement,
+    tokenize,
+)
+from repro.sql.parser import DeleteStatement, InsertStatement
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+def test_mutation_keywords_tokenise():
+    kinds = [
+        (token.kind, token.value)
+        for token in tokenize("INSERT INTO t VALUES DELETE")
+    ]
+    assert ("KEYWORD", "INSERT") in kinds
+    assert ("KEYWORD", "INTO") in kinds
+    assert ("KEYWORD", "VALUES") in kinds
+    assert ("KEYWORD", "DELETE") in kinds
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def test_parse_insert_values():
+    statement = parse_sql(
+        "INSERT INTO Orders VALUES ('Lucia', 'Monday', 'Margherita'), "
+        "('Zoe', 'Friday', 'Hawaii');"
+    )
+    assert isinstance(statement, InsertStatement)
+    assert statement.table == "Orders"
+    assert statement.columns == []
+    assert statement.rows == [
+        ("Lucia", "Monday", "Margherita"),
+        ("Zoe", "Friday", "Hawaii"),
+    ]
+
+
+def test_parse_insert_with_columns_and_numbers():
+    statement = parse_sql(
+        "INSERT INTO Items (item, price) VALUES ('truffle', 9), ('x', -2.5)"
+    )
+    assert statement.columns == ["item", "price"]
+    assert statement.rows == [("truffle", 9), ("x", -2.5)]
+
+
+def test_parse_delete_with_where():
+    statement = parse_sql("DELETE FROM Items WHERE price > 5 AND item = 'base'")
+    assert isinstance(statement, DeleteStatement)
+    assert statement.table == "Items"
+    assert len(statement.where) == 2
+
+
+def test_parse_delete_without_where():
+    statement = parse_sql("DELETE FROM Items")
+    assert statement.where == []
+
+
+def test_parse_select_still_routes():
+    from repro.sql.parser import SelectStatement
+
+    assert isinstance(parse_sql("SELECT * FROM R"), SelectStatement)
+
+
+def test_parse_insert_rejects_non_literals():
+    with pytest.raises(SQLSyntaxError, match="literal"):
+        parse_sql("INSERT INTO t VALUES (a)")
+
+
+def test_parse_insert_requires_values():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("INSERT INTO t (a, b)")
+
+
+# ---------------------------------------------------------------------------
+# Compiler lowering
+# ---------------------------------------------------------------------------
+def test_insert_lowers_to_delta():
+    delta = parse_statement(
+        "INSERT INTO Items (item, price) VALUES ('truffle', 9)"
+    )
+    assert isinstance(delta, Delta)
+    (change,) = delta.changes
+    assert isinstance(change, Insertion)
+    assert change.relation == "Items"
+    assert change.columns == ("item", "price")
+    assert change.rows == (("truffle", 9),)
+
+
+def test_delete_lowers_to_structured_predicate():
+    delta = parse_statement(
+        "DELETE FROM Orders WHERE price * 2 > 10 AND customer = date"
+    )
+    (change,) = delta.changes
+    assert isinstance(change, Deletion)
+    comparison, equality = change.predicate
+    assert isinstance(comparison, Comparison) and comparison.op == ">"
+    assert isinstance(equality, Equality)
+    assert change.matches({"price": 6, "customer": "x", "date": "x"})
+    assert not change.matches({"price": 6, "customer": "x", "date": "y"})
+
+
+def test_select_lowers_to_query():
+    from repro.query import Query
+
+    assert isinstance(parse_statement("SELECT * FROM R"), Query)
+
+
+# ---------------------------------------------------------------------------
+# Generator round-trip
+# ---------------------------------------------------------------------------
+def test_insert_round_trip():
+    original = Delta.insert(
+        "Items", [("truffle", 9), ("o'brien", -2)], columns=("item", "price")
+    )
+    (change,) = original.changes
+    sql = change_to_sql(change)
+    assert sql == (
+        "INSERT INTO Items (item, price) VALUES ('truffle', 9), "
+        "('o''brien', -2)"
+    )
+    reparsed = parse_statement(sql)
+    assert reparsed.changes == original.changes
+
+
+def test_delete_round_trip():
+    original = Delta.delete(
+        "Items",
+        where=(Comparison("price", ">", 5), Equality("item", "item")),
+    )
+    sql = change_to_sql(original.changes[0])
+    assert sql == "DELETE FROM Items WHERE price > 5 AND item = item"
+    reparsed = parse_statement(sql)
+    assert reparsed.changes == original.changes
+
+
+def test_delete_all_round_trip():
+    original = Delta.delete("Items")
+    sql = change_to_sql(original.changes[0])
+    assert sql == "DELETE FROM Items"
+    assert parse_statement(sql).changes == original.changes
+
+
+def test_delta_to_sql_one_statement_per_change():
+    delta = Delta.insert("A", [(1,)]) + Delta.delete("B")
+    statements = delta_to_sql(delta)
+    assert statements == ["INSERT INTO A VALUES (1)", "DELETE FROM B"]
+
+
+def test_callable_predicate_not_renderable():
+    with pytest.raises(ValueError, match="callable"):
+        change_to_sql(Deletion("R", predicate=lambda b: True))
+
+
+def test_row_deletion_not_renderable():
+    with pytest.raises(ValueError, match="predicate deletion"):
+        change_to_sql(Deletion("R", rows=((1,),)))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end through the session
+# ---------------------------------------------------------------------------
+def test_sql_mutations_execute_and_maintain():
+    session = connect(pizzeria_database())
+    report = session.sql(
+        "INSERT INTO Orders (customer, date, pizza) "
+        "VALUES ('Lucia', 'Monday', 'Margherita')"
+    )
+    assert report.inserted == 1
+    report = session.sql("DELETE FROM Items WHERE price > 5")
+    assert report.deleted == 1  # base (6)
+    reference = sorted(
+        session.sql(
+            "SELECT customer, SUM(price) AS rev FROM R GROUP BY customer",
+            engine="rdb",
+        ).rows
+    )
+    for engine in ("fdb", "sqlite"):
+        got = sorted(
+            session.sql(
+                "SELECT customer, SUM(price) AS rev FROM R GROUP BY customer",
+                engine=engine,
+            ).rows
+        )
+        assert got == reference
+    assert session.database.maintenance.rebuilds == 0

@@ -363,19 +363,19 @@ class QueryBuilder:
     def limit(self, count: int) -> "QueryBuilder":
         """Keep only the first ``count`` tuples (the λ operator).
 
-        ``count`` must be a positive integer: a float (even an
-        integral one) is almost certainly a bug at the call site, and a
-        non-positive limit would silently discard the whole result.
+        ``count`` must be a non-negative integer: a float (even an
+        integral one) is almost certainly a bug at the call site.
+        ``limit(0)`` is valid SQL and yields the empty result.
         """
         if not isinstance(count, int) or isinstance(count, bool):
             raise QueryError(
                 f"limit must be an integer, got {count!r}; "
-                "pass a positive int such as limit(10)"
+                "pass a non-negative int such as limit(10)"
             )
-        if count <= 0:
+        if count < 0:
             raise QueryError(
-                f"limit must be positive, got {count}; a limit of 0 or "
-                "less would discard every result tuple"
+                f"limit must be non-negative, got {count}; LIMIT 0 is "
+                "the empty result, larger limits keep that many tuples"
             )
         return replace(self, _limit=count)
 

@@ -13,6 +13,7 @@ registry name         backend
 ====================  ====================================================
 ``fdb``               factorised evaluation, flat output (the paper's FDB)
 ``fdb-factorised``    factorised evaluation, factorised output (FDB f/o)
+``fdb-parallel``      sharded parallel FDB with merge aggregation
 ``rdb``               flat baseline, sort-based grouping (SQLite model)
 ``rdb-hash``          flat baseline, hash grouping (PostgreSQL model)
 ``sqlite``            the real ``sqlite3``, fed generated SQL text
@@ -81,9 +82,19 @@ class Engine(ABC):
         default for backends whose prepared state the session cannot
         see.  Stateless backends (reading the database afresh per run)
         return True; the sqlite backend replays the row deltas on its
-        live connection.
+        live connection, and the sharded backend routes each row to its
+        owning shard.
         """
         return False
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, connections...).
+
+        A closed backend must still serve queries after the next
+        :meth:`prepare`; sessions call this from
+        :meth:`repro.api.session.Session.close`.  The default is a
+        no-op, matching stateless backends.
+        """
 
 
 class FDBBackend(Engine):
@@ -179,6 +190,14 @@ class SQLiteBackend(Engine):
         self._connection = None
         self._database = None
         self._ensure(database)
+
+    def close(self) -> None:
+        """Close the in-memory connection; prepare() reopens it."""
+        if self._connection is not None:
+            self._connection.close()
+        self._connection = None
+        self._database = None
+        self._schemas = {}
 
     def _ensure(self, database: "Database") -> sqlite3.Connection:
         if self._connection is None or self._database is not database:
@@ -316,10 +335,19 @@ def available_engines() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def _sharded_factory(**options) -> Engine:
+    # Imported lazily: repro.shard.engine subclasses Engine from this
+    # module, so a top-level import would be circular.
+    from repro.shard.engine import ShardedFDBBackend
+
+    return ShardedFDBBackend(**options)
+
+
 register_engine("fdb", FDBBackend)
 register_engine(
     "fdb-factorised", lambda **options: FDBBackend(output="factorised", **options)
 )
+register_engine("fdb-parallel", _sharded_factory)
 register_engine("rdb", RDBBackend)
 register_engine(
     "rdb-hash", lambda **options: RDBBackend(grouping="hash", **options)

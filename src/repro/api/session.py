@@ -78,7 +78,13 @@ class Session:
         instance;
     engine_options:
         forwarded to the registry factory of the default engine
-        (e.g. ``optimizer="exhaustive"`` for FDB).
+        (e.g. ``optimizer="exhaustive"`` for FDB, or the
+        ``shards=``/``workers=`` knobs of ``fdb-parallel``).
+
+    Sessions are context managers: backends may hold real resources
+    (the sqlite connection, the parallel engine's shard stores and
+    worker pools), and :meth:`close` releases them.  A closed session
+    remains usable — backends re-prepare on the next query.
     """
 
     def __init__(
@@ -201,6 +207,36 @@ class Session:
                 backend.prepare(database)
         self._prepared[id(backend)] = (backend, database.version)
         return backend
+
+    # ------------------------------------------------------------------
+    # Resource lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every cached backend's resources.
+
+        Calls :meth:`repro.api.engines.Engine.close` on each engine
+        this session instantiated or prepared (worker pools shut down,
+        connections close).  The session stays usable: the next query
+        re-prepares its backend.
+        """
+        backends: dict[int, Engine] = {
+            id(backend): backend for backend, _ in self._prepared.values()
+        }
+        for backend in self._engines.values():
+            backends.setdefault(id(backend), backend)
+        if isinstance(self._default_engine, Engine):
+            backends.setdefault(
+                id(self._default_engine), self._default_engine
+            )
+        for backend in backends.values():
+            backend.close()
+        self._prepared.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Mutation

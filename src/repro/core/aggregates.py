@@ -87,6 +87,55 @@ def _entry_multiplicity(node: FNode, entry: FRNode) -> int:
     return entry.value[component]
 
 
+def empty_aggregate_components(functions: Sequence[Component]) -> tuple:
+    """Component values of an aggregation over zero input rows.
+
+    The SQL rule every engine shares: COUNT is 0, everything else is
+    NULL (``None``).  Aligned with ``functions`` like the evaluators'
+    component tuples.
+    """
+    return tuple(
+        0 if function == "count" else None for function, _ in functions
+    )
+
+
+def empty_aggregate_row(specs: Sequence) -> tuple:
+    """The single output row of ungrouped aggregates over zero rows.
+
+    ``specs`` are :class:`repro.query.AggregateSpec`-likes; same SQL
+    rule as :func:`empty_aggregate_components`, keyed by spec function.
+    """
+    return tuple(
+        0 if spec.function == "count" else None for spec in specs
+    )
+
+
+def forest_is_empty(items: Sequence[FragmentItem]) -> bool:
+    """Whether a product of fragments represents zero tuples.
+
+    Purely structural (no composition side conditions, unlike
+    :func:`count_forest`): a product is empty iff some fragment
+    represents no tuples — an empty union, every entry blocked by an
+    empty child fragment, or a ⟨count: 0⟩ singleton.
+    """
+    return any(_union_is_empty(node, union) for node, union in items)
+
+
+def _union_is_empty(node: FNode, union: list[FRNode]) -> bool:
+    return all(_entry_is_empty(node, entry) for entry in union)
+
+
+def _entry_is_empty(node: FNode, entry: FRNode) -> bool:
+    if node.aggregate is not None:
+        component = node.aggregate.count_component
+        if component is not None and entry.value[component] == 0:
+            return True
+    return any(
+        _union_is_empty(child, child_union)
+        for child, child_union in zip(node.children, entry.children)
+    )
+
+
 # ---------------------------------------------------------------------------
 # sum_A (Section 3.2.2)
 # ---------------------------------------------------------------------------

@@ -164,6 +164,8 @@ def _spec_value(
     if spec.function == "avg":
         total = value[list(functions).index(("sum", spec.attribute))]
         count = value[list(functions).index(("count", None))]
+        if not count:
+            return None  # SQL: AVG over zero rows is NULL
         return total / count
     index = list(functions).index(
         (spec.function if spec.function != "avg" else "sum", spec.attribute)
@@ -517,6 +519,19 @@ class FDBEngine:
         ]
         schema = query.output_schema
         rows: list[tuple] = []
+        if not query.group_by:
+            # SQL: ungrouped aggregates over zero input rows still yield
+            # one row — COUNT is 0, every other aggregate NULL (matching
+            # sqlite).  The emptiness check is structural, since counting
+            # over e.g. min-only partial aggregates would not compose.
+            items = list(zip(fact.ftree.roots, fact.roots))
+            if agg.forest_is_empty(items):
+                row = agg.empty_aggregate_row(query.aggregates)
+                if not having or _having_passes(having, dict(zip(schema, row))):
+                    rows.append(row)
+                if query.limit is not None:
+                    rows = rows[: query.limit]
+                return Relation(schema, rows, name=query.name or "result")
         want = query.limit if (query.limit is not None and not query.having) else None
         group_sources = {
             attr
@@ -527,6 +542,8 @@ class FDBEngine:
         for assignment, leftovers in iter_group_contexts(
             fact, query.group_by, order
         ):
+            if agg.forest_is_empty(leftovers):
+                continue  # a drained group context: no tuples, no row
             if group_sources:
                 # An aggregate over a grouping attribute (e.g. SUM(g) ...
                 # GROUP BY g): the group's fixed value joins the forest
@@ -543,10 +560,8 @@ class FDBEngine:
                 for spec in query.aggregates
             )
             row = tuple(assignment[g] for g in query.group_by) + values
-            if having:
-                lookup = dict(zip(schema, row))
-                if not all(h.test(lookup[target]) for target, h in having):
-                    continue
+            if having and not _having_passes(having, dict(zip(schema, row))):
+                continue
             rows.append(row)
             if want is not None and len(rows) >= want:
                 break
@@ -762,6 +777,8 @@ def _component_value(
     if spec.function == "avg":
         total = components[functions.index(("sum", spec.attribute))]
         count = components[functions.index(("count", None))]
+        if not count:
+            return None  # SQL: AVG over zero rows is NULL
         return total / count
     if spec.function == "count":
         return components[functions.index(("count", None))]
@@ -773,6 +790,15 @@ def _target_attributes(target) -> tuple[str, ...]:
     from repro.query import target_attributes
 
     return target_attributes(target)
+
+
+def _having_passes(having, lookup: dict) -> bool:
+    """HAVING with SQL NULL semantics: a None value satisfies nothing."""
+    for target, condition in having:
+        value = lookup[target]
+        if value is None or not condition.test(value):
+            return False
+    return True
 
 
 def _assign_expression_selections(
@@ -831,6 +857,8 @@ def _select_component(
         count_index = functions.index(("count", None))
 
         def extract(value: tuple) -> Any:
+            if not value[count_index]:
+                return None  # AVG over zero rows is NULL
             return value[sum_index] / value[count_index]
 
     else:
@@ -848,7 +876,12 @@ def _select_component(
     root_index, steps = fact.ftree.path_to(node_name)
 
     def transform(_: FNode, union: list[FRNode]) -> list[FRNode]:
-        return [e for e in union if condition.test(extract(e.value))]
+        # SQL NULL semantics: a None aggregate satisfies no condition.
+        return [
+            e
+            for e in union
+            if (value := extract(e.value)) is not None and condition.test(value)
+        ]
 
     return map_union_at(fact, root_index, steps, transform, fact.ftree)
 
@@ -1040,6 +1073,8 @@ def _collapse_partials(
                 new_union.append(FRNode(entry.value, (new_child_union,)))
             else:
                 items = entry_pending
+                if agg.forest_is_empty(items):
+                    continue  # drained group context: contributes no row
                 if group_sources:
                     # Aggregates over grouping attributes read the fixed
                     # path values (cannot be cached across contexts).
@@ -1072,7 +1107,12 @@ def _collapse_partials(
         return rebuilt, new_union
 
     if not group_order:
-        value = evaluator.components(functions, free_items)
+        if agg.forest_is_empty(free_items):
+            # Ungrouped aggregates over zero rows: NULL components
+            # (counts stay 0) per SQL semantics.
+            value = agg.empty_aggregate_components(functions)
+        else:
+            value = evaluator.components(functions, free_items)
         node = FNode(
             AggregateAttribute(functions, frozenset(over), name), (), {fresh_key}
         )

@@ -217,6 +217,12 @@ class FTree:
         for child in node.children:
             self._register(child, node)
 
+    def __reduce__(self):
+        # The lookup tables are keyed by object identity, which pickling
+        # does not preserve: reconstruct through __init__ from the roots
+        # (node sharing within one pickle is kept by the pickle memo).
+        return (FTree, (self.roots,))
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

@@ -733,13 +733,16 @@ def apply_aggregation(
         items = [
             (ftree.roots[i], fact.roots[i]) for i in indices
         ]
-        value = agg.evaluate_components(functions, items)
         roots = [
             u for i, u in enumerate(fact.roots) if i not in index_set
         ]
-        roots.insert(
-            _collapsed_slot(indices[0], indices), [FRNode(value, ())]
-        )
+        if agg.forest_is_empty(items):
+            # γ of the empty relation is the empty pre-aggregated
+            # relation: an empty union, not a ⟨F(∅): v⟩ singleton.
+            union: list[FRNode] = []
+        else:
+            union = [FRNode(agg.evaluate_components(functions, items), ())]
+        roots.insert(_collapsed_slot(indices[0], indices), union)
         return Factorisation(new_ftree, roots)
 
     child_nodes = [parent.children[i] for i in indices]
@@ -751,6 +754,12 @@ def apply_aggregation(
                 (node, entry.children[i])
                 for node, i in zip(child_nodes, indices)
             ]
+            if agg.forest_is_empty(items):
+                # This context holds zero tuples of the aggregated
+                # subtrees (e.g. a selection drained them): the entry
+                # represents no result tuples — prune it, matching the
+                # SQL rule that empty groups do not appear.
+                continue
             value = agg.evaluate_components(functions, items)
             children = [
                 c for i, c in enumerate(entry.children) if i not in index_set

@@ -317,19 +317,12 @@ class LiveView:
         query = self._query
         schema = query.output_schema
         rows: list[tuple] = []
-        if (
-            not query.group_by
-            and not self._groups
-            and all(
-                spec.function in ("sum", "count")
-                for spec in query.aggregates
-            )
-        ):
-            # Engines return one grand-total row over empty input
-            # (COUNT = 0, and FDB's SUM over ∅ is 0); match them.  For
-            # AVG/MIN/MAX the engines themselves raise on empty input,
-            # so no row is synthesised.
-            rows.append(tuple(0 for _ in query.aggregates))
+        if not query.group_by and not self._groups:
+            # Every engine returns one grand-total row over an empty
+            # input: COUNT is 0, SUM/AVG/MIN/MAX are NULL; match them.
+            from repro.core.aggregates import empty_aggregate_row
+
+            rows.append(empty_aggregate_row(query.aggregates))
         for key in sorted(self._groups):
             group = self._groups[key]
             values: list[Any] = []
@@ -348,7 +341,10 @@ class LiveView:
                 row
                 for row in rows
                 if all(
-                    condition.test(row[lookup_positions[condition.target]])
+                    row[lookup_positions[condition.target]] is not None
+                    and condition.test(
+                        row[lookup_positions[condition.target]]
+                    )
                     for condition in query.having
                 )
             ]

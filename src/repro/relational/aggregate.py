@@ -61,15 +61,20 @@ class Accumulator:
                 self.extreme = max(self.extreme, other.extreme)
 
     def result(self) -> Any:
-        """Final value of the aggregate for this group."""
+        """Final value of the aggregate for this group.
+
+        SQL semantics over zero input rows: COUNT is 0 and every other
+        function is NULL (``None``) — the single-row shape sqlite
+        produces for ungrouped aggregates over an empty input.
+        """
         function = self.function
         if function == "count":
             return self.count
+        if self.count == 0:
+            return None
         if function == "sum":
             return self.total
         if function == "avg":
-            if self.count == 0:
-                raise QueryError("avg over an empty group")
             return self.total / self.count
         return self.extreme
 
@@ -136,17 +141,14 @@ def group_aggregate_sort(
     """Grouping by sorting, aggregation in one scan over sorted runs.
 
     With an empty ``group_by`` this computes scalar aggregates over the
-    whole relation (one output row, SQL semantics: count of zero rows is
-    zero, but sum/min/max over an empty input raise — the paper's data
-    is never empty at that point).
+    whole relation — always one output row, with SQL's NULL semantics
+    over an empty input (COUNT = 0, SUM/AVG/MIN/MAX = None).
     """
     positions = _positions_for(relation, specs)
     if not group_by:
         accs = _make_accumulators(specs)
         for row in relation.rows:
             _fold_row(accs, specs, positions, row)
-        if not relation.rows and any(s.function != "count" for s in specs):
-            raise QueryError("aggregate over an empty relation")
         return _output((), specs, [((), accs)], f"ϖ({relation.name})")
 
     key_pos = relation.positions(group_by)

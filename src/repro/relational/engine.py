@@ -146,7 +146,8 @@ class RDBEngine:
         rows = [
             row
             for row in relation.rows
-            if all(h.test(row[p]) for p, h in positions)
+            # SQL NULL semantics: a None aggregate satisfies no condition.
+            if all(row[p] is not None and h.test(row[p]) for p, h in positions)
         ]
         return Relation(relation.schema, rows, name=relation.name)
 

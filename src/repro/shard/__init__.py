@@ -1,0 +1,35 @@
+"""Sharded parallel execution: hash partitioning plus merge aggregation.
+
+The §3.2 decomposition of aggregates — partial results combining across
+independent parts — applied to *horizontal* partitions of the data:
+
+- :mod:`repro.shard.partition` — deterministic hash partitioning;
+- :mod:`repro.shard.store` — per-shard databases with per-shard
+  factorisations, kept fresh by routed deltas;
+- :mod:`repro.shard.merge` — merge strategies (partial-state
+  aggregation, k-way heap merge, deduplicated union);
+- :mod:`repro.shard.engine` — the ``fdb-parallel`` backend.
+
+Use it through the session API::
+
+    session = connect(db, engine="fdb-parallel", shards=4, workers=4)
+"""
+
+from repro.shard.engine import ShardedFDBBackend
+from repro.shard.merge import MergePlan, plan_shards
+from repro.shard.partition import (
+    choose_partition_key,
+    partition_relation,
+    shard_of,
+)
+from repro.shard.store import ShardStore
+
+__all__ = [
+    "MergePlan",
+    "ShardStore",
+    "ShardedFDBBackend",
+    "choose_partition_key",
+    "partition_relation",
+    "plan_shards",
+    "shard_of",
+]

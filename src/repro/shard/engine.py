@@ -1,0 +1,309 @@
+"""The sharded parallel engine, registered as ``fdb-parallel``.
+
+One query runs as N independent FDB evaluations — one per shard of a
+:class:`repro.shard.store.ShardStore` — whose results combine through
+the merge layer of :mod:`repro.shard.merge`: partial aggregate states
+add/fold per group, ordered enumerations heap-merge, unordered output
+unions.  Shard evaluations run concurrently via ``concurrent.futures``
+(a forked process pool where the platform allows, threads otherwise),
+with a deterministic sequential fallback for one shard or ``workers=0``.
+
+Process workers inherit the shard store by ``fork`` through a module
+registry (:data:`_FORK_REGISTRY`) — queries and result rows cross the
+process boundary, the partitioned data never does.  Any mutation bumps
+the store's generation and retires the forked snapshot, so a stale
+worker can never serve a query.
+
+Multi-relation (join) queries are not sharded yet: they fall back to a
+single sequential FDB run over the source database, which keeps the
+engine answer-complete for the whole query class.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.api.engines import Engine, EngineRun
+from repro.core.engine import FDBEngine
+from repro.query import Query
+from repro.relational.relation import Relation
+from repro.shard.merge import (
+    HEAP_MERGE,
+    MERGE_AGGREGATE,
+    MergePlan,
+    heap_merge,
+    merge_aggregates,
+    plan_shards,
+    union_rows,
+)
+from repro.shard.store import ShardStore
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.database import Database
+
+#: Stores visible to forked workers, by token.  Registered *before* the
+#: pool forks, so every worker's memory snapshot contains its store;
+#: never overwritten, so a late-forking worker of an older pool still
+#: resolves its own token correctly.
+_FORK_REGISTRY: dict[int, ShardStore] = {}
+_TOKENS = itertools.count(1)
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _warm_up(_: int) -> None:
+    """No-op task used to fork every worker eagerly at pool creation."""
+
+
+def _evaluate_shard(
+    token: int, index: int, query: Query, optimizer: str
+) -> tuple[tuple[str, ...], list[tuple], str]:
+    """Run one shard's query in a forked worker; rows travel back."""
+    store = _FORK_REGISTRY[token]
+    engine = FDBEngine(optimizer=optimizer)
+    result, _, _ = engine.execute_traced(query, store.databases[index])
+    return tuple(result.schema), result.rows, result.name
+
+
+class ShardedFDBBackend(Engine):
+    """Hash-partitioned parallel FDB evaluation with merge aggregation.
+
+    Parameters
+    ----------
+    shards:
+        number of horizontal partitions (default 4);
+    workers:
+        concurrent shard evaluations — ``None`` picks
+        ``min(shards, cpu_count)``, ``0`` forces the deterministic
+        sequential path;
+    key:
+        partition attribute override (used where it appears in a view's
+        schema; the default picks each view's f-tree root attribute);
+    optimizer:
+        forwarded to the per-shard :class:`~repro.core.engine.FDBEngine`.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        workers: int | None = None,
+        key: str | None = None,
+        optimizer: str = "greedy",
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shard count must be at least 1, got {shards}")
+        if workers is None:
+            workers = min(shards, os.cpu_count() or 1)
+        if workers < 0:
+            raise ValueError(f"worker count must be non-negative, got {workers}")
+        self.shards = shards
+        self.workers = workers
+        self.key = key
+        self.optimizer = optimizer
+        self.name = f"FDB∥{shards}"
+        self._inner = FDBEngine(optimizer=optimizer)
+        self._store: ShardStore | None = None
+        self._database: "Database | None" = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_tag: tuple[int, int] | None = None
+        self._pool_token: int | None = None
+
+    # ------------------------------------------------------------------
+    # Engine protocol
+    # ------------------------------------------------------------------
+    def prepare(self, database: "Database") -> None:
+        """Partition the database and build per-shard factorisations."""
+        self._retire_pool()
+        self._store = ShardStore(
+            database, self.shards, key=self.key, workers=self.workers
+        )
+        self._database = database
+
+    def forward(self, records, database: "Database") -> bool:
+        """Route logged row deltas to their owning shards."""
+        if self._store is None or self._database is not database:
+            return False
+        return self._store.forward(records)
+
+    def close(self) -> None:
+        """Shut down the worker pool and drop the shard store."""
+        self._retire_pool()
+        self._store = None
+        self._database = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self._retire_pool()
+        except Exception:
+            pass
+
+    def run(self, query: Query, database: "Database") -> EngineRun:
+        store = self._ensure_store(database)
+        if self._fallback_reason(query, store) is not None:
+            result, plan, trace = self._inner.execute_traced(query, database)
+            return EngineRun(relation=result, plan=plan, trace=trace)
+        plan = plan_shards(query)
+        shard_results = self._map_shards(plan.shard_query, store)
+        return EngineRun(relation=self._merge(query, plan, shard_results))
+
+    def explain(self, query: Query, database: "Database") -> str:
+        store = self._ensure_store(database)
+        lines = [f"query: {query}"]
+        reason = self._fallback_reason(query, store)
+        if reason is not None:
+            lines.append(
+                f"{self.name}: sequential FDB fallback ({reason})"
+            )
+            lines.append(self._inner.explain(query, database))
+            return "\n".join(lines)
+        plan = plan_shards(query)
+        primary = query.relations[0]
+        lines.append(
+            f"{self.name}: {store.shards} shard(s), workers={self.workers} "
+            f"({self._executor_label()})"
+        )
+        lines.append(
+            f"partition: {primary} on {store.keys[primary]!r}, "
+            f"rows per shard {store.counts[primary]}"
+        )
+        lines.append(f"merge: {plan.describe()}")
+        if store.splices or store.local_rebuilds:
+            lines.append(
+                f"maintenance: {store.splices} shard splice(s), "
+                f"{store.local_rebuilds} shard-local rebuild(s)"
+            )
+        lines.append("per-shard plan (shard 0):")
+        inner = self._inner.explain(plan.shard_query, store.databases[0])
+        lines.extend("  " + line for line in inner.splitlines())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Shard evaluation
+    # ------------------------------------------------------------------
+    def _ensure_store(self, database: "Database") -> ShardStore:
+        if self._store is None or self._database is not database:
+            self.prepare(database)
+        assert self._store is not None
+        return self._store
+
+    def _fallback_reason(
+        self, query: Query, store: ShardStore
+    ) -> str | None:
+        """Why this query runs sequentially on the source database.
+
+        Joins are not sharded yet, and an ordered enumeration whose
+        sort keys are projected away cannot heap-merge (the merged
+        streams no longer carry the keys).  Both run through the inner
+        FDB engine instead, keeping the backend answer-complete.
+        """
+        if len(query.relations) != 1 or query.relations[0] not in store.keys:
+            return "joins are not sharded"
+        if (
+            query.order_by
+            and not query.aggregates
+            and query.projection is not None
+        ):
+            visible = set(query.projection)
+            visible.update(column.alias for column in query.computed)
+            if any(
+                key.attribute not in visible for key in query.order_by
+            ):
+                return "order keys are projected away"
+        return None
+
+    def _executor_label(self) -> str:
+        if self.workers <= 1 or self.shards == 1:
+            return "sequential"
+        return "process pool" if _fork_available() else "thread pool"
+
+    def _run_local(
+        self, store: ShardStore, index: int, query: Query
+    ) -> Relation:
+        result, _, _ = self._inner.execute_traced(
+            query, store.databases[index]
+        )
+        assert isinstance(result, Relation)
+        return result
+
+    def _map_shards(self, query: Query, store: ShardStore) -> list[Relation]:
+        indices = range(store.shards)
+        if self.workers <= 1 or store.shards == 1:
+            return [self._run_local(store, i, query) for i in indices]
+        if _fork_available():
+            pool, token = self._ensure_pool(store)
+            futures = [
+                pool.submit(_evaluate_shard, token, i, query, self.optimizer)
+                for i in indices
+            ]
+            return [
+                Relation(schema, rows, name=name)
+                for schema, rows, name in (f.result() for f in futures)
+            ]
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            # execute_traced is stateless, so one engine serves all
+            # threads; the GIL serialises the work but keeps semantics.
+            futures = [
+                pool.submit(self._run_local, store, i, query) for i in indices
+            ]
+            return [f.result() for f in futures]
+
+    def _merge(
+        self, query: Query, plan: MergePlan, results: Sequence[Relation]
+    ) -> Relation:
+        if plan.strategy == MERGE_AGGREGATE:
+            return merge_aggregates(query, plan.components, results)
+        schema = results[0].schema
+        if plan.strategy == HEAP_MERGE:
+            rows = heap_merge(query, schema, [r.rows for r in results])
+        else:
+            rows = union_rows(query, results)
+        return Relation(schema, rows, name=query.name or "result")
+
+    # ------------------------------------------------------------------
+    # Worker pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(
+        self, store: ShardStore
+    ) -> tuple[ProcessPoolExecutor, int]:
+        import multiprocessing
+
+        tag = (id(store), store.generation)
+        if self._pool is not None and self._pool_tag == tag:
+            assert self._pool_token is not None
+            return self._pool, self._pool_token
+        self._retire_pool()
+        token = next(_TOKENS)
+        _FORK_REGISTRY[token] = store
+        context = multiprocessing.get_context("fork")
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context
+        )
+        # Fork every worker now, while the registry snapshot is current.
+        list(pool.map(_warm_up, range(self.workers)))
+        self._pool, self._pool_tag, self._pool_token = pool, tag, token
+        return pool, token
+
+    def _retire_pool(self) -> None:
+        if self._pool is not None:
+            # Blocking shutdown: queries are already drained, and a
+            # non-waiting shutdown races the interpreter's atexit hook
+            # over the pool's wakeup pipe.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._pool_token is not None:
+            _FORK_REGISTRY.pop(self._pool_token, None)
+            self._pool_token = None
+        self._pool_tag = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedFDBBackend(shards={self.shards}, "
+            f"workers={self.workers}, key={self.key!r})"
+        )

@@ -1,0 +1,250 @@
+"""Merging per-shard partial results into one query answer.
+
+Three strategies, chosen from the query shape by :func:`plan_shards`:
+
+``merge-aggregate``
+    The §3.2 decomposition across horizontal partitions.  Each shard
+    runs the query rewritten to return *partial states* — the γ
+    components of :func:`repro.core.engine.expand_functions`, so AVG
+    travels as its maintained (sum, count) pair — grouped exactly like
+    the original query.  Per-group states then combine across shards
+    (SUM/COUNT add, MIN/MAX fold), and HAVING / ORDER BY / LIMIT apply
+    to the merged, result-sized group table.
+
+``heap-merge``
+    Ordered enumeration: every shard yields its result already sorted
+    (top-k per shard when the query has a limit — safe, because any
+    globally top-k row is top-k within its own shard), and a k-way
+    ``heapq.merge`` interleaves the streams lazily.  Top-k therefore
+    never materialises full shard outputs.
+
+``union``
+    Unordered select-project-join output: concatenate and deduplicate
+    (set semantics, as everywhere in the repository).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Sequence
+
+from repro.core.aggregates import empty_aggregate_components
+from repro.core.engine import expand_functions
+from repro.query import AggregateSpec, Query
+from repro.relational.relation import Relation
+from repro.relational.sort import normalise_order, sort_rows
+
+#: One γ component: (function, attribute-or-expression-or-None).
+Component = tuple[str, Any]
+
+MERGE_AGGREGATE = "merge-aggregate"
+HEAP_MERGE = "heap-merge"
+UNION = "union"
+
+
+@dataclass(frozen=True)
+class MergePlan:
+    """How per-shard results of ``shard_query`` combine into the answer."""
+
+    strategy: str
+    shard_query: Query
+    components: tuple[Component, ...] = ()
+
+    def describe(self) -> str:
+        if self.strategy == MERGE_AGGREGATE:
+            parts = ", ".join(
+                f"{fn}({target if target is not None else '*'})"
+                for fn, target in self.components
+            )
+            return (
+                f"{self.strategy}: per-shard partial states [{parts}] "
+                "combine per group (sum/count add, min/max fold, avg as "
+                "(sum, count))"
+            )
+        if self.strategy == HEAP_MERGE:
+            return (
+                f"{self.strategy}: k-way heap merge of per-shard sorted "
+                "streams (top-k never materialises full shard outputs)"
+            )
+        return f"{self.strategy}: concatenate shard outputs, deduplicate"
+
+
+def plan_shards(query: Query) -> MergePlan:
+    """The shard-level query and merge strategy for ``query``."""
+    if query.aggregates:
+        components = expand_functions(query.aggregates)
+        partials = tuple(
+            AggregateSpec(function, target, f"__partial_{index}")
+            for index, (function, target) in enumerate(components)
+        )
+        shard_query = replace(
+            query,
+            aggregates=partials,
+            having=(),
+            order_by=(),
+            limit=None,
+            name="",
+        )
+        return MergePlan(MERGE_AGGREGATE, shard_query, components)
+    if query.order_by:
+        # The limit stays on the shard query: a row in the global top-k
+        # is in the top-k of its own shard, so per-shard λ_k loses
+        # nothing and bounds what each shard enumerates.
+        return MergePlan(HEAP_MERGE, replace(query, name=""))
+    return MergePlan(UNION, replace(query, name=""))
+
+
+# ---------------------------------------------------------------------------
+# merge-aggregate
+# ---------------------------------------------------------------------------
+def combine_component(function: str, left: Any, right: Any) -> Any:
+    """Fold one γ component across two shards (None = no input rows)."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if function in ("sum", "count"):
+        return left + right
+    if function == "min":
+        return min(left, right)
+    if function == "max":
+        return max(left, right)
+    raise ValueError(f"unknown aggregation function {function!r}")
+
+
+def finalise_spec(
+    spec: AggregateSpec, components: Sequence[Component], state: Sequence[Any]
+) -> Any:
+    """One aggregate's final value from a merged component state."""
+    functions = list(components)
+    if spec.function == "avg":
+        total = state[functions.index(("sum", spec.attribute))]
+        count = state[functions.index(("count", None))]
+        if not count:
+            return None  # SQL: AVG over zero rows is NULL
+        return total / count
+    if spec.function == "count":
+        return state[functions.index(("count", None))] or 0
+    return state[functions.index((spec.function, spec.attribute))]
+
+
+def merge_aggregates(
+    query: Query,
+    components: Sequence[Component],
+    shard_results: Iterable[Relation],
+) -> Relation:
+    """Combine per-shard partial group tables into the final relation."""
+    width = len(query.group_by)
+    merged: dict[tuple, list[Any]] = {}
+    for relation in shard_results:
+        for row in relation.rows:
+            key, values = row[:width], row[width:]
+            state = merged.get(key)
+            if state is None:
+                merged[key] = list(values)
+                continue
+            for index, (function, _) in enumerate(components):
+                state[index] = combine_component(
+                    function, state[index], values[index]
+                )
+    if not query.group_by and not merged:
+        # No shard produced a row (e.g. zero shards): synthesise the
+        # SQL single-row shape for ungrouped aggregates over ∅.
+        merged[()] = list(empty_aggregate_components(components))
+    schema = query.output_schema
+    rows: list[tuple] = []
+    for key in sorted(merged):  # deterministic, like sorted-union output
+        state = merged[key]
+        row = key + tuple(
+            finalise_spec(spec, components, state)
+            for spec in query.aggregates
+        )
+        rows.append(row)
+    if query.having:
+        positions = {name: index for index, name in enumerate(schema)}
+        rows = [
+            row
+            for row in rows
+            if all(
+                row[positions[condition.target]] is not None
+                and condition.test(row[positions[condition.target]])
+                for condition in query.having
+            )
+        ]
+    if query.order_by:
+        rows = sort_rows(rows, schema, query.order_by)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return Relation(schema, rows, name=query.name or "result")
+
+
+# ---------------------------------------------------------------------------
+# heap-merge and union
+# ---------------------------------------------------------------------------
+class _Directed:
+    """Comparison wrapper reversing the order for descending sort keys."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_Directed") -> bool:
+        if self.descending:
+            return other.value < self.value
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Directed) and self.value == other.value
+
+
+def heap_merge(
+    query: Query,
+    schema: Sequence[str],
+    shard_streams: Sequence[Iterable[tuple]],
+) -> list[tuple]:
+    """K-way merge of per-shard sorted streams, deduplicated + limited.
+
+    Consumes the streams lazily: with a limit, at most ``k`` rows per
+    shard are pulled (plus duplicates), so full shard outputs are never
+    materialised.
+    """
+    keys = normalise_order(query.order_by)
+    schema = list(schema)
+    slots = [(schema.index(key.attribute), key.descending) for key in keys]
+
+    def sort_key(row: tuple) -> tuple:
+        return tuple(
+            _Directed(row[position], descending)
+            for position, descending in slots
+        )
+
+    seen: set[tuple] = set()
+    out: list[tuple] = []
+    for row in heapq.merge(*shard_streams, key=sort_key):
+        if row in seen:
+            continue  # shards can duplicate projected rows
+        seen.add(row)
+        out.append(row)
+        if query.limit is not None and len(out) >= query.limit:
+            break
+    return out
+
+
+def union_rows(
+    query: Query, shard_results: Iterable[Relation]
+) -> list[tuple]:
+    """Deduplicated concatenation of unordered shard outputs."""
+    seen: set[tuple] = set()
+    out: list[tuple] = []
+    for relation in shard_results:
+        for row in relation.rows:
+            if row in seen:
+                continue
+            seen.add(row)
+            out.append(row)
+            if query.limit is not None and len(out) >= query.limit:
+                return out
+    return out

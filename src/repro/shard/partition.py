@@ -1,0 +1,89 @@
+"""Deterministic hash partitioning of relations into shards.
+
+The §3.2 aggregate decomposition — partial results combine across
+independent parts — applies to *horizontal* partitions of the data
+just as it does to f-tree branches, so a relation split into disjoint
+row sets can be aggregated shard-by-shard and merged.  This module
+provides the partitioning half: a stable hash (``zlib.crc32`` over the
+``repr`` of the key value, immune to ``PYTHONHASHSEED`` randomisation,
+so parent and worker processes always agree on ownership) and helpers
+to split a relation and to pick a partition key.
+
+The partition key matters for *representation*, not correctness: any
+key yields disjoint shards whose union is the input, but partitioning
+a factorised view on the **root attribute of its f-tree** keeps every
+shard a union of whole root subtrees, so the view's f-tree remains
+valid on each shard and per-shard factorisations stay as succinct as
+the original.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.relational.relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.database import Database
+
+
+def shard_of(value: Any, shards: int) -> int:
+    """Owning shard of one partition-key value.
+
+    Stable across processes and runs: routing decisions made by the
+    parent (e.g. for forwarded deltas) match the placement the workers
+    observed when the shards were built.
+    """
+    if shards <= 1:
+        return 0
+    return zlib.crc32(repr(value).encode("utf-8")) % shards
+
+
+def partition_rows(
+    rows: Iterable[tuple], position: int, shards: int
+) -> list[list[tuple]]:
+    """Split rows into ``shards`` disjoint buckets by the key column."""
+    buckets: list[list[tuple]] = [[] for _ in range(shards)]
+    for row in rows:
+        buckets[shard_of(row[position], shards)].append(row)
+    return buckets
+
+
+def partition_relation(
+    relation: Relation, key: str, shards: int
+) -> list[Relation]:
+    """Hash-partition a relation on ``key`` into ``shards`` relations."""
+    position = relation.position(key)
+    return [
+        Relation(relation.schema, bucket, name=relation.name)
+        for bucket in partition_rows(relation.rows, position, shards)
+    ]
+
+
+def choose_partition_key(
+    database: "Database", name: str, preferred: str | None = None
+) -> str:
+    """Partition attribute for a view.
+
+    The ``preferred`` name wins when it is in the schema; otherwise the
+    root attribute of the view's registered factorisation (see the
+    module docstring), falling back to the first schema attribute.
+    """
+    schema = database.schema(name)
+    if preferred and preferred in schema:
+        return preferred
+    fact = database.get_factorised(name)
+    if fact is not None and fact.ftree.roots:
+        root = fact.ftree.roots[0]
+        if root.aggregate is None and root.attributes:
+            return root.attributes[0]
+    return schema[0]
+
+
+def balance(counts: Sequence[int]) -> float:
+    """Largest-shard share of the total rows (1/N is perfect balance)."""
+    total = sum(counts)
+    if not total:
+        return 0.0
+    return max(counts) / total

@@ -66,6 +66,18 @@ def tokenize(text: str) -> list[Token]:
     return list(_scan(text))
 
 
+def numeric_value(text: str) -> "int | float":
+    """Python value of a NUMBER token.
+
+    Integers stay ``int``; a decimal point or exponent makes the
+    literal a ``float`` (SQL's approximate numeric), so ``1e9``
+    round-trips through ``str`` as a float literal the lexer accepts.
+    """
+    if "." in text or "e" in text or "E" in text:
+        return float(text)
+    return int(text)
+
+
 def _scan(text: str) -> Iterator[Token]:
     index = 0
     length = len(text)
@@ -94,8 +106,9 @@ def _scan(text: str) -> Iterator[Token]:
             yield Token("STRING", "".join(pieces), index)
             index = end + 1
             continue
-        # Number (integer or decimal, optional leading minus handled by
-        # the parser as context decides between operator and sign).
+        # Number (integer, decimal, or scientific notation; an optional
+        # leading minus is handled by the parser as context decides
+        # between operator and sign).
         if char.isdigit() or (
             char == "-" and index + 1 < length and text[index + 1].isdigit()
         ):
@@ -107,6 +120,16 @@ def _scan(text: str) -> Iterator[Token]:
                 if text[end] == ".":
                     seen_dot = True
                 end += 1
+            # Exponent part: 1e9, 2.5E-3, 1E+6.  Digits are required —
+            # "1e" alone stays NUMBER "1" followed by IDENT "e".
+            if end < length and text[end] in "eE":
+                probe = end + 1
+                if probe < length and text[probe] in "+-":
+                    probe += 1
+                if probe < length and text[probe].isdigit():
+                    end = probe + 1
+                    while end < length and text[end].isdigit():
+                        end += 1
             yield Token("NUMBER", text[index:end], index)
             index = end
             continue

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.expr import Attr, BinOp, Const, Expr, Neg
-from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+from repro.sql.lexer import SQLSyntaxError, Token, numeric_value, tokenize
 
 AGG_KEYWORDS = {"SUM", "COUNT", "MIN", "MAX", "AVG"}
 
@@ -172,17 +172,14 @@ class _Parser:
         token = self.peek()
         if token.kind == "NUMBER":
             self.advance()
-            return float(token.value) if "." in token.value else int(token.value)
+            return numeric_value(token.value)
         if token.kind == "STRING":
             self.advance()
             return token.value
         if token.kind == "MINUS":
             self.advance()
             number = self.expect("NUMBER")
-            value = (
-                float(number.value) if "." in number.value else int(number.value)
-            )
-            return -value
+            return -numeric_value(number.value)
         raise SQLSyntaxError(
             f"expected a literal value at position {token.position}, "
             f"found {token.value or token.kind!r}"
@@ -321,10 +318,12 @@ class _Parser:
             return Condition(left, op, right, right_is_column=True)
         if token.kind == "NUMBER":
             self.advance()
-            value: Any = (
-                float(token.value) if "." in token.value else int(token.value)
+            return Condition(
+                left,
+                op,
+                numeric_value(token.value),
+                left_expression=left_expression,
             )
-            return Condition(left, op, value, left_expression=left_expression)
         if token.kind == "STRING":
             self.advance()
             return Condition(
@@ -391,10 +390,7 @@ class _Parser:
         token = self.peek()
         if token.kind == "NUMBER":
             self.advance()
-            value: Any = (
-                float(token.value) if "." in token.value else int(token.value)
-            )
-            return Const(value), None
+            return Const(numeric_value(token.value)), None
         if token.kind == "LPAREN":
             self.advance()
             expr, _ = self._parse_arith()

@@ -159,10 +159,8 @@ def test_order_by_outside_output_schema(session):
 
 
 def test_limit_validation(session):
-    with pytest.raises(QueryError, match="must be positive"):
+    with pytest.raises(QueryError, match="must be non-negative"):
         session.query("R").limit(-1)
-    with pytest.raises(QueryError, match="must be positive"):
-        session.query("R").limit(0)
     with pytest.raises(QueryError, match="must be an integer"):
         session.query("R").limit(2.5)
     with pytest.raises(QueryError, match="must be an integer"):

@@ -56,10 +56,20 @@ def test_empty_input_count_only():
     assert out.rows == [(0,)]
 
 
-def test_empty_input_sum_raises():
+def test_empty_input_scalar_aggregates_are_null():
     empty = Relation(("g", "v"), [])
-    with pytest.raises(QueryError):
-        group_aggregate_sort(empty, [], [aggregate("sum", "v", "s")])
+    out = group_aggregate_sort(
+        empty,
+        [],
+        [
+            aggregate("count", None, "n"),
+            aggregate("sum", "v", "s"),
+            aggregate("avg", "v", "a"),
+            aggregate("min", "v", "lo"),
+            aggregate("max", "v", "hi"),
+        ],
+    )
+    assert out.rows == [(0, None, None, None, None)]
 
 
 def test_empty_input_with_groups_is_empty():
@@ -100,10 +110,9 @@ def test_accumulator_merge_mismatch():
         a.merge(b)
 
 
-def test_avg_of_empty_group_raises():
+def test_avg_of_empty_group_is_null():
     acc = Accumulator("avg")
-    with pytest.raises(QueryError):
-        acc.result()
+    assert acc.result() is None
 
 
 def test_count_with_attribute_equals_count_star(r):

@@ -1,0 +1,204 @@
+"""The ``fdb-parallel`` backend: parity, knobs, deltas, lifecycle."""
+
+import pytest
+
+from repro import connect
+from repro.api.engines import available_engines
+from repro.data.workloads import FULL_WORKLOAD, build_workload_database
+from repro.shard.engine import ShardedFDBBackend
+
+from tests.conftest import assert_same_relation
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_workload_database(scale=0.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def sessions(db):
+    base = connect(db, engine="fdb")
+    parallel = connect(db, engine="fdb-parallel", shards=3, workers=0)
+    yield base, parallel
+    parallel.close()
+
+
+def _assert_order_respected(query, result):
+    keys = [k.attribute for k in query.order_by]
+    positions = [result.schema.index(k) for k in keys]
+    projected = [tuple(row[p] for p in positions) for row in result.rows]
+    from repro.relational.sort import sort_rows
+
+    assert projected == sort_rows(projected, keys, query.order_by)
+
+
+def test_registered_in_the_engine_registry():
+    assert "fdb-parallel" in available_engines()
+
+
+@pytest.mark.parametrize("name", sorted(FULL_WORKLOAD))
+def test_catalogue_parity_with_fdb(sessions, name):
+    base, parallel = sessions
+    query = FULL_WORKLOAD[name].query
+    expected = base.execute(query)
+    actual = parallel.execute(query)
+    assert actual.schema == expected.schema
+    assert_same_relation(actual.relation, expected.relation)
+    if query.order_by:
+        _assert_order_respected(query, actual)
+
+
+def test_parallel_workers_match_sequential(db):
+    with connect(db, engine="fdb-parallel", shards=4, workers=2) as parallel:
+        sequential = connect(db, engine="fdb-parallel", shards=4, workers=0)
+        for name in ("Q2", "Q5", "Q7", "Q10", "E3"):
+            query = FULL_WORKLOAD[name].query
+            assert parallel.execute(query).rows == sequential.execute(query).rows
+
+
+def test_shard_and_worker_knobs_via_connect(db):
+    session = connect(db, engine="fdb-parallel", shards=2, workers=0)
+    backend = session._resolve(None)
+    assert isinstance(backend, ShardedFDBBackend)
+    assert backend.shards == 2
+    assert backend.workers == 0
+    assert backend._store is not None
+    assert backend._store.shards == 2
+
+
+def test_single_shard_matches_fdb(db):
+    base = connect(db, engine="fdb")
+    one = connect(db, engine="fdb-parallel", shards=1, workers=0)
+    query = FULL_WORKLOAD["Q2"].query
+    assert one.execute(query).rows == base.execute(query).rows
+
+
+def test_invalid_knobs_rejected():
+    with pytest.raises(ValueError, match="shard count"):
+        ShardedFDBBackend(shards=0)
+    with pytest.raises(ValueError, match="worker count"):
+        ShardedFDBBackend(shards=2, workers=-1)
+
+
+def test_partition_key_override(db):
+    session = connect(
+        db, engine="fdb-parallel", shards=2, workers=0, key="customer"
+    )
+    backend = session._resolve(None)
+    # Views holding "customer" partition on it; others keep their default.
+    assert backend._store.keys["Orders"] == "customer"
+    assert backend._store.keys["Items"] == "item"
+    base = connect(db, engine="fdb")
+    for name in ("Q2", "Q13"):
+        query = FULL_WORKLOAD[name].query
+        assert_same_relation(
+            session.execute(query).relation, base.execute(query).relation
+        )
+
+
+def test_multi_relation_queries_fall_back_sequentially(db):
+    from repro.query import Query, aggregate
+
+    query = Query(
+        relations=("Orders", "Packages", "Items"),
+        group_by=("customer",),
+        aggregates=(aggregate("sum", "price", "revenue"),),
+    )
+    base = connect(db, engine="fdb")
+    parallel = connect(db, engine="fdb-parallel", shards=3, workers=0)
+    assert_same_relation(
+        parallel.execute(query).relation, base.execute(query).relation
+    )
+    assert "sequential FDB fallback" in parallel.explain(query)
+
+
+def test_explain_reports_shard_stats(sessions):
+    _, parallel = sessions
+    text = parallel.explain(FULL_WORKLOAD["Q2"].query)
+    assert "3 shard(s)" in text
+    assert "rows per shard" in text
+    assert "merge-aggregate" in text
+    text = parallel.explain(FULL_WORKLOAD["Q10"].query)
+    assert "heap merge" in text
+
+
+def test_result_explain_carries_shard_stats(sessions):
+    _, parallel = sessions
+    result = parallel.execute(FULL_WORKLOAD["Q4"].query)
+    assert "rows per shard" in result.explain()
+    assert result.stats.engine.startswith("FDB∥")
+
+
+# ---------------------------------------------------------------------------
+# Mutations
+# ---------------------------------------------------------------------------
+def test_deltas_route_to_owning_shard():
+    db = build_workload_database(scale=0.1, seed=11)
+    base = connect(db, engine="fdb")
+    parallel = connect(db, engine="fdb-parallel", shards=3, workers=0)
+    query = FULL_WORKLOAD["Q2"].query
+    parallel.execute(query)  # prepare the store
+    backend = parallel._resolve(None)
+    store = backend._store
+    orders = list(db.flat("Orders").rows)
+    parallel.insert(
+        "Orders",
+        [("cSHARD", "dSHARD001", orders[0][2]), ("cSHARD", "dSHARD002", orders[1][2])],
+    )
+    parallel.delete("Orders", [orders[0]])
+    assert_same_relation(
+        parallel.execute(query).relation, base.execute(query).relation
+    )
+    # Row deltas were forwarded, not rebuilt: the store is the same object.
+    assert parallel._resolve(None)._store is store
+    assert store.generation > 0
+    # The shards still form a disjoint cover of the mutated base data.
+    recombined = sorted(
+        row
+        for shard_db in store.databases
+        for row in shard_db.flat("Orders").rows
+    )
+    assert recombined == sorted(db.flat("Orders").rows)
+
+
+def test_watch_stays_fresh_on_the_parallel_engine():
+    db = build_workload_database(scale=0.1, seed=11)
+    session = connect(db, engine="fdb-parallel", shards=2, workers=0)
+    live = session.watch(
+        session.query("R1").group_by("customer").sum("price", "rev")
+    )
+    package = db.flat("Orders").rows[0][2]
+    session.insert("Orders", [("cLIVE", "dLIVE0001", package)])
+    assert any(row[0] == "cLIVE" for row in live.result.rows)
+
+
+def test_catalogue_registration_forces_reprepare():
+    from repro.relational.relation import Relation
+
+    database = build_workload_database(scale=0.1, seed=13)
+    session = connect(database, engine="fdb-parallel", shards=2, workers=0)
+    session.execute(FULL_WORKLOAD["Q2"].query)
+    first_store = session._resolve(None)._store
+    session.add_relation(Relation(("z",), [(1,), (2,)], "Z"))
+    result = session.query("Z").count("n").run()
+    assert result.rows == [(2,)]
+    assert session._resolve(None)._store is not first_store
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+def test_session_close_releases_and_recovers(db):
+    session = connect(db, engine="fdb-parallel", shards=2, workers=0)
+    query = FULL_WORKLOAD["Q5"].query
+    before = session.execute(query).rows
+    backend = session._resolve(None)
+    session.close()
+    assert backend._store is None
+    assert session.execute(query).rows == before  # re-prepares transparently
+
+
+def test_session_context_manager(db):
+    with connect(db, engine="fdb-parallel", shards=2, workers=0) as session:
+        rows = session.execute(FULL_WORKLOAD["Q5"].query).rows
+    assert len(rows) == 1

@@ -1,0 +1,178 @@
+"""The merge layer: strategy planning and partial-state combination."""
+
+from repro.query import Having, Query, aggregate
+from repro.relational.relation import Relation
+from repro.relational.sort import SortKey
+from repro.shard.merge import (
+    HEAP_MERGE,
+    MERGE_AGGREGATE,
+    UNION,
+    combine_component,
+    finalise_spec,
+    heap_merge,
+    merge_aggregates,
+    plan_shards,
+    union_rows,
+)
+
+
+def _agg_query(**overrides):
+    fields = dict(
+        relations=("R",),
+        group_by=("g",),
+        aggregates=(
+            aggregate("sum", "v", "total"),
+            aggregate("avg", "v", "mean"),
+            aggregate("min", "v", "lo"),
+        ),
+    )
+    fields.update(overrides)
+    return Query(**fields)
+
+
+# ---------------------------------------------------------------------------
+# Strategy planning
+# ---------------------------------------------------------------------------
+def test_aggregate_queries_plan_merge_aggregate():
+    plan = plan_shards(_agg_query(order_by=(SortKey("total"),), limit=3))
+    assert plan.strategy == MERGE_AGGREGATE
+    # AVG travels as its (sum, count) pair; components are deduplicated.
+    assert plan.components == (("sum", "v"), ("count", None), ("min", "v"))
+    # The shard query returns raw partial states: no HAVING/ORDER/LIMIT.
+    assert plan.shard_query.order_by == ()
+    assert plan.shard_query.limit is None
+    assert plan.shard_query.having == ()
+    assert plan.shard_query.group_by == ("g",)
+    assert [s.function for s in plan.shard_query.aggregates] == [
+        "sum",
+        "count",
+        "min",
+    ]
+
+
+def test_ordered_enumeration_plans_heap_merge():
+    query = Query(
+        relations=("R",), order_by=(SortKey("a"),), limit=5
+    )
+    plan = plan_shards(query)
+    assert plan.strategy == HEAP_MERGE
+    # Per-shard top-k is kept: global top-k rows are shard-local top-k.
+    assert plan.shard_query.limit == 5
+    assert plan.shard_query.order_by == (SortKey("a"),)
+
+
+def test_unordered_spj_plans_union():
+    plan = plan_shards(Query(relations=("R",), projection=("a",)))
+    assert plan.strategy == UNION
+
+
+def test_plan_describe_mentions_strategy():
+    assert "merge-aggregate" in plan_shards(_agg_query()).describe()
+    assert "heap merge" in plan_shards(
+        Query(relations=("R",), order_by=(SortKey("a"),))
+    ).describe()
+
+
+# ---------------------------------------------------------------------------
+# Component combination
+# ---------------------------------------------------------------------------
+def test_combine_component_none_is_identity():
+    assert combine_component("sum", None, 5) == 5
+    assert combine_component("min", 3, None) == 3
+    assert combine_component("max", None, None) is None
+
+
+def test_combine_component_folds():
+    assert combine_component("sum", 2, 3) == 5
+    assert combine_component("count", 2, 3) == 5
+    assert combine_component("min", 2, 3) == 2
+    assert combine_component("max", 2, 3) == 3
+
+
+def test_finalise_avg_none_on_zero_count():
+    components = (("sum", "v"), ("count", None))
+    spec = aggregate("avg", "v", "mean")
+    assert finalise_spec(spec, components, (None, 0)) is None
+    assert finalise_spec(spec, components, (10, 4)) == 2.5
+
+
+# ---------------------------------------------------------------------------
+# merge_aggregates
+# ---------------------------------------------------------------------------
+def test_merge_aggregates_combines_groups_across_shards():
+    query = _agg_query()
+    plan = plan_shards(query)
+    schema = ("g",) + tuple(s.alias for s in plan.shard_query.aggregates)
+    shard_a = Relation(schema, [("x", 10, 2, 4), ("y", 1, 1, 1)])
+    shard_b = Relation(schema, [("x", 20, 3, 3)])
+    merged = merge_aggregates(query, plan.components, [shard_a, shard_b])
+    assert merged.schema == ("g", "total", "mean", "lo")
+    assert merged.rows == [("x", 30, 6.0, 3), ("y", 1, 1.0, 1)]
+
+
+def test_merge_aggregates_ungrouped_null_rows():
+    query = Query(
+        relations=("R",),
+        aggregates=(
+            aggregate("count", None, "n"),
+            aggregate("sum", "v", "t"),
+            aggregate("max", "v", "hi"),
+        ),
+    )
+    plan = plan_shards(query)
+    schema = tuple(s.alias for s in plan.shard_query.aggregates)
+    empty = Relation(schema, [(0, None, None)])
+    full = Relation(schema, [(3, 12, 9)])
+    merged = merge_aggregates(query, plan.components, [empty, full, empty])
+    assert merged.rows == [(3, 12, 9)]
+    all_empty = merge_aggregates(query, plan.components, [empty, empty])
+    assert all_empty.rows == [(0, None, None)]
+
+
+def test_merge_aggregates_applies_having_order_limit():
+    query = _agg_query(
+        having=(Having("total", ">", 5),),
+        order_by=(SortKey("total", descending=True),),
+        limit=1,
+    )
+    plan = plan_shards(query)
+    schema = ("g",) + tuple(s.alias for s in plan.shard_query.aggregates)
+    shard_a = Relation(schema, [("x", 10, 2, 4), ("y", 3, 1, 3)])
+    shard_b = Relation(schema, [("y", 4, 2, 2), ("z", 100, 1, 100)])
+    merged = merge_aggregates(query, plan.components, [shard_a, shard_b])
+    # y merges to total 7 (> 5), z is 100, x is 10: desc order, top 1.
+    assert merged.rows == [("z", 100, 100.0, 100)]
+
+
+# ---------------------------------------------------------------------------
+# heap merge and union
+# ---------------------------------------------------------------------------
+def test_heap_merge_interleaves_sorted_streams():
+    query = Query(relations=("R",), order_by=(SortKey("a"),))
+    rows = heap_merge(
+        query,
+        ("a", "b"),
+        [[(1, "p"), (4, "q")], [(2, "r")], [(3, "s"), (5, "t")]],
+    )
+    assert rows == [(1, "p"), (2, "r"), (3, "s"), (4, "q"), (5, "t")]
+
+
+def test_heap_merge_descending_with_limit_and_dedup():
+    query = Query(
+        relations=("R",),
+        order_by=(SortKey("a", descending=True),),
+        limit=3,
+    )
+    rows = heap_merge(
+        query, ("a",), [[(9,), (5,), (1,)], [(9,), (7,)]]
+    )
+    assert rows == [(9,), (7,), (5,)]
+
+
+def test_union_rows_deduplicates_and_limits():
+    query = Query(relations=("R",), projection=("a",), limit=3)
+    relations = [
+        Relation(("a",), [(1,), (2,)]),
+        Relation(("a",), [(2,), (3,), (4,)]),
+    ]
+    assert union_rows(query, relations) == [(1,), (2,), (3,)]

@@ -1,0 +1,74 @@
+"""Hash partitioning: determinism, disjointness, key selection."""
+
+from repro.core.build import factorise_path
+from repro.database import Database
+from repro.relational.relation import Relation
+from repro.shard.partition import (
+    balance,
+    choose_partition_key,
+    partition_relation,
+    shard_of,
+)
+
+
+def _relation():
+    rows = [(f"k{i % 7}", i, i * 2) for i in range(50)]
+    return Relation(("k", "a", "b"), rows, name="R")
+
+
+def test_shard_of_is_deterministic_and_in_range():
+    for shards in (1, 2, 4, 8):
+        for value in ("k0", "k1", 42, 3.5, None, ("t", 1)):
+            owner = shard_of(value, shards)
+            assert 0 <= owner < shards
+            assert owner == shard_of(value, shards)  # stable
+
+
+def test_shard_of_single_shard_is_zero():
+    assert shard_of("anything", 1) == 0
+
+
+def test_partition_is_a_disjoint_cover():
+    relation = _relation()
+    parts = partition_relation(relation, "k", 4)
+    assert len(parts) == 4
+    recombined = [row for part in parts for row in part.rows]
+    assert sorted(recombined) == sorted(relation.rows)
+    # Every key value lives in exactly one shard.
+    for part_index, part in enumerate(parts):
+        for row in part.rows:
+            assert shard_of(row[0], 4) == part_index
+
+
+def test_partition_preserves_schema_and_name():
+    parts = partition_relation(_relation(), "a", 3)
+    for part in parts:
+        assert part.schema == ("k", "a", "b")
+        assert part.name == "R"
+
+
+def test_choose_key_prefers_explicit_override():
+    database = Database([_relation()])
+    assert choose_partition_key(database, "R", "b") == "b"
+    # An override absent from the schema falls through to the default.
+    assert choose_partition_key(database, "R", "zzz") == "k"
+
+
+def test_choose_key_uses_factorisation_root():
+    relation = _relation()
+    database = Database([relation])
+    database.add_factorised(
+        "R", factorise_path(relation, key="R", order=["a", "k", "b"])
+    )
+    assert choose_partition_key(database, "R") == "a"
+
+
+def test_choose_key_falls_back_to_first_attribute():
+    database = Database([_relation()])
+    assert choose_partition_key(database, "R") == "k"
+
+
+def test_balance():
+    assert balance([10, 10, 10, 10]) == 0.25
+    assert balance([40, 0, 0, 0]) == 1.0
+    assert balance([0, 0]) == 0.0

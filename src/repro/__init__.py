@@ -34,7 +34,7 @@ Quickstart::
 """
 
 from repro.database import Database
-from repro.expr import Attr, BinOp, Const, Expr, Neg, col, lit
+from repro.expr import Attr, BinOp, Const, Expr, Neg, Param, col, lit, param
 from repro.query import (
     AggregateSpec,
     Comparison,
@@ -69,6 +69,8 @@ __all__ = [
     "LiveView",
     "MaintenanceStats",
     "Neg",
+    "Param",
+    "PreparedQuery",
     "Query",
     "QueryBuilder",
     "QueryError",
@@ -76,12 +78,14 @@ __all__ = [
     "Relation",
     "Result",
     "Session",
+    "SessionClosedError",
     "SortKey",
     "aggregate",
     "available_engines",
     "col",
     "connect",
     "lit",
+    "param",
     "register_engine",
     "__version__",
 ]
@@ -93,9 +97,11 @@ _LAZY_ATTRIBUTES = {
     "FDBEngine": ("repro.core.engine", "FDBEngine"),
     "RDBEngine": ("repro.relational.engine", "RDBEngine"),
     "Engine": ("repro.api", "Engine"),
+    "PreparedQuery": ("repro.api", "PreparedQuery"),
     "QueryBuilder": ("repro.api", "QueryBuilder"),
     "Result": ("repro.api", "Result"),
     "Session": ("repro.api", "Session"),
+    "SessionClosedError": ("repro.api", "SessionClosedError"),
     "available_engines": ("repro.api", "available_engines"),
     "connect": ("repro.api", "connect"),
     "register_engine": ("repro.api", "register_engine"),

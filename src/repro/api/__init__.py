@@ -37,15 +37,19 @@ from repro.api.engines import (
     register_engine,
 )
 from repro.api.result import Result, ResultStats
-from repro.api.session import Session, connect
+from repro.api.session import Session, SessionClosedError, connect
+from repro.plan.prepared import LifecycleInfo, PreparedQuery
 
 __all__ = [
     "Engine",
     "EngineRun",
+    "LifecycleInfo",
+    "PreparedQuery",
     "QueryBuilder",
     "Result",
     "ResultStats",
     "Session",
+    "SessionClosedError",
     "available_engines",
     "connect",
     "create_engine",

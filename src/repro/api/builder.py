@@ -54,6 +54,7 @@ from repro.relational.sort import SortKey
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.api.result import Result
     from repro.api.session import Session
+    from repro.plan.prepared import PreparedQuery
 
 
 @dataclass(frozen=True, eq=False)
@@ -413,11 +414,21 @@ class QueryBuilder:
 
         return query_to_sql(self.to_query())
 
-    def run(self, engine=None) -> "Result":
-        """Execute through the session; ``engine`` overrides the default."""
-        return self._session.execute(self, engine=engine)
+    def run(self, engine=None, params=None) -> "Result":
+        """Execute through the session; ``engine`` overrides the default.
+
+        ``params`` binds :func:`repro.param` placeholders for one-shot
+        execution; use :meth:`prepare` to retain the compiled plan
+        across bindings explicitly.
+        """
+        return self._session.execute(self, engine=engine, params=params)
 
     execute = run
+
+    def prepare(self, engine=None) -> "PreparedQuery":
+        """Compile once; returns a reusable
+        :class:`repro.plan.prepared.PreparedQuery` handle."""
+        return self._session.prepare(self, engine=engine)
 
     def explain(self, engine=None) -> str:
         """The chosen engine's explain text, without executing."""

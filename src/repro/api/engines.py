@@ -1,10 +1,12 @@
 """Pluggable engine backends and the engine registry.
 
 Every execution backend implements the small :class:`Engine` protocol —
-``prepare`` (one-off loading), ``run`` (execute a
-:class:`repro.query.Query`, returning an :class:`EngineRun`) and
-``explain`` (describe the plan without executing).  Backends are
-registered by name with :func:`register_engine` and instantiated with
+``prepare`` (one-off data loading), the two-phase query lifecycle
+``plan`` (compile a :class:`repro.query.Query` into a retained
+artifact) and ``run_planned`` (execute a retained artifact against the
+current data), the one-shot ``run`` composition, and ``explain``
+(describe the plan without executing).  Backends are registered by
+name with :func:`register_engine` and instantiated with
 :func:`create_engine`, so sessions, the CLI and the benchmark harness
 all select engines the same way:
 
@@ -30,9 +32,9 @@ from __future__ import annotations
 import sqlite3
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
-from repro.core.engine import FactorisedResult, FDBEngine
+from repro.core.engine import FactorisedResult, FDBCompiled, FDBEngine
 from repro.query import Query
 from repro.relational.engine import RDBEngine
 from repro.relational.relation import Relation
@@ -67,11 +69,40 @@ class Engine(ABC):
 
     @abstractmethod
     def run(self, query: Query, database: "Database") -> EngineRun:
-        """Execute ``query`` against ``database``."""
+        """Execute ``query`` against ``database`` (one-shot plan+run)."""
 
     def explain(self, query: Query, database: "Database") -> str:
         """Describe the evaluation strategy without executing."""
         return f"{self.name}: {query}"
+
+    # ------------------------------------------------------------------
+    # Two-phase lifecycle (plan once, run many times)
+    # ------------------------------------------------------------------
+    def plan(self, query: Query, database: "Database") -> Any:
+        """Compile ``query`` into a retained plan artifact.
+
+        ``query`` is the *unbound* canonical form: the artifact must
+        serve every parameter binding.  The default returns ``None``
+        — a backend without a separate planning stage — which
+        :meth:`run_planned` interprets as "plan on the fly".
+        """
+        return None
+
+    def run_planned(
+        self,
+        artifact: Any,
+        query: Query,
+        database: "Database",
+        params: "Mapping[str, Any] | None" = None,
+    ) -> EngineRun:
+        """Execute a retained plan against the current data.
+
+        ``query`` is the runtime (parameter-bound) form; ``params``
+        carries the raw binding for backends that pass values natively
+        (the sqlite backend binds them on the prepared SQL text).  The
+        default ignores the artifact and runs the bound query whole.
+        """
+        return self.run(query, database)
 
     def forward(self, records, database: "Database") -> bool:
         """Absorb logged mutations into prepared state.
@@ -104,11 +135,29 @@ class FDBBackend(Engine):
         self._engine = FDBEngine(output=output, optimizer=optimizer)
         self.name = "FDB" if output == "flat" else "FDB f/o"
 
-    def run(self, query: Query, database: "Database") -> EngineRun:
-        result, plan, trace = self._engine.execute_traced(query, database)
+    @staticmethod
+    def _package(result, plan, trace) -> EngineRun:
         if isinstance(result, FactorisedResult):
             return EngineRun(factorised=result, plan=plan, trace=trace)
         return EngineRun(relation=result, plan=plan, trace=trace)
+
+    def run(self, query: Query, database: "Database") -> EngineRun:
+        return self._package(*self._engine.execute_traced(query, database))
+
+    def plan(self, query: Query, database: "Database") -> FDBCompiled:
+        """Optimise once: the f-plan is chosen from the schema-level
+        input shape, so it stays valid across data mutations and
+        parameter bindings."""
+        return self._engine.compile(query, database)
+
+    def run_planned(
+        self, artifact, query: Query, database: "Database", params=None
+    ) -> EngineRun:
+        if not isinstance(artifact, FDBCompiled):
+            return self.run(query, database)
+        return self._package(
+            *self._engine.execute_planned(artifact, query, database)
+        )
 
     def explain(self, query: Query, database: "Database") -> str:
         return self._engine.explain(query, database)
@@ -117,6 +166,17 @@ class FDBBackend(Engine):
         # FDB holds no prepared copy: every run reads the (maintained)
         # factorisations and flat relations from the database.
         return True
+
+
+@dataclass(frozen=True)
+class RDBPlan:
+    """The flat baseline's retained plan: the fixed pipeline stages.
+
+    RDB has no cost-based optimiser — the value of planning once is
+    the validated stage list (and its explain rendering), not a search.
+    """
+
+    stages: tuple[str, ...]
 
 
 class RDBBackend(Engine):
@@ -129,10 +189,41 @@ class RDBBackend(Engine):
     def run(self, query: Query, database: "Database") -> EngineRun:
         return EngineRun(relation=self._engine.execute(query, database))
 
+    def plan(self, query: Query, database: "Database") -> RDBPlan:
+        return RDBPlan(self._pipeline(query))
+
+    def run_planned(
+        self, artifact, query: Query, database: "Database", params=None
+    ) -> EngineRun:
+        return self.run(query, database)
+
     def forward(self, records, database: "Database") -> bool:
         # The flat baseline re-reads database.flat() per run (stale flat
         # copies of maintained views refresh lazily there).
         return True
+
+    def _pipeline(self, query: Query) -> tuple[str, ...]:
+        engine = self._engine
+        stages = [
+            f"{engine.join_method} join of ({', '.join(query.relations)})"
+        ]
+        conditions = [str(c) for c in query.equalities + query.comparisons]
+        if conditions:
+            stages.append(f"σ[{' ∧ '.join(conditions)}] in one scan")
+        if query.aggregates:
+            aggs = ", ".join(str(a) for a in query.aggregates)
+            stages.append(
+                f"{engine.grouping}-based ϖ[{', '.join(query.group_by)};"
+                f" {aggs}]"
+            )
+        elif query.projection is not None:
+            stages.append(f"π[{', '.join(query.projection)}]")
+        if query.order_by:
+            order = ", ".join(str(k) for k in query.order_by)
+            stages.append(f"sort o[{order}]")
+        if query.limit is not None:
+            stages.append(f"λ{query.limit}")
+        return tuple(stages)
 
     def explain(self, query: Query, database: "Database") -> str:
         engine = self._engine
@@ -140,25 +231,11 @@ class RDBBackend(Engine):
             f"query: {query}",
             f"RDB pipeline (grouping={engine.grouping}, "
             f"join={engine.join_method}):",
-            f"  1. {engine.join_method} join of "
-            f"({', '.join(query.relations)})",
         ]
-        conditions = [str(c) for c in query.equalities + query.comparisons]
-        if conditions:
-            lines.append(f"  2. σ[{' ∧ '.join(conditions)}] in one scan")
-        if query.aggregates:
-            aggs = ", ".join(str(a) for a in query.aggregates)
-            lines.append(
-                f"  3. {engine.grouping}-based ϖ[{', '.join(query.group_by)};"
-                f" {aggs}]"
-            )
-        elif query.projection is not None:
-            lines.append(f"  3. π[{', '.join(query.projection)}]")
-        if query.order_by:
-            order = ", ".join(str(k) for k in query.order_by)
-            lines.append(f"  4. sort o[{order}]")
-        if query.limit is not None:
-            lines.append(f"  5. λ{query.limit}")
+        lines.extend(
+            f"  {index}. {stage}"
+            for index, stage in enumerate(self._pipeline(query), start=1)
+        )
         return "\n".join(lines)
 
 
@@ -273,18 +350,39 @@ class SQLiteBackend(Engine):
             )
 
     def run(self, query: Query, database: "Database") -> EngineRun:
+        return self._execute_sql(query_to_sql(query), {}, query, database)
+
+    def plan(self, query: Query, database: "Database") -> str:
+        """Generate the SQL text once; parameters stay ``:name``
+        placeholders that sqlite binds natively on every run."""
+        return query_to_sql(query)
+
+    def run_planned(
+        self, artifact, query: Query, database: "Database", params=None
+    ) -> EngineRun:
+        if not isinstance(artifact, str):
+            return self.run(query, database)
+        return self._execute_sql(artifact, dict(params or {}), query, database)
+
+    def _execute_sql(
+        self, sql: str, params: dict, query: Query, database: "Database"
+    ) -> EngineRun:
         connection = self._ensure(database)
-        cursor = connection.execute(query_to_sql(query))
+        cursor = connection.execute(sql, params)
         schema = tuple(column[0] for column in cursor.description)
         rows = [tuple(row) for row in cursor.fetchall()]
         relation = Relation(schema, rows, name=query.name or "result")
         return EngineRun(relation=relation)
 
     def explain(self, query: Query, database: "Database") -> str:
+        from repro.plan.params import collect_params
+
         connection = self._ensure(database)
         sql = query_to_sql(query)
+        # Unbound placeholders explain fine with NULL stand-ins.
+        stand_ins = {name: None for name in collect_params(query)}
         lines = [f"query: {query}", f"sql: {sql}", "sqlite query plan:"]
-        for row in connection.execute(f"EXPLAIN QUERY PLAN {sql}"):
+        for row in connection.execute(f"EXPLAIN QUERY PLAN {sql}", stand_ins):
             lines.append(f"  {row[-1]}")
         return "\n".join(lines)
 

@@ -60,7 +60,11 @@ class Result:
         the per-step :class:`~repro.core.fplan.ExecutionTrace`, if any;
     factorised:
         the :class:`~repro.core.engine.FactorisedResult` when the engine
-        produced factorised output, else ``None``.
+        produced factorised output, else ``None``;
+    lifecycle:
+        the :class:`repro.plan.prepared.LifecycleInfo` of the execution
+        (plan/result cache outcomes and prepare-vs-run timings) when the
+        result came through the prepared-query lifecycle, else ``None``.
     """
 
     def __init__(
@@ -75,6 +79,7 @@ class Result:
         explain_fn: Callable[[], str] | None = None,
         seconds: float = 0.0,
         maintenance=None,
+        lifecycle=None,
     ) -> None:
         if relation is None and factorised is None:
             raise ValueError("a Result needs a relation or a factorisation")
@@ -85,6 +90,7 @@ class Result:
         self.seconds = seconds
         self.factorised = factorised
         self.maintenance = maintenance
+        self.lifecycle = lifecycle
         self._relation = relation
         self._explain_fn = explain_fn
         self._explain_text: str | None = None
@@ -172,6 +178,8 @@ class Result:
             if provenance:
                 self._explain_text += "\n" + "\n".join(provenance)
         text = self._explain_text
+        if self.lifecycle is not None:
+            text += "\n" + self.lifecycle.describe()
         if self.maintenance is not None:
             # Appended outside the cache: the live stats keep counting.
             text += f"\nmaintenance: {self.maintenance.describe()}"

@@ -42,18 +42,36 @@ those mutations::
     )
     session.insert("Orders", [("Lucia", "Monday", "Margherita")])
     print(live.result.pretty())   # already reflects the new order
+
+Queries follow a two-phase *prepared* lifecycle: :meth:`Session.prepare`
+compiles once and returns a :class:`repro.plan.prepared.PreparedQuery`
+whose ``run(**params)`` re-executes the retained plan with fresh
+parameter bindings; :meth:`Session.execute` is a thin prepare-then-run
+wrapper over the same machinery, so structurally identical queries
+share compiled plans through the session's plan cache and identical
+*bound* queries are served from the result cache while the database
+version allows (fine-grained invalidation off the IVM change log)::
+
+    top = session.prepare(
+        session.query("R").where("price", ">", param("floor"))
+        .group_by("customer").sum("price", "revenue")
+    )
+    monday = top.run(floor=10)
+    tuesday = top.run(floor=20)   # same plan, new binding
+    print(tuesday.explain())      # "plan cache hit", prepare/run timings
 """
 
 from __future__ import annotations
 
-import time
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence, Union
 
 from repro.api.builder import QueryBuilder
 from repro.api.engines import Engine, available_engines, create_engine
 from repro.api.result import Result
 from repro.api.util import suggest
 from repro.database import ApplyReport, Database
+from repro.plan.cache import SessionCaches
+from repro.plan.prepared import PreparedQuery
 from repro.query import Query, QueryError
 from repro.relational.relation import Relation
 
@@ -63,6 +81,16 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.ivm.view import LiveView
 
 Queryish = Union[Query, QueryBuilder, str]
+
+
+class SessionClosedError(RuntimeError):
+    """Raised when a closed session is asked to do work.
+
+    :meth:`Session.close` releases backend resources permanently; any
+    later ``execute``/``prepare``/``insert``/``watch``/... raises this
+    instead of whatever a torn-down backend would happen to throw.
+    Open a new session over the same database to keep working.
+    """
 
 
 class Session:
@@ -76,6 +104,13 @@ class Session:
         default backend — a registry name (``"fdb"``, ``"rdb"``,
         ``"sqlite"``, ...) or an :class:`~repro.api.engines.Engine`
         instance;
+    cache:
+        ``False`` disables the session's plan and result caches (each
+        ``execute`` then plans afresh; explicit
+        :class:`~repro.plan.prepared.PreparedQuery` handles still
+        retain their own compiled plan);
+    plan_cache_size / result_cache_size:
+        LRU capacities of the two caches (0 disables one cache);
     engine_options:
         forwarded to the registry factory of the default engine
         (e.g. ``optimizer="exhaustive"`` for FDB, or the
@@ -83,17 +118,29 @@ class Session:
 
     Sessions are context managers: backends may hold real resources
     (the sqlite connection, the parallel engine's shard stores and
-    worker pools), and :meth:`close` releases them.  A closed session
-    remains usable — backends re-prepare on the next query.
+    worker pools), and :meth:`close` releases them.  ``close`` is
+    idempotent and *final*: any later use raises
+    :class:`SessionClosedError`.
     """
 
     def __init__(
-        self, database: Database, engine: "str | Engine" = "fdb", **engine_options
+        self,
+        database: Database,
+        engine: "str | Engine" = "fdb",
+        cache: bool = True,
+        plan_cache_size: int = 128,
+        result_cache_size: int = 256,
+        **engine_options,
     ) -> None:
         self.database = database
         self._default_engine: "str | Engine" = engine
         self._default_options = engine_options
         self._engines: dict = {}
+        self._closed = False
+        self.caches = SessionCaches.sized(
+            plan_cache_size if cache else 0,
+            result_cache_size if cache else 0,
+        )
         # Engine instances this session prepared, with the database
         # version each one last observed.  Keyed by id() but the values
         # hold strong references: a bare id set would let a freed
@@ -105,51 +152,78 @@ class Session:
     # ------------------------------------------------------------------
     def query(self, *relations: str) -> QueryBuilder:
         """Start a fluent query over the named relations."""
+        self._ensure_open()
         if not relations:
             raise QueryError("query() needs at least one relation name")
         self._check_relations(relations)
         return QueryBuilder(self, tuple(relations))
 
-    def sql(self, text: str, engine=None, name: str = ""):
+    def sql(self, text: str, engine=None, name: str = "", params=None):
         """Parse a SQL string and execute it.
 
         SELECT statements run through the chosen engine and return a
         :class:`Result`; INSERT/DELETE statements are lowered to a
         :class:`repro.ivm.delta.Delta` and applied, returning the
-        :class:`repro.database.ApplyReport`.
+        :class:`repro.database.ApplyReport`.  ``params`` binds ``?`` /
+        ``:name`` placeholders of a parameterised SELECT.
         """
         from repro.ivm.delta import Delta
         from repro.sql import parse_statement
 
+        self._ensure_open()
         parsed = parse_statement(text, name=name)
         if isinstance(parsed, Delta):
+            if params:
+                raise QueryError(
+                    "params apply to SELECT statements only; INSERT/DELETE "
+                    "rows are passed literally"
+                )
             return self.apply(parsed)
-        return self.execute(parsed, engine=engine)
+        return self.execute(parsed, engine=engine, params=params)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, query: Queryish, engine=None) -> Result:
-        """Run a query (builder, AST, or SQL text); returns a Result."""
-        lowered = self._coerce(query)
-        backend = self._resolve(engine)
-        database = self.database  # keep the Result from pinning the session
-        start = time.perf_counter()
-        run = backend.run(lowered, database)
-        seconds = time.perf_counter() - start
-        return Result(
-            lowered,
-            backend.name,
-            relation=run.relation,
-            factorised=run.factorised,
-            plan=run.plan,
-            trace=run.trace,
-            explain_fn=lambda: backend.explain(lowered, database),
-            seconds=seconds,
+    def prepare(self, query: Queryish, engine=None) -> PreparedQuery:
+        """Plan a query once; run it many times with fresh bindings.
+
+        Returns a :class:`repro.plan.prepared.PreparedQuery` whose
+        ``run(*args, **params)`` binds ``?``/``:name``/``param(...)``
+        placeholders and executes the retained plan (compiled on the
+        first run, re-planned only when the catalogue changed shape).
+        The compiled plan is also published in the session's plan
+        cache, keyed on the query's canonical structural hash.
+        """
+        self._ensure_open()
+        return PreparedQuery(self, self._coerce(query), engine=engine)
+
+    def execute(self, query: Queryish, engine=None, params=None) -> Result:
+        """Run a query (builder, AST, or SQL text); returns a Result.
+
+        A thin prepare-then-run wrapper: repeated structurally
+        identical queries hit the session's plan cache (skipping
+        optimisation), and identical bound queries are served from the
+        result cache while the database version allows.  ``params`` is
+        a ``{name: value}`` mapping, or a sequence binding positionally
+        in declaration order (the DB-API style for ``?`` placeholders).
+        """
+        from repro.plan.params import ParameterError
+
+        prepared = self.prepare(query, engine=engine)
+        if params is None:
+            return prepared.run()
+        if isinstance(params, Mapping):
+            return prepared.run(**dict(params))
+        if isinstance(params, (list, tuple)):
+            return prepared.run(*params)
+        raise ParameterError(
+            f"params must be a mapping of parameter names or a sequence "
+            f"of positional values, got {type(params).__name__}"
         )
 
     def explain(self, query: Queryish, engine=None) -> str:
         """Describe the chosen engine's plan without executing."""
+        self._ensure_open()
         lowered = self._coerce(query)
         return self._resolve(engine).explain(lowered, self.database)
 
@@ -171,7 +245,12 @@ class Session:
         """Names accepted by ``engine=`` arguments."""
         return available_engines()
 
-    def _resolve(self, engine: "str | Engine | None") -> Engine:
+    def _peek(self, engine: "str | Engine | None") -> Engine:
+        """The backend instance for a selection, *without* freshening.
+
+        Result-cache hits use this: naming the engine must not trigger
+        change-log forwarding or re-preparation the hit will never use.
+        """
         options: dict = {}
         if engine is None:
             engine = self._default_engine
@@ -183,11 +262,29 @@ class Session:
                     f"configure the {type(engine).__name__} instance "
                     "directly instead"
                 )
-            return self._freshened(engine)
+            return engine
         key = (engine.lower(), tuple(sorted(options.items())))
         if key not in self._engines:
             self._engines[key] = create_engine(engine, **options)
-        return self._freshened(self._engines[key])
+        return self._engines[key]
+
+    def _resolve(self, engine: "str | Engine | None") -> Engine:
+        return self._freshened(self._peek(engine))
+
+    def _engine_cache_key(self, engine: "str | Engine | None"):
+        """The cache-scoping key of an engine selection.
+
+        Mirrors :meth:`_resolve`'s backend keying so plans compiled for
+        ``engine="fdb"`` never serve ``engine="sqlite"`` (or a
+        differently configured instance of the same backend).
+        """
+        options: dict = {}
+        if engine is None:
+            engine = self._default_engine
+            options = self._default_options
+        if isinstance(engine, Engine):
+            return ("instance", id(engine))
+        return (engine.lower(), tuple(sorted(options.items())))
 
     def _freshened(self, backend: Engine) -> Engine:
         """Prepare ``backend`` or bring it up to the database version.
@@ -211,14 +308,29 @@ class Session:
     # ------------------------------------------------------------------
     # Resource lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                "this session is closed; open a new one with "
+                "repro.connect(...) over the same database"
+            )
+
     def close(self) -> None:
-        """Release every cached backend's resources.
+        """Release every cached backend's resources; idempotent.
 
         Calls :meth:`repro.api.engines.Engine.close` on each engine
         this session instantiated or prepared (worker pools shut down,
-        connections close).  The session stays usable: the next query
-        re-prepares its backend.
+        connections close) and clears the plan/result caches.  A closed
+        session raises :class:`SessionClosedError` on any further use.
         """
+        if self._closed:
+            return
+        self._closed = True
         backends: dict[int, Engine] = {
             id(backend): backend for backend, _ in self._prepared.values()
         }
@@ -231,6 +343,8 @@ class Session:
         for backend in backends.values():
             backend.close()
         self._prepared.clear()
+        self._engines.clear()  # nothing may resurrect a closed backend
+        self.caches.clear()
 
     def __enter__(self) -> "Session":
         return self
@@ -248,6 +362,7 @@ class Session:
         columns: Sequence[str] | None = None,
     ) -> ApplyReport:
         """Insert rows into a relation, maintaining every derived view."""
+        self._ensure_open()
         return self.database.insert(relation, rows, columns)
 
     def delete(
@@ -257,6 +372,7 @@ class Session:
         where: "Callable[[dict], bool] | Sequence | None" = None,
     ) -> ApplyReport:
         """Delete rows (by value, predicate, or all) from a relation."""
+        self._ensure_open()
         return self.database.delete(relation, rows, where)
 
     def apply(self, delta: "Delta") -> ApplyReport:
@@ -267,12 +383,14 @@ class Session:
         views created with :meth:`watch` pick the changes up from the
         database's change log.
         """
+        self._ensure_open()
         return self.database.apply(delta)
 
     def watch(self, query: Queryish, engine=None) -> "LiveView":
         """A maintained result that stays fresh under mutations."""
         from repro.ivm.view import LiveView
 
+        self._ensure_open()
         return LiveView(self, self._coerce(query), engine=engine)
 
     # ------------------------------------------------------------------
@@ -284,6 +402,7 @@ class Session:
         Registration bumps the database version, so prepared backends
         re-prepare on their next use.
         """
+        self._ensure_open()
         self.database.add_relation(relation, name=name)
         return self
 
@@ -291,6 +410,7 @@ class Session:
         self, name: str, factorisation: "Factorisation"
     ) -> "Session":
         """Register a factorised materialised view; returns self."""
+        self._ensure_open()
         self.database.add_factorised(name, factorisation)
         return self
 
@@ -337,6 +457,9 @@ class Session:
 def connect(
     source: "Database | Relation | Iterable[Relation] | None" = None,
     engine: "str | Engine" = "fdb",
+    cache: bool = True,
+    plan_cache_size: int = 128,
+    result_cache_size: int = 256,
     **engine_options,
 ) -> Session:
     """Open a :class:`Session` — the canonical entry point.
@@ -344,7 +467,8 @@ def connect(
     ``source`` may be a :class:`repro.database.Database`, a single
     :class:`~repro.relational.relation.Relation`, an iterable of
     relations, or ``None`` for an empty database to be populated via
-    :meth:`Session.add_relation`.
+    :meth:`Session.add_relation`.  ``cache`` and the two size knobs
+    configure the session's plan/result caches.
     """
     if source is None:
         database = Database()
@@ -354,4 +478,11 @@ def connect(
         database = Database([source])
     else:
         database = Database(source)
-    return Session(database, engine=engine, **engine_options)
+    return Session(
+        database,
+        engine=engine,
+        cache=cache,
+        plan_cache_size=plan_cache_size,
+        result_cache_size=result_cache_size,
+        **engine_options,
+    )

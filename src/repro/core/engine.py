@@ -29,7 +29,7 @@ unchanged fragments instead of mutating them.
 
 from __future__ import annotations
 
-import warnings
+from dataclasses import dataclass
 from itertools import islice
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
@@ -45,7 +45,13 @@ from repro.core.enumerate import (
 )
 from repro.core.fplan import ExecutionTrace, FPlan, SelectStep
 from repro.core.frep import Factorisation, FRNode
-from repro.core.ftree import AggregateAttribute, FNode, FTree, fresh_aggregate_name
+from repro.core.ftree import (
+    AggregateAttribute,
+    FNode,
+    FTree,
+    fresh_aggregate_name,
+    path_ftree,
+)
 from repro.core.optimizer import (
     ExhaustiveOptimizer,
     GreedyOptimizer,
@@ -175,8 +181,50 @@ def _spec_value(
     return value[index]
 
 
+@dataclass(frozen=True)
+class _InputDecision:
+    """Structural choices for one input relation (see
+    :meth:`FDBEngine._input_decisions`)."""
+
+    name: str
+    mapping: dict  # rename map (natural-join disambiguation)
+    registered: "Factorisation | None"  # usable registered view, if any
+    schema: tuple[str, ...]  # post-rename attribute names
+    order: tuple[str, ...]  # path order, join attributes first
+
+
+@dataclass
+class FDBCompiled:
+    """The retained output of :meth:`FDBEngine.compile`.
+
+    ``plan`` is the optimiser-chosen f-plan — the expensive part of
+    evaluation, whose cost the LP size bounds of Section 5.1 govern.
+    It is *value-independent*: constant-selection values never enter
+    the planning context, so one compiled plan serves every parameter
+    binding of the same canonical query.  ``ftree``/``hypergraph``
+    exist for explain/simulation and may be stripped (``lite()``) when
+    the artifact crosses a process boundary.
+    """
+
+    query: Query  # effective (projection-resolved), unbound form
+    plan: FPlan
+    ftree: "FTree | None" = None
+    hypergraph: "Hypergraph | None" = None
+
+    def lite(self) -> "FDBCompiled":
+        """A copy without the explain-only payload (cheap to pickle)."""
+        return FDBCompiled(self.query, self.plan)
+
+
 class FDBEngine:
     """Main-memory engine for queries on factorised databases.
+
+    Evaluation is a two-phase lifecycle: :meth:`compile` canonicalises
+    the query and chooses the f-plan from the *schema-level* shape of
+    the inputs (no data is touched — the optimiser only ever sees the
+    f-tree), and :meth:`execute_planned` builds the input factorisation
+    from the current data and replays the retained plan.
+    :meth:`execute_traced` is the one-shot composition of the two.
 
     Parameters
     ----------
@@ -196,74 +244,42 @@ class FDBEngine:
         self.optimizer = (
             GreedyOptimizer() if optimizer == "greedy" else ExhaustiveOptimizer()
         )
-        self._last_trace: ExecutionTrace | None = None
-        self._last_plan: FPlan | None = None
-
-    # ------------------------------------------------------------------
-    # Deprecated engine-state accessors
-    # ------------------------------------------------------------------
-    @property
-    def last_plan(self) -> FPlan | None:
-        """Deprecated: the plan of the most recent :meth:`execute` call.
-
-        Engine state cannot distinguish concurrent callers; use
-        :meth:`execute_traced` (or the :class:`repro.api.Result`, which
-        carries the plan that produced it) instead.
-        """
-        warnings.warn(
-            "FDBEngine.last_plan is deprecated; use execute_traced() or "
-            "the Result object of the session API instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._last_plan
-
-    @last_plan.setter
-    def last_plan(self, value: FPlan | None) -> None:
-        self._last_plan = value
-
-    @property
-    def last_trace(self) -> ExecutionTrace | None:
-        """Deprecated: the trace of the most recent :meth:`execute` call."""
-        warnings.warn(
-            "FDBEngine.last_trace is deprecated; use execute_traced() or "
-            "the Result object of the session API instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._last_trace
-
-    @last_trace.setter
-    def last_trace(self, value: ExecutionTrace | None) -> None:
-        self._last_trace = value
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def execute(self, query: Query, database: "Database"):
-        """Run ``query``; returns a Relation or FactorisedResult.
-
-        ``last_plan``/``last_trace`` are updated as a side effect for
-        backward compatibility; new code should call
-        :meth:`execute_traced` (or go through :mod:`repro.api`, whose
-        ``Result`` carries the plan) instead of reading engine state.
-        """
-        result, plan, trace = self.execute_traced(query, database)
-        self._last_plan = plan
-        self._last_trace = trace
+        """Run ``query``; returns a Relation or FactorisedResult."""
+        result, _, _ = self.execute_traced(query, database)
         return result
 
-    def execute_traced(
-        self, query: Query, database: "Database"
-    ) -> tuple[Any, FPlan, ExecutionTrace]:
-        """Run ``query``; returns ``(result, f-plan, execution trace)``.
+    def compile(self, query: Query, database: "Database") -> FDBCompiled:
+        """Choose the f-plan for ``query`` without touching any data.
 
-        Unlike :meth:`execute` this does not mutate engine state, so one
-        engine instance can serve concurrent callers and each caller
-        still sees the plan that produced *its* result.
+        The input f-tree is derived from the catalogue alone (path
+        f-trees over the schemas of flat inputs, the registered tree of
+        factorised views), so compilation stays valid until the
+        catalogue changes shape — data mutations never stale a plan.
         """
         query = _with_effective_projection(query, database)
-        fact, hypergraph, equalities = self._prepare_inputs(query, database)
+        ftree, hypergraph, equalities = self._input_shape(query, database)
+        ctx = self._plan_context(query, ftree, hypergraph, equalities)
+        plan = self.optimizer.plan(ftree, ctx)
+        return FDBCompiled(query, plan, ftree, hypergraph)
+
+    def execute_planned(
+        self, compiled: FDBCompiled, query: Query, database: "Database"
+    ) -> tuple[Any, FPlan, ExecutionTrace]:
+        """Run a compiled plan against the current data.
+
+        ``query`` is the runtime (parameter-bound) form of
+        ``compiled.query``: selections and output shaping come from it,
+        while the optimisation work is skipped entirely — the retained
+        ``compiled.plan`` replays against a freshly built input
+        factorisation.
+        """
+        query = _with_effective_projection(query, database)
+        fact, _, _ = self._prepare_inputs(query, database)
         trace = ExecutionTrace()
         stats = agg.ExpressionStats()
         trace.expression_stats = stats
@@ -275,16 +291,27 @@ class FDBEngine:
             [SelectStep(c) for c in query.comparisons if not c.is_expression]
         )
         fact = select_plan.execute(fact, trace)
-
-        ctx = self._plan_context(query, fact.ftree, hypergraph, equalities)
-        plan = self.optimizer.plan(fact.ftree, ctx)
-        fact = plan.execute(fact, trace)
+        fact = compiled.plan.execute(fact, trace)
 
         if query.aggregates:
             result = self._shape_aggregate_output(query, fact, stats)
         else:
             result = self._shape_spj_output(query, fact)
-        return result, plan, trace
+        return result, compiled.plan, trace
+
+    def execute_traced(
+        self, query: Query, database: "Database"
+    ) -> tuple[Any, FPlan, ExecutionTrace]:
+        """Run ``query``; returns ``(result, f-plan, execution trace)``.
+
+        Stateless (one engine instance serves concurrent callers):
+        compiles and immediately executes.  Callers that re-run a query
+        should retain the :meth:`compile` artifact and call
+        :meth:`execute_planned` instead.
+        """
+        return self.execute_planned(
+            self.compile(query, database), query, database
+        )
 
     def explain(self, query: Query, database: "Database") -> str:
         """Compile the query and describe the plan without executing it.
@@ -296,10 +323,10 @@ class FDBEngine:
         from repro.core.cost import s_parameter
 
         query = _with_effective_projection(query, database)
-        fact, hypergraph, equalities = self._prepare_inputs(query, database)
-        ctx = self._plan_context(query, fact.ftree, hypergraph, equalities)
-        plan = self.optimizer.plan(fact.ftree, ctx)
-        trees = plan.simulate(fact.ftree)
+        ftree, hypergraph, equalities = self._input_shape(query, database)
+        ctx = self._plan_context(query, ftree, hypergraph, equalities)
+        plan = self.optimizer.plan(ftree, ctx)
+        trees = plan.simulate(ftree)
         lines = [f"query: {query}"]
         expression_selects = [c for c in query.comparisons if c.is_expression]
         if expression_selects:
@@ -308,7 +335,7 @@ class FDBEngine:
                 f"σ[{conditions}]  (row-wise on the owning input relation)"
             )
         lines.append("input f-tree:")
-        lines.extend("  " + line for line in fact.ftree.pretty().splitlines())
+        lines.extend("  " + line for line in ftree.pretty().splitlines())
         simple_selects = [c for c in query.comparisons if not c.is_expression]
         if simple_selects:
             conditions = " ∧ ".join(str(c) for c in simple_selects)
@@ -350,35 +377,75 @@ class FDBEngine:
     # ------------------------------------------------------------------
     # Input preparation
     # ------------------------------------------------------------------
-    def _prepare_inputs(
+    def _input_decisions(
         self, query: Query, database: "Database"
-    ) -> tuple[Factorisation, Hypergraph, tuple]:
+    ) -> tuple[list["_InputDecision"], dict, Hypergraph, tuple]:
+        """The structural decisions shared by compile and run.
+
+        For each input relation: the rename mapping, whether the
+        registered factorisation is usable (an expression selection
+        forces the flat path), the renamed schema, and the path order
+        (join attributes near the root).  Compile (:meth:`_input_shape`)
+        and run (:meth:`_prepare_inputs`) both consume exactly this —
+        one source of truth, so a plan chosen at compile time applies
+        verbatim to the factorisation built at run time.
+        """
         schemas = {name: database.schema(name) for name in query.relations}
         renames, natural = natural_equalities(schemas, query.relations)
         selections = _assign_expression_selections(query, schemas, renames)
-
-        facts = []
-        hyperedges: dict[str, set[str]] = {}
         join_attrs = set()
         for eq in list(natural) + list(query.equalities):
             join_attrs.update((eq.left, eq.right))
 
+        decisions: list[_InputDecision] = []
+        hyperedges: dict[str, set[str]] = {}
         for name in query.relations:
             mapping = renames[name]
             registered = database.get_factorised(name)
-            if registered is not None and name not in selections:
-                fact = registered
-                for old, new in mapping.items():
+            schema = tuple(mapping.get(a, a) for a in schemas[name])
+            order = sorted(
+                schema,
+                key=lambda a: (a not in join_attrs, schema.index(a)),
+            )
+            decisions.append(
+                _InputDecision(
+                    name=name,
+                    mapping=mapping,
+                    registered=(
+                        registered if name not in selections else None
+                    ),
+                    schema=schema,
+                    order=tuple(order),
+                )
+            )
+            hyperedges[name] = set(schema)
+
+        equalities = tuple(natural) + tuple(query.equalities)
+        classes = _equivalence_classes(equalities)
+        hypergraph = Hypergraph(hyperedges).with_equivalences(classes)
+        return decisions, selections, hypergraph, equalities
+
+    def _prepare_inputs(
+        self, query: Query, database: "Database"
+    ) -> tuple[Factorisation, Hypergraph, tuple]:
+        decisions, selections, hypergraph, equalities = self._input_decisions(
+            query, database
+        )
+        facts = []
+        for decision in decisions:
+            if decision.registered is not None:
+                fact = decision.registered
+                for old, new in decision.mapping.items():
                     fact = ops.rename(fact, old, new)
             else:
                 # Expression selections are evaluated row-wise on the
                 # (possibly flattened) input before factorisation — a
                 # localised filter, since each condition's attributes
                 # live in exactly one input.
-                relation = database.flat(name)
-                if mapping:
-                    relation = relation.rename(mapping)
-                for condition in selections.get(name, ()):
+                relation = database.flat(decision.name)
+                if decision.mapping:
+                    relation = relation.rename(decision.mapping)
+                for condition in selections.get(decision.name, ()):
                     expression = condition.attribute
                     positions = [
                         (a, relation.position(a))
@@ -397,25 +464,43 @@ class FDBEngine:
                         ],
                         name=relation.name,
                     )
-                schema = relation.schema
-                order = sorted(
-                    schema,
-                    key=lambda a: (a not in join_attrs, schema.index(a)),
+                fact = factorise_path(
+                    relation, key=decision.name, order=list(decision.order)
                 )
-                fact = factorise_path(relation, key=name, order=order)
             facts.append(fact)
-            hyperedges[name] = {
-                mapping.get(a, a) for a in schemas[name]
-            }
 
         fact = facts[0]
         for other in facts[1:]:
             fact = ops.product(fact, other)
-
-        equalities = tuple(natural) + tuple(query.equalities)
-        classes = _equivalence_classes(equalities)
-        hypergraph = Hypergraph(hyperedges).with_equivalences(classes)
         return fact, hypergraph, equalities
+
+    def _input_shape(
+        self, query: Query, database: "Database"
+    ) -> tuple[FTree, Hypergraph, tuple]:
+        """Schema-level twin of :meth:`_prepare_inputs`: the f-tree the
+        inputs *will* have, without building any factorisation.
+
+        Consumes the same :meth:`_input_decisions`, so both phases
+        agree by construction: registered factorised views contribute
+        their own (renamed) f-tree, flat inputs the path f-tree over
+        the decided attribute order.
+        """
+        decisions, _, hypergraph, equalities = self._input_decisions(
+            query, database
+        )
+        trees: list[FTree] = []
+        for decision in decisions:
+            if decision.registered is not None:
+                tree = decision.registered.ftree
+                for old, new in decision.mapping.items():
+                    tree = _rename_tree(tree, old, new)
+            else:
+                tree = path_ftree(
+                    decision.schema, decision.name, decision.order
+                )
+            trees.append(tree)
+        roots = tuple(root for tree in trees for root in tree.roots)
+        return FTree(roots), hypergraph, equalities
 
     # ------------------------------------------------------------------
     # Planning context
@@ -841,6 +926,12 @@ def _comparison(condition) -> "Comparison":
     from repro.query import Comparison
 
     return Comparison(condition.target, condition.op, condition.value)
+
+
+def _rename_tree(tree: FTree, old: str, new: str) -> FTree:
+    """Tree-level attribute rename (via a zero-fragment factorisation)."""
+    empty = Factorisation(tree, [[] for _ in tree.roots])
+    return ops.rename(empty, old, new).ftree
 
 
 def _select_component(

@@ -12,7 +12,9 @@ registered engine:
 - :class:`Const` — a numeric literal;
 - :class:`BinOp` — ``+ - * /`` (division is always *true* division;
   the SQL generator renders it so SQLite agrees);
-- :class:`Neg` — unary negation.
+- :class:`Neg` — unary negation;
+- :class:`Param` — a named placeholder (``param("x")``, SQL ``:x`` or
+  ``?``), bound to a concrete value when a prepared query runs.
 
 Expressions are immutable, hashable, and compose with Python operator
 overloading::
@@ -32,12 +34,17 @@ sums.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Any, Mapping
 
 
 class ExprError(ValueError):
     """Raised for malformed scalar expressions."""
+
+
+class UnboundParamError(ExprError):
+    """Raised when an unbound :class:`Param` is evaluated."""
 
 
 _BINARY_OPS = ("+", "-", "*", "/")
@@ -97,8 +104,17 @@ class Expr:
         self._collect(out)
         return tuple(out)
 
+    def parameters(self) -> tuple[str, ...]:
+        """Referenced parameter names, unique, in first-reference order."""
+        out: list[str] = []
+        self._collect_params(out)
+        return tuple(out)
+
     def _collect(self, out: list[str]) -> None:
         raise NotImplementedError
+
+    def _collect_params(self, out: list[str]) -> None:
+        """Default: atoms reference no parameters."""
 
     def evaluate(self, binding: Mapping[str, Any]) -> Any:
         """Evaluate against a row binding (attribute name → value)."""
@@ -203,6 +219,10 @@ class BinOp(Expr):
         self.left._collect(out)
         self.right._collect(out)
 
+    def _collect_params(self, out: list[str]) -> None:
+        self.left._collect_params(out)
+        self.right._collect_params(out)
+
     def evaluate(self, binding: Mapping[str, Any]) -> Any:
         left = self.left.evaluate(binding)
         right = self.right.evaluate(binding)
@@ -252,6 +272,9 @@ class Neg(Expr):
     def _collect(self, out: list[str]) -> None:
         self.operand._collect(out)
 
+    def _collect_params(self, out: list[str]) -> None:
+        self.operand._collect_params(out)
+
     def evaluate(self, binding: Mapping[str, Any]) -> Any:
         return -self.operand.evaluate(binding)
 
@@ -266,6 +289,52 @@ class Neg(Expr):
 
     def __repr__(self) -> str:
         return f"(-{self.operand!r})"
+
+
+#: Parameter names are SQL named-placeholder identifiers, so the same
+#: name works verbatim as ``:name`` in generated SQL (and as a key in
+#: sqlite3's named-binding dictionary).
+_PARAM_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True, eq=True, repr=False)
+class Param(Expr):
+    """A named query parameter (the ``?``/``:name`` of prepared queries).
+
+    Parameters are *structural* leaves: two queries differing only in
+    the values bound to their parameters share one canonical form, so a
+    single prepared plan serves every binding.  Evaluating an unbound
+    parameter raises :class:`UnboundParamError` — binding happens in
+    :func:`repro.plan.params.bind_params` before execution.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _PARAM_NAME.match(self.name):
+            raise ExprError(
+                f"parameter names must be identifiers "
+                f"([A-Za-z_][A-Za-z0-9_]*), got {self.name!r}"
+            )
+
+    def _collect(self, out: list[str]) -> None:
+        pass
+
+    def _collect_params(self, out: list[str]) -> None:
+        if self.name not in out:
+            out.append(self.name)
+
+    def evaluate(self, binding: Mapping[str, Any]) -> Any:
+        raise UnboundParamError(
+            f"parameter :{self.name} is unbound; run the prepared query "
+            f"with a value for it (e.g. prepared.run({self.name}=...))"
+        )
+
+    def _render(self, sql: bool = False) -> str:
+        return f":{self.name}"
+
+    def __repr__(self) -> str:
+        return f"param({self.name!r})"
 
 
 # ---------------------------------------------------------------------------
@@ -284,6 +353,15 @@ def lit(value: Any) -> Const:
     """A numeric literal as an expression (rarely needed explicitly:
     plain numbers auto-promote inside arithmetic)."""
     return Const(value)
+
+
+def param(name: str) -> Param:
+    """A named query parameter: ``where("price", ">", param("floor"))``.
+
+    The same placeholder is spelled ``:floor`` (or positionally ``?``)
+    in SQL text.  Values are supplied when the prepared query runs.
+    """
+    return Param(name)
 
 
 def as_expr(value: Any) -> Expr:
@@ -348,6 +426,10 @@ def linearise(expr: Expr) -> tuple[Term, ...]:
     if isinstance(expr, Const):
         return (Term(expr.value, ()),)
     if isinstance(expr, Attr):
+        return (Term(1, (expr,)),)
+    if isinstance(expr, Param):
+        # An unbound parameter is an opaque factor; evaluating it later
+        # raises UnboundParamError with a helpful message.
         return (Term(1, (expr,)),)
     if isinstance(expr, Neg):
         return tuple(

@@ -1,0 +1,33 @@
+"""The prepared-query lifecycle: canonical forms, parameter binding,
+version-aware plan/result caches, and the :class:`PreparedQuery`
+handle (see the module docstrings for the design).
+"""
+
+from repro.plan.cache import (
+    CacheStats,
+    PlanCache,
+    ResultCache,
+    SessionCaches,
+    catalogue_fingerprint,
+    ftree_signature,
+)
+from repro.plan.canonical import bound_key, canonical_key, canonical_text
+from repro.plan.params import ParameterError, bind_params, collect_params
+from repro.plan.prepared import LifecycleInfo, PreparedQuery
+
+__all__ = [
+    "CacheStats",
+    "LifecycleInfo",
+    "ParameterError",
+    "PlanCache",
+    "PreparedQuery",
+    "ResultCache",
+    "SessionCaches",
+    "bind_params",
+    "bound_key",
+    "canonical_key",
+    "canonical_text",
+    "catalogue_fingerprint",
+    "collect_params",
+    "ftree_signature",
+]

@@ -1,0 +1,111 @@
+"""Canonical forms and structural hashes for queries.
+
+The prepared-query caches key on *structure*, not object identity: two
+independently built queries that ask the same thing must share one
+cache entry, and a parameterised query must hash identically for every
+binding of its parameters.  :func:`canonical_text` renders a
+:class:`repro.query.Query` into a deterministic one-line form with
+
+- every field in a fixed order (the query ``name`` label excluded —
+  labelling a query must not defeat the cache);
+- expression trees rendered through their stable ``repr`` (``col('a')``,
+  ``lit(2)``, ``param('x')``, ``(col('a') * col('b'))``);
+- constants tagged with their Python type, so ``1`` and ``1.0`` and
+  ``"1"`` stay distinct;
+- parameters rendered by *name only* — the whole point of a
+  :class:`repro.expr.Param` leaf is that bindings do not perturb the
+  canonical form.
+
+:func:`canonical_key` is the SHA-256 digest of that text, the actual
+cache key.  :func:`bound_key` appends the canonical rendering of a
+parameter binding, producing the key of the factorisation/result cache
+(results *do* depend on the bound values).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Mapping
+
+from repro.expr import Expr, Param
+from repro.query import Query
+
+
+def _value(value: Any) -> str:
+    """Stable rendering of a comparison/having constant."""
+    if isinstance(value, Param):
+        return f"param:{value.name}"
+    if isinstance(value, Expr):
+        return f"expr:{value!r}"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _target(target: Any) -> str:
+    """Stable rendering of an attribute-or-expression slot."""
+    if target is None:
+        return "*"
+    if isinstance(target, Expr):
+        return f"expr:{target!r}"
+    return f"attr:{target}"
+
+
+def canonical_text(query: Query) -> str:
+    """The deterministic structural rendering of ``query``."""
+    parts = [
+        "R=" + ",".join(query.relations),
+        "eq=" + ";".join(f"{e.left}={e.right}" for e in query.equalities),
+        "cmp="
+        + ";".join(
+            f"{_target(c.attribute)}{c.op}{_value(c.value)}"
+            for c in query.comparisons
+        ),
+        "proj="
+        + (
+            "<none>"
+            if query.projection is None
+            else ",".join(query.projection)
+        ),
+        "comp="
+        + ";".join(
+            f"{column.alias}<-{column.expression!r}"
+            for column in query.computed
+        ),
+        "group=" + ",".join(query.group_by),
+        "agg="
+        + ";".join(
+            f"{spec.alias}<-{spec.function}({_target(spec.attribute)})"
+            for spec in query.aggregates
+        ),
+        "having="
+        + ";".join(
+            f"{h.target}{h.op}{_value(h.value)}" for h in query.having
+        ),
+        "order="
+        + ";".join(
+            f"{key.attribute}:{'d' if key.descending else 'a'}"
+            for key in query.order_by
+        ),
+        f"limit={query.limit}",
+        f"distinct={query.distinct}",
+    ]
+    return "|".join(parts)
+
+
+def canonical_key(query: Query) -> str:
+    """SHA-256 digest of the canonical text — the plan-cache key."""
+    return hashlib.sha256(canonical_text(query).encode()).hexdigest()
+
+
+def bound_key(query: Query, values: Mapping[str, Any]) -> str:
+    """Result-cache key: the canonical text plus the bound values.
+
+    ``query`` is the *unbound* query; the binding is appended in sorted
+    parameter-name order, so supplying the same values positionally or
+    by name yields the same key.
+    """
+    if not values:
+        return canonical_key(query)
+    text = canonical_text(query) + "|bind=" + ";".join(
+        f"{name}={_value(values[name])}" for name in sorted(values)
+    )
+    return hashlib.sha256(text.encode()).hexdigest()

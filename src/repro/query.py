@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Sequence
 
-from repro.expr import Attr, Expr, as_expr
+from repro.expr import Attr, Expr, Param, UnboundParamError, as_expr
 from repro.relational.sort import SortKey, normalise_order
 
 AGGREGATE_FUNCTIONS = ("sum", "count", "min", "max", "avg")
@@ -100,6 +100,11 @@ class Comparison:
 
     def test(self, value: Any) -> bool:
         """Evaluate the condition against a concrete value."""
+        if isinstance(self.value, Param):
+            raise UnboundParamError(
+                f"parameter :{self.value.name} is unbound; bind it "
+                "through a prepared query before executing"
+            )
         op = self.op
         if op == "=":
             return value == self.value

@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import itertools
 import os
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.api.engines import Engine, EngineRun
-from repro.core.engine import FDBEngine
+from repro.core.engine import FDBCompiled, FDBEngine
 from repro.query import Query
 from repro.relational.relation import Relation
 from repro.shard.merge import (
@@ -63,13 +65,65 @@ def _warm_up(_: int) -> None:
 
 
 def _evaluate_shard(
-    token: int, index: int, query: Query, optimizer: str
+    token: int,
+    index: int,
+    query: Query,
+    optimizer: str,
+    compiled: "FDBCompiled | None" = None,
 ) -> tuple[tuple[str, ...], list[tuple], str]:
-    """Run one shard's query in a forked worker; rows travel back."""
+    """Run one shard's query in a forked worker; rows travel back.
+
+    ``compiled`` carries the shard's prepared f-plan across the process
+    boundary (stripped of its explain payload), so re-runs of a
+    prepared query skip optimisation inside every worker too.
+    """
     store = _FORK_REGISTRY[token]
     engine = FDBEngine(optimizer=optimizer)
-    result, _, _ = engine.execute_traced(query, store.databases[index])
+    if compiled is not None:
+        result, _, _ = engine.execute_planned(
+            compiled, query, store.databases[index]
+        )
+    else:
+        result, _, _ = engine.execute_traced(query, store.databases[index])
     return tuple(result.schema), result.rows, result.name
+
+
+@dataclass
+class ShardedPlan:
+    """The sharded backend's retained plan.
+
+    The merge strategy is fixed once by the query structure;
+    ``shard_plans`` holds one compiled FDB plan per shard — shards
+    usually share one f-tree shape, but a shard whose slice fell back
+    to its path factorisation plans independently.  ``store_ref`` (a
+    weak reference, so a parked plan never pins a retired store's
+    partitioned data) and ``rebuilds`` stamp the shard store the plans
+    were compiled against: a store rebuild or shard-local
+    re-factorisation triggers a (schema-only, cheap) recompile on the
+    next run.
+    """
+
+    query: "Query | None" = None  # unbound source query (for re-planning)
+    fallback: "str | None" = None
+    inner: "FDBCompiled | None" = None  # sequential-fallback plan
+    shard_query: "Query | None" = None  # unbound per-shard query
+    shard_plans: tuple = ()
+    store_ref: "weakref.ref[ShardStore] | None" = None
+    rebuilds: int = 0
+
+    def adopt(self, other: "ShardedPlan") -> None:
+        """Replace this plan's decisions with ``other``'s, in place.
+
+        Used when the retained fallback-vs-sharded decision no longer
+        matches the current store: the artifact may be parked in a
+        session plan cache, so it is repaired rather than replaced.
+        """
+        self.fallback = other.fallback
+        self.inner = other.inner
+        self.shard_query = other.shard_query
+        self.shard_plans = other.shard_plans
+        self.store_ref = other.store_ref
+        self.rebuilds = other.rebuilds
 
 
 class ShardedFDBBackend(Engine):
@@ -153,6 +207,73 @@ class ShardedFDBBackend(Engine):
         shard_results = self._map_shards(plan.shard_query, store)
         return EngineRun(relation=self._merge(query, plan, shard_results))
 
+    # ------------------------------------------------------------------
+    # Two-phase lifecycle
+    # ------------------------------------------------------------------
+    def plan(self, query: Query, database: "Database") -> ShardedPlan:
+        """Choose the merge strategy and compile one plan per shard."""
+        store = self._ensure_store(database)
+        reason = self._fallback_reason(query, store)
+        if reason is not None:
+            return ShardedPlan(
+                query=query,
+                fallback=reason,
+                inner=self._inner.compile(query, database),
+            )
+        merge = plan_shards(query)
+        artifact = ShardedPlan(query=query, shard_query=merge.shard_query)
+        self._compile_shards(artifact, store)
+        return artifact
+
+    def _compile_shards(self, artifact: ShardedPlan, store: ShardStore) -> None:
+        """(Re)compile the per-shard plans against the current store.
+
+        Compilation is schema-level only, so this is cheap; it re-runs
+        when the store was rebuilt or a shard slice re-factorised onto
+        a different f-tree (tracked by ``store.local_rebuilds``).
+        """
+        assert artifact.shard_query is not None
+        artifact.shard_plans = tuple(
+            self._inner.compile(artifact.shard_query, shard_db)
+            for shard_db in store.databases
+        )
+        artifact.store_ref = weakref.ref(store)
+        artifact.rebuilds = store.local_rebuilds
+
+    def run_planned(
+        self, artifact, query: Query, database: "Database", params=None
+    ) -> EngineRun:
+        if not isinstance(artifact, ShardedPlan):
+            return self.run(query, database)
+        store = self._ensure_store(database)
+        reason = self._fallback_reason(query, store)
+        if (reason is not None) != (artifact.fallback is not None):
+            # The partitioning no longer matches the retained decision
+            # (e.g. a re-partitioned store): re-plan and repair the
+            # artifact in place — it may be parked in a plan cache, and
+            # bailing to one-shot execution would degrade it forever.
+            if artifact.query is None:
+                return self.run(query, database)
+            artifact.adopt(self.plan(artifact.query, database))
+        if artifact.fallback is not None:
+            assert artifact.inner is not None
+            result, plan, trace = self._inner.execute_planned(
+                artifact.inner, query, database
+            )
+            return EngineRun(relation=result, plan=plan, trace=trace)
+        planned_store = (
+            artifact.store_ref() if artifact.store_ref is not None else None
+        )
+        if planned_store is not store or artifact.rebuilds != store.local_rebuilds:
+            self._compile_shards(artifact, store)
+        # Re-derive the *bound* shard query; the strategy is structural
+        # and identical to the retained one.
+        merge = plan_shards(query)
+        shard_results = self._map_shards(
+            merge.shard_query, store, compiled=artifact.shard_plans
+        )
+        return EngineRun(relation=self._merge(query, merge, shard_results))
+
     def explain(self, query: Query, database: "Database") -> str:
         store = self._ensure_store(database)
         lines = [f"query: {query}"]
@@ -224,22 +345,46 @@ class ShardedFDBBackend(Engine):
         return "process pool" if _fork_available() else "thread pool"
 
     def _run_local(
-        self, store: ShardStore, index: int, query: Query
+        self,
+        store: ShardStore,
+        index: int,
+        query: Query,
+        compiled: "FDBCompiled | None" = None,
     ) -> Relation:
-        result, _, _ = self._inner.execute_traced(
-            query, store.databases[index]
-        )
+        if compiled is not None:
+            result, _, _ = self._inner.execute_planned(
+                compiled, query, store.databases[index]
+            )
+        else:
+            result, _, _ = self._inner.execute_traced(
+                query, store.databases[index]
+            )
         assert isinstance(result, Relation)
         return result
 
-    def _map_shards(self, query: Query, store: ShardStore) -> list[Relation]:
+    def _map_shards(
+        self,
+        query: Query,
+        store: ShardStore,
+        compiled: "Sequence[FDBCompiled] | None" = None,
+    ) -> list[Relation]:
         indices = range(store.shards)
+        plans: "Sequence[FDBCompiled | None]" = (
+            compiled if compiled is not None else [None] * store.shards
+        )
         if self.workers <= 1 or store.shards == 1:
-            return [self._run_local(store, i, query) for i in indices]
+            return [self._run_local(store, i, query, plans[i]) for i in indices]
         if _fork_available():
             pool, token = self._ensure_pool(store)
             futures = [
-                pool.submit(_evaluate_shard, token, i, query, self.optimizer)
+                pool.submit(
+                    _evaluate_shard,
+                    token,
+                    i,
+                    query,
+                    self.optimizer,
+                    plans[i].lite() if plans[i] is not None else None,
+                )
                 for i in indices
             ]
             return [
@@ -247,10 +392,12 @@ class ShardedFDBBackend(Engine):
                 for schema, rows, name in (f.result() for f in futures)
             ]
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            # execute_traced is stateless, so one engine serves all
-            # threads; the GIL serialises the work but keeps semantics.
+            # execute_traced/execute_planned are stateless, so one
+            # engine serves all threads; the GIL serialises the work
+            # but keeps semantics.
             futures = [
-                pool.submit(self._run_local, store, i, query) for i in indices
+                pool.submit(self._run_local, store, i, query, plans[i])
+                for i in indices
             ]
             return [f.result() for f in futures]
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.expr import Expr
+from repro.expr import Expr, Param
 from repro.query import AggregateSpec, Query
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -17,6 +17,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def _quote(value) -> str:
+    if isinstance(value, Param):
+        # Named placeholder; sqlite3 binds it from a {name: value} dict.
+        return f":{value.name}"
     if isinstance(value, str):
         escaped = value.replace("'", "''")
         return f"'{escaped}'"

@@ -147,6 +147,24 @@ def _scan(text: str) -> Iterator[Token]:
             yield Token(PUNCTUATION[char], char, index)
             index += 1
             continue
+        # Query parameters: anonymous "?" or named ":identifier".
+        if char == "?":
+            yield Token("QMARK", "?", index)
+            index += 1
+            continue
+        if char == ":":
+            end = index + 1
+            if end >= length or not (text[end].isalpha() or text[end] == "_"):
+                raise SQLSyntaxError(
+                    f"expected a parameter name after ':' at position "
+                    f"{index} (named parameters are :identifier)"
+                )
+            end += 1
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            yield Token("PARAM", text[index + 1 : end], index)
+            index = end
+            continue
         # Identifier or keyword ("quoted identifiers" keep their case).
         if char == '"':
             end = text.find('"', index + 1)

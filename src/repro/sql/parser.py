@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.expr import Attr, BinOp, Const, Expr, Neg
+from repro.expr import Attr, BinOp, Const, Expr, ExprError, Neg, Param
 from repro.sql.lexer import SQLSyntaxError, Token, numeric_value, tokenize
 
 AGG_KEYWORDS = {"SUM", "COUNT", "MIN", "MAX", "AVG"}
@@ -108,6 +108,8 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.index = 0
+        self._anonymous_params = 0
+        self._named_params = False
 
     # -- token helpers --------------------------------------------------
     def peek(self) -> Token:
@@ -180,10 +182,44 @@ class _Parser:
             self.advance()
             number = self.expect("NUMBER")
             return -numeric_value(number.value)
+        if token.kind in ("QMARK", "PARAM"):
+            raise SQLSyntaxError(
+                f"parameters are not supported in INSERT VALUES "
+                f"(position {token.position}); pass the rows directly"
+            )
         raise SQLSyntaxError(
             f"expected a literal value at position {token.position}, "
             f"found {token.value or token.kind!r}"
         )
+
+    # -- query parameters -------------------------------------------------
+    def _at_param(self) -> bool:
+        return self.peek().kind in ("QMARK", "PARAM")
+
+    def _parse_param(self) -> Param:
+        """One placeholder: anonymous ``?`` (auto-named ``p1``, ``p2``,
+        ... in textual order) or named ``:name``.  Mixing the two styles
+        in one statement is rejected, as in SQLite, so the auto-assigned
+        names can never collide with user-chosen ones."""
+        token = self.advance()
+        if token.kind == "QMARK":
+            if self._named_params:
+                raise SQLSyntaxError(
+                    f"cannot mix anonymous '?' and named ':name' "
+                    f"parameters in one statement (position {token.position})"
+                )
+            self._anonymous_params += 1
+            return Param(f"p{self._anonymous_params}")
+        if self._anonymous_params:
+            raise SQLSyntaxError(
+                f"cannot mix anonymous '?' and named ':name' parameters "
+                f"in one statement (position {token.position})"
+            )
+        self._named_params = True
+        try:
+            return Param(token.value)
+        except ExprError as error:
+            raise SQLSyntaxError(str(error)) from None
 
     def parse_delete(self) -> DeleteStatement:
         self.expect("KEYWORD", "DELETE")
@@ -192,6 +228,13 @@ class _Parser:
         statement = DeleteStatement(table)
         if self.accept("KEYWORD", "WHERE"):
             statement.where.extend(self._parse_conjunction())
+        if self._anonymous_params or self._named_params:
+            # Mutations apply immediately — there is no prepared handle
+            # to bind a value through, so reject at parse time.
+            raise SQLSyntaxError(
+                "parameters are not supported in DELETE statements; "
+                "inline the value in the WHERE clause"
+            )
         self.expect("EOF")
         return statement
 
@@ -329,8 +372,13 @@ class _Parser:
             return Condition(
                 left, op, token.value, left_expression=left_expression
             )
+        if self._at_param():
+            return Condition(
+                left, op, self._parse_param(), left_expression=left_expression
+            )
         raise SQLSyntaxError(
-            f"expected a column or literal at position {token.position}"
+            f"expected a column, literal, or parameter at position "
+            f"{token.position}"
         )
 
     # -- scalar arithmetic ----------------------------------------------
@@ -391,6 +439,8 @@ class _Parser:
         if token.kind == "NUMBER":
             self.advance()
             return Const(numeric_value(token.value)), None
+        if self._at_param():
+            return self._parse_param(), None
         if token.kind == "LPAREN":
             self.advance()
             expr, _ = self._parse_arith()

@@ -147,18 +147,14 @@ def test_expression_min_parity(session):
 
 
 # ---------------------------------------------------------------------------
-# Deprecated engine-state shim
+# Engine-state shims are gone: execute_traced is the supported surface
 # ---------------------------------------------------------------------------
-def test_last_plan_access_warns(session):
+def test_last_plan_shims_removed(session):
     engine = FDBEngine()
     query = revenue_builder(session).to_query()
     engine.execute(query, session.database)
-    with pytest.warns(DeprecationWarning, match="last_plan is deprecated"):
-        plan = engine.last_plan
-    assert plan is not None
-    with pytest.warns(DeprecationWarning, match="last_trace is deprecated"):
-        trace = engine.last_trace
-    assert trace is not None
+    assert not hasattr(engine, "last_plan")
+    assert not hasattr(engine, "last_trace")
 
 
 def test_execute_traced_does_not_warn(session):

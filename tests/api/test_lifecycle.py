@@ -1,0 +1,93 @@
+"""Session close semantics: idempotent, final, clear errors."""
+
+import pytest
+
+from repro import SessionClosedError, connect, param
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def session():
+    rows = [("a", 1, 5), ("b", 2, 9)]
+    return connect(Relation(("g", "k", "price"), rows, name="R"))
+
+
+def test_close_is_idempotent(session):
+    assert not session.closed
+    session.close()
+    assert session.closed
+    session.close()  # second close is a no-op, not an error
+    assert session.closed
+
+
+def test_context_manager_closes(session):
+    with session as s:
+        s.execute("SELECT COUNT(*) AS n FROM R")
+    assert session.closed
+    with pytest.raises(SessionClosedError):
+        session.execute("SELECT COUNT(*) AS n FROM R")
+
+
+@pytest.mark.parametrize(
+    "use",
+    [
+        lambda s: s.execute("SELECT COUNT(*) AS n FROM R"),
+        lambda s: s.query("R"),
+        lambda s: s.sql("SELECT COUNT(*) AS n FROM R"),
+        lambda s: s.prepare("SELECT COUNT(*) AS n FROM R"),
+        lambda s: s.explain("SELECT COUNT(*) AS n FROM R"),
+        lambda s: s.insert("R", [("c", 3, 1)]),
+        lambda s: s.delete("R", [("a", 1, 5)]),
+        lambda s: s.watch("SELECT g, COUNT(*) AS n FROM R GROUP BY g"),
+        lambda s: s.add_relation(Relation(("z",), [(1,)], "Z")),
+    ],
+    ids=[
+        "execute",
+        "query",
+        "sql",
+        "prepare",
+        "explain",
+        "insert",
+        "delete",
+        "watch",
+        "add_relation",
+    ],
+)
+def test_use_after_close_raises_session_closed(session, use):
+    session.close()
+    with pytest.raises(SessionClosedError, match="closed"):
+        use(session)
+
+
+def test_apply_after_close_raises(session):
+    from repro.ivm.delta import Delta
+
+    delta = Delta.insert("R", [("c", 3, 1)])
+    session.close()
+    with pytest.raises(SessionClosedError):
+        session.apply(delta)
+
+
+def test_prepared_handle_of_closed_session_raises(session):
+    prepared = session.prepare(
+        session.query("R").where("price", ">", param("floor")).select("g")
+    )
+    prepared.run(floor=1)
+    session.close()
+    with pytest.raises(SessionClosedError):
+        prepared.run(floor=1)
+
+
+def test_closed_session_database_survives(session):
+    database = session.database
+    session.close()
+    with connect(database) as fresh:
+        assert fresh.execute("SELECT COUNT(*) AS n FROM R").rows == [(2,)]
+
+
+def test_sqlite_backend_closed_with_session(session):
+    backend = session._resolve("sqlite")
+    session.execute("SELECT COUNT(*) AS n FROM R", engine="sqlite")
+    session.close()
+    with pytest.raises(RuntimeError, match="not prepared"):
+        backend.connection

@@ -1,0 +1,128 @@
+"""Cache correctness under mutations: seeded random parity runs.
+
+The same prepared queries are re-executed interleaved with random
+inserts and deletes.  After every step the cached session must agree
+with a cold (cache-free) engine, and ``explain()`` may report a result
+cache hit only when the database version genuinely allows it — i.e.
+no change since the entry was stored touched a relation the query
+reads.
+"""
+
+import random
+
+import pytest
+
+from repro import connect, param
+from repro.relational.relation import Relation
+
+SEED = 20130731
+STEPS = 120
+
+
+def _database():
+    rng = random.Random(SEED)
+    rows = {
+        (f"g{rng.randrange(6)}", rng.randrange(50), rng.randrange(1, 100))
+        for _ in range(120)
+    }
+    other = {(f"z{rng.randrange(4)}", rng.randrange(30)) for _ in range(40)}
+    from repro.database import Database
+
+    return Database(
+        [
+            Relation(("g", "k", "price"), sorted(rows), name="R"),
+            Relation(("h", "v"), sorted(other), name="Z"),
+        ]
+    )
+
+
+QUERIES = (
+    ("R", "SELECT g, SUM(price) AS rev FROM R GROUP BY g", {}),
+    ("R", "SELECT g, COUNT(*) AS n, MIN(price) AS lo, MAX(price) AS hi "
+          "FROM R GROUP BY g ORDER BY g", {}),
+    ("R", "SELECT g, SUM(price) AS rev FROM R WHERE price > :floor "
+          "GROUP BY g", {"floor": 25}),
+    ("R", "SELECT AVG(price) AS a FROM R WHERE k < :cap", {"cap": 30}),
+    ("Z", "SELECT h, SUM(v) AS total FROM Z GROUP BY h", {}),
+)
+
+
+@pytest.mark.parametrize("engine", ("fdb", "sqlite"))
+def test_seeded_random_parity_under_mutations(engine):
+    database = _database()
+    session = connect(database, engine=engine)
+    cold = connect(database, engine=engine, cache=False)
+    prepared = [
+        (target, session.prepare(sql), params)
+        for target, sql, params in QUERIES
+    ]
+    # Hand-tracked validity: version of the last mutation touching each
+    # relation, and the version each cache entry was stored at.
+    stored_at: dict[int, int] = {}
+    last_touch = {"R": database.version, "Z": database.version}
+
+    rng = random.Random(f"parity/{SEED}/{engine}")
+    serial = 0
+    hits = 0
+    for step in range(STEPS):
+        action = rng.random()
+        if action < 0.35:
+            # Mutate one of the relations.
+            if rng.random() < 0.5:
+                serial += 1
+                database.insert(
+                    "R",
+                    [(f"g{rng.randrange(6)}", 1000 + serial, rng.randrange(1, 100))],
+                )
+                last_touch["R"] = database.version
+            else:
+                which = rng.choice(["R", "Z"])
+                rows = database.flat(which).rows
+                if rows:
+                    database.delete(which, [rng.choice(rows)])
+                    last_touch[which] = database.version
+            continue
+        index = rng.randrange(len(prepared))
+        target, handle, params = prepared[index]
+        result = handle.run(**params)
+        expected = cold.execute(handle.query, params=params)
+        assert sorted(result.rows) == sorted(expected.rows), (
+            f"step {step}: cached {engine} diverged from cold engine"
+        )
+        # A hit is only legal if nothing touched the target relation
+        # since the entry was stored.
+        was_valid = (
+            index in stored_at and stored_at[index] >= last_touch[target]
+        )
+        if result.lifecycle.result_cache == "hit":
+            hits += 1
+            assert was_valid, (
+                f"step {step}: explain reported a result-cache hit after "
+                f"a mutation touched {target}"
+            )
+        else:
+            stored_at[index] = database.version
+    assert hits > 10  # the run exercised the cache, not just misses
+
+
+def test_parameterised_rebinding_interleaved_with_mutations():
+    database = _database()
+    session = connect(database)
+    cold = connect(database, cache=False)
+    prepared = session.prepare(
+        session.query("R")
+        .where("price", ">", param("floor"))
+        .group_by("g")
+        .sum("price", "rev")
+        .count("n")
+    )
+    rng = random.Random(f"rebind/{SEED}")
+    for step in range(40):
+        floor = rng.randrange(0, 100)
+        got = prepared.run(floor=floor)
+        want = cold.execute(prepared.query, params={"floor": floor})
+        assert sorted(got.rows) == sorted(want.rows), f"step {step}"
+        if step % 5 == 4:
+            database.insert(
+                "R", [(f"g{rng.randrange(6)}", 2000 + step, rng.randrange(1, 100))]
+            )

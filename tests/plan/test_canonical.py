@@ -1,0 +1,95 @@
+"""Canonical structural hashing: what must and must not perturb keys."""
+
+from repro import connect, param
+from repro.plan import bound_key, canonical_key, canonical_text
+from repro.relational.relation import Relation
+from repro.sql import parse_query
+
+
+def _session():
+    rows = [("a", 1, 5), ("a", 2, 9), ("b", 1, 30)]
+    return connect(Relation(("g", "k", "price"), rows, name="R"))
+
+
+def test_same_structure_same_key_across_construction_paths():
+    session = _session()
+    built = (
+        session.query("R")
+        .where("price", ">", 4)
+        .group_by("g")
+        .sum("price", "rev")
+        .to_query()
+    )
+    parsed = parse_query(
+        "SELECT g, SUM(price) AS rev FROM R WHERE price > 4 GROUP BY g"
+    )
+    assert canonical_key(built) == canonical_key(parsed)
+
+
+def test_query_name_label_is_excluded():
+    session = _session()
+    builder = session.query("R").group_by("g").sum("price", "rev")
+    assert canonical_key(builder.to_query()) == canonical_key(
+        builder.named("labelled").to_query()
+    )
+
+
+def test_different_constants_change_the_key():
+    session = _session()
+    base = session.query("R").group_by("g").sum("price", "rev")
+    assert canonical_key(
+        base.where("price", ">", 4).to_query()
+    ) != canonical_key(base.where("price", ">", 5).to_query())
+
+
+def test_constant_type_distinguishes():
+    session = _session()
+    base = session.query("R").group_by("g").sum("price", "rev")
+    one_int = base.where("price", "=", 1).to_query()
+    one_float = base.where("price", "=", 1.0).to_query()
+    assert canonical_key(one_int) != canonical_key(one_float)
+
+
+def test_parameterised_queries_share_one_key():
+    """The whole point of Param leaves: bindings do not perturb the key."""
+    session = _session()
+    q = (
+        session.query("R")
+        .where("price", ">", param("floor"))
+        .group_by("g")
+        .sum("price", "rev")
+        .to_query()
+    )
+    sql = parse_query(
+        "SELECT g, SUM(price) AS rev FROM R WHERE price > :floor GROUP BY g"
+    )
+    assert canonical_key(q) == canonical_key(sql)
+    assert "param:floor" in canonical_text(q)
+
+
+def test_bound_key_depends_on_values_not_spelling():
+    session = _session()
+    q = (
+        session.query("R")
+        .where("price", ">", param("floor"))
+        .group_by("g")
+        .sum("price", "rev")
+        .to_query()
+    )
+    assert bound_key(q, {"floor": 4}) != bound_key(q, {"floor": 5})
+    assert bound_key(q, {"floor": 4}) != canonical_key(q)
+    # Same binding → same key, however it was supplied.
+    assert bound_key(q, {"floor": 4}) == bound_key(q, dict(floor=4))
+
+
+def test_order_and_limit_and_distinct_are_structural():
+    session = _session()
+    base = session.query("R").group_by("g").sum("price", "rev")
+    plain = base.to_query()
+    assert canonical_key(plain) != canonical_key(
+        base.order_by("rev", desc=True).to_query()
+    )
+    assert canonical_key(plain) != canonical_key(base.limit(3).to_query())
+    q1 = session.query("R").select("g").to_query()
+    q2 = session.query("R").select("g").distinct().to_query()
+    assert canonical_key(q1) != canonical_key(q2)

@@ -188,14 +188,24 @@ def test_catalogue_registration_forces_reprepare():
 # ---------------------------------------------------------------------------
 # Lifecycle
 # ---------------------------------------------------------------------------
-def test_session_close_releases_and_recovers(db):
+def test_session_close_releases_resources_and_is_final(db):
+    import pytest
+
+    from repro import SessionClosedError
+
     session = connect(db, engine="fdb-parallel", shards=2, workers=0)
     query = FULL_WORKLOAD["Q5"].query
     before = session.execute(query).rows
     backend = session._resolve(None)
     session.close()
     assert backend._store is None
-    assert session.execute(query).rows == before  # re-prepares transparently
+    session.close()  # idempotent
+    with pytest.raises(SessionClosedError):
+        session.execute(query)
+    # The database itself is untouched: a fresh session keeps working.
+    assert connect(db, engine="fdb-parallel", shards=2, workers=0).execute(
+        query
+    ).rows == before
 
 
 def test_session_context_manager(db):

@@ -1,0 +1,216 @@
+"""Server-mode throughput and latency under concurrent clients.
+
+Boots the asyncio HTTP front-end (:mod:`repro.server`) over the
+generated workload database and hammers it with 1, 4, and 16
+concurrent clients — each a separate *process*, so client-side work
+never shares the server's interpreter and the measurement reflects how
+far the server pipeline actually scales when requests overlap.  Each
+concurrency level runs twice: reads only, and reads with a concurrent
+mutation load (a writer client inserting throughout), which exercises
+snapshot pinning, version-validated caches, and the single writer lock
+under pressure.
+
+Reported per cell: aggregate requests/second and p50/p99 per-request
+latency.  Writes ``BENCH_PR6.json``.  The default (full) run checks
+the PR's acceptance criterion: ≥ 2× aggregate read throughput at 16
+clients vs 1 on a multi-core host.
+
+Usage::
+
+    python benchmarks/bench_server.py             # full measurement
+    python benchmarks/bench_server.py --quick     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: The read mix: a cached aggregate, a parameterised point lookup, and
+#: a grouped aggregate over a second view — rotated per request.
+READ_SQLS = (
+    "SELECT customer, SUM(price) AS revenue FROM R1 GROUP BY customer",
+    "SELECT COUNT(*) AS n FROM Orders",
+    "SELECT item, SUM(price) AS total FROM R2 GROUP BY item",
+)
+
+
+def _client_worker(port: int, requests: int) -> list[float]:
+    """One client process: run ``requests`` reads, return latencies."""
+    from repro.server import Client
+
+    latencies = []
+    with Client(port=port, timeout=60.0) as client:
+        for index in range(requests):
+            sql = READ_SQLS[index % len(READ_SQLS)]
+            started = time.perf_counter()
+            client.query(sql)
+            latencies.append(time.perf_counter() - started)
+            if index % 10 == 9:
+                client.refresh()  # pick up concurrent commits
+    return latencies
+
+
+def _measure(
+    port: int, clients: int, requests: int, context
+) -> dict:
+    """Aggregate throughput + latency for ``clients`` processes.
+
+    Worker processes are spawned and warmed (interpreter + import +
+    first request) *before* the clock starts, so the cell measures the
+    server under load, not process startup.
+    """
+    if clients == 1:
+        _client_worker(port, 3)  # warm the connection path
+        started = time.perf_counter()
+        batches = [_client_worker(port, requests)]
+        elapsed = time.perf_counter() - started
+    else:
+        with context.Pool(processes=clients) as pool:
+            pool.starmap(_client_worker, [(port, 3)] * clients)
+            started = time.perf_counter()
+            batches = pool.starmap(
+                _client_worker, [(port, requests)] * clients
+            )
+            elapsed = time.perf_counter() - started
+    latencies = sorted(lat for batch in batches for lat in batch)
+    total = len(latencies)
+    return {
+        "clients": clients,
+        "requests": total,
+        "seconds": elapsed,
+        "throughput_rps": total / elapsed,
+        "p50_ms": latencies[total // 2] * 1000,
+        "p99_ms": latencies[min(total - 1, int(total * 0.99))] * 1000,
+    }
+
+
+class _MutationLoad:
+    """A writer hammering inserts for the duration of a measurement."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        self.writes = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        from repro.server import Client
+
+        with Client(port=self.port, timeout=60.0) as client:
+            while not self._stop.is_set():
+                client.insert(
+                    "Items", [(f"bench-{self.writes}", self.writes % 97)]
+                )
+                self.writes += 1
+                time.sleep(0.002)
+
+    def __enter__(self) -> "_MutationLoad":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=10)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: small scale"
+    )
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR6.json"),
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.1 if args.quick else 0.25)
+    requests = args.requests if args.requests is not None else (
+        30 if args.quick else 150
+    )
+    levels = (1, 4) if args.quick else (1, 4, 16)
+
+    from repro.data.workloads import build_workload_database
+    from repro.server import Server
+
+    print(f"building workload database (scale={scale}) ...")
+    database = build_workload_database(scale=scale)
+    context = multiprocessing.get_context("spawn")
+
+    cells = []
+    with Server(
+        database, port=0, pool_size=max(levels) + 2, workers=max(levels) + 2
+    ) as server:
+        print(f"server on {server.url}, pool={server.pool.size}\n")
+        header = (
+            f"{'clients':>8} {'mutations':>10} {'req/s':>10} "
+            f"{'p50 ms':>8} {'p99 ms':>8}"
+        )
+        print(header)
+        print("-" * len(header))
+        for clients in levels:
+            for mutate in (False, True):
+                per_client = max(10, requests // clients) if clients > 1 else requests
+                if mutate:
+                    with _MutationLoad(server.port) as load:
+                        cell = _measure(server.port, clients, per_client, context)
+                    cell["writes"] = load.writes
+                else:
+                    cell = _measure(server.port, clients, per_client, context)
+                cell["mutation_load"] = mutate
+                cells.append(cell)
+                print(
+                    f"{cell['clients']:>8} {str(mutate):>10} "
+                    f"{cell['throughput_rps']:>10.1f} "
+                    f"{cell['p50_ms']:>8.2f} {cell['p99_ms']:>8.2f}"
+                )
+        stats = server.pool.stats()
+
+    read_cells = {
+        c["clients"]: c for c in cells if not c["mutation_load"]
+    }
+    scaling = (
+        read_cells[max(levels)]["throughput_rps"]
+        / read_cells[1]["throughput_rps"]
+    )
+    print(
+        f"\nread throughput scaling x{scaling:.2f} "
+        f"({max(levels)} clients vs 1, {os.cpu_count()} cores)"
+    )
+
+    payload = {
+        "benchmark": "server",
+        "scale": scale,
+        "requests_per_level": requests,
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "levels": cells,
+        "read_scaling": scaling,
+        "pool_stats": stats,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if not args.quick and (os.cpu_count() or 1) > 1 and scaling < 2.0:
+        print(
+            f"FAIL: aggregate read throughput at {max(levels)} clients "
+            f"only x{scaling:.2f} over 1 client (needed >= 2.0)"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

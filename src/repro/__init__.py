@@ -18,7 +18,10 @@ The package provides:
 
 - :mod:`repro.api` — the unified session API: ``connect``/``Session``,
   the fluent ``QueryBuilder``, the engine registry, and the ``Result``
-  object.
+  object;
+- :mod:`repro.server` — concurrent server mode: ``SessionPool`` for
+  snapshot-isolated session multiplexing and an asyncio HTTP/JSON
+  front-end (``serve``/``Server``/``Client``).
 
 Quickstart::
 
@@ -77,8 +80,12 @@ __all__ = [
     "RDBEngine",
     "Relation",
     "Result",
+    "Server",
     "Session",
     "SessionClosedError",
+    "SessionPool",
+    "Snapshot",
+    "SnapshotError",
     "SortKey",
     "aggregate",
     "available_engines",
@@ -87,6 +94,7 @@ __all__ = [
     "lit",
     "param",
     "register_engine",
+    "serve",
     "__version__",
 ]
 
@@ -110,6 +118,11 @@ _LAZY_ATTRIBUTES = {
     "Insertion": ("repro.ivm", "Insertion"),
     "LiveView": ("repro.ivm", "LiveView"),
     "MaintenanceStats": ("repro.ivm", "MaintenanceStats"),
+    "Server": ("repro.server", "Server"),
+    "SessionPool": ("repro.server", "SessionPool"),
+    "Snapshot": ("repro.database", "Snapshot"),
+    "SnapshotError": ("repro.database", "SnapshotError"),
+    "serve": ("repro.server", "serve"),
 }
 
 

@@ -16,6 +16,10 @@ Commands
 ``advise``
     Rank candidate f-trees for the Section 6 view by the size-bound
     cost metric.
+``serve``
+    Boot the concurrent HTTP/JSON server over the generated workload
+    database (``--port``, ``--pool-size``, ``--engine``); see
+    :mod:`repro.server`.
 """
 
 from __future__ import annotations
@@ -123,6 +127,22 @@ def cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve
+
+    if _check_engine(args.engine):
+        return 2
+    database = _build_db(args.scale)
+    serve(
+        database,
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        pool_size=args.pool_size,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,6 +192,19 @@ def main(argv: list[str] | None = None) -> int:
     advise_cmd = sub.add_parser("advise", help="rank f-trees for the view")
     advise_cmd.add_argument("--top", type=int, default=3)
 
+    serve_cmd = sub.add_parser(
+        "serve", help="serve the workload database over HTTP"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8128)
+    serve_cmd.add_argument("--scale", type=float, default=0.5)
+    serve_cmd.add_argument("--pool-size", type=int, default=8)
+    serve_cmd.add_argument(
+        "--engine",
+        default="fdb",
+        help="engine pooled sessions run on (default: fdb)",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "experiments": cmd_experiments,
@@ -179,6 +212,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": cmd_query,
         "explain": cmd_explain,
         "advise": cmd_advise,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -59,6 +59,19 @@ version allows (fine-grained invalidation off the IVM change log)::
     monday = top.run(floor=10)
     tuesday = top.run(floor=20)   # same plan, new binding
     print(tuesday.explain())      # "plan cache hit", prepare/run timings
+
+Sessions can also be **snapshot-isolated readers** over a shared,
+concurrently mutated database: open one over a pinned
+:class:`repro.database.Snapshot` (``Session(db.snapshot())``) and every
+query observes exactly the pinned version while writers keep
+committing — prepared queries and result caches key on that pinned
+version, never on "latest".  :meth:`Session.refresh` advances the pin
+to the newest committed version (forwarding the logged changes to
+cached backends), and mutations through a pinned session write to the
+underlying database and then refresh, so a session reads its own
+writes.  The server mode (:mod:`repro.server`) hands such sessions out
+from a :class:`~repro.server.SessionPool`; ``close()`` on a pool-owned
+session returns it to the pool instead of destroying its backends.
 """
 
 from __future__ import annotations
@@ -69,7 +82,7 @@ from repro.api.builder import QueryBuilder
 from repro.api.engines import Engine, available_engines, create_engine
 from repro.api.result import Result
 from repro.api.util import suggest
-from repro.database import ApplyReport, Database
+from repro.database import ApplyReport, Database, Snapshot
 from repro.plan.cache import SessionCaches
 from repro.plan.prepared import PreparedQuery
 from repro.query import Query, QueryError
@@ -125,22 +138,42 @@ class Session:
 
     def __init__(
         self,
-        database: Database,
+        database: "Database | Snapshot",
         engine: "str | Engine" = "fdb",
         cache: bool = True,
         plan_cache_size: int = 128,
         result_cache_size: int = 256,
+        caches: "SessionCaches | None" = None,
         **engine_options,
     ) -> None:
+        # A session over a Snapshot is a pinned (snapshot-isolated)
+        # reader: queries observe exactly the pinned version; mutations
+        # route to the origin database and then re-pin (read-your-own-
+        # writes).  self.database is what engines and caches read.
+        if isinstance(database, Snapshot):
+            self._origin: Database = database.database
+            self._snapshot: "Snapshot | None" = database
+        else:
+            self._origin = database
+            self._snapshot = None
         self.database = database
         self._default_engine: "str | Engine" = engine
         self._default_options = engine_options
         self._engines: dict = {}
         self._closed = False
-        self.caches = SessionCaches.sized(
-            plan_cache_size if cache else 0,
-            result_cache_size if cache else 0,
-        )
+        self._pool = None  # set by SessionPool on pooled sessions
+        self._in_pool = False  # True while checked in (unleased)
+        if caches is not None:
+            # A shared cache pair (e.g. the pool's): plans and results
+            # are version-validated per reader, so sharing is safe.
+            self.caches = caches
+            self._owns_caches = False
+        else:
+            self.caches = SessionCaches.sized(
+                plan_cache_size if cache else 0,
+                result_cache_size if cache else 0,
+            )
+            self._owns_caches = True
         # Engine instances this session prepared, with the database
         # version each one last observed.  Keyed by id() but the values
         # hold strong references: a bare id set would let a freed
@@ -306,6 +339,52 @@ class Session:
         return backend
 
     # ------------------------------------------------------------------
+    # Snapshot pinning
+    # ------------------------------------------------------------------
+    @property
+    def pinned_version(self) -> "int | None":
+        """The pinned snapshot version, or None for an unpinned session."""
+        if self._snapshot is None:
+            return None
+        return self._snapshot.version
+
+    @property
+    def version(self) -> int:
+        """The database version this session currently observes."""
+        return self.database.version
+
+    def refresh(self) -> int:
+        """Advance a pinned session to the newest committed version.
+
+        Takes a fresh snapshot of the origin database, swaps it in as
+        this session's read view, and releases the old pin.  Cached
+        backends absorb the logged changes between the two pins on
+        their next use (or re-prepare if the gap was truncated).  On an
+        unpinned session this is a no-op reporting the current version.
+        Returns the version now observed.
+        """
+        self._ensure_open()
+        if self._snapshot is None:
+            return self.database.version
+        fresh = self._origin.snapshot()
+        old = self._snapshot
+        self._snapshot = fresh
+        self.database = fresh
+        old.release()
+        return fresh.version
+
+    def _sync_pin(self) -> None:
+        """Re-pin after a write through this session (read-your-writes)."""
+        if self._snapshot is not None:
+            self.refresh()
+
+    def _unpin(self) -> None:
+        """Release the pin's retention claim (pool idling); reads keep
+        working off the captured state until the next :meth:`refresh`."""
+        if self._snapshot is not None:
+            self._snapshot.release()
+
+    # ------------------------------------------------------------------
     # Resource lifecycle
     # ------------------------------------------------------------------
     @property
@@ -319,15 +398,33 @@ class Session:
                 "this session is closed; open a new one with "
                 "repro.connect(...) over the same database"
             )
+        if self._in_pool:
+            raise SessionClosedError(
+                "this session was returned to its pool; acquire a "
+                "fresh one from the pool instead of reusing the handle"
+            )
 
     def close(self) -> None:
-        """Release every cached backend's resources; idempotent.
+        """Release this session; pool-owned sessions return to the pool.
 
-        Calls :meth:`repro.api.engines.Engine.close` on each engine
-        this session instantiated or prepared (worker pools shut down,
-        connections close) and clears the plan/result caches.  A closed
-        session raises :class:`SessionClosedError` on any further use.
+        A session handed out by a :class:`repro.server.SessionPool`
+        goes back to the pool with its backends and caches warm, ready
+        for the next lease (the handle itself becomes unusable — any
+        later call raises :class:`SessionClosedError`).  A directly
+        constructed session keeps the original semantics: every cached
+        backend's resources are released permanently (worker pools shut
+        down, connections close) and the session-owned caches clear.
+        ``close`` is idempotent either way.
         """
+        if self._closed or self._in_pool:
+            return
+        if self._pool is not None:
+            self._pool.release(self)
+            return
+        self._destroy()
+
+    def _destroy(self) -> None:
+        """The permanent teardown behind :meth:`close`; idempotent."""
         if self._closed:
             return
         self._closed = True
@@ -344,7 +441,9 @@ class Session:
             backend.close()
         self._prepared.clear()
         self._engines.clear()  # nothing may resurrect a closed backend
-        self.caches.clear()
+        if self._owns_caches:
+            self.caches.clear()  # a shared (pool) cache outlives sessions
+        self._unpin()
 
     def __enter__(self) -> "Session":
         return self
@@ -361,9 +460,16 @@ class Session:
         rows: Iterable[Sequence[Any]],
         columns: Sequence[str] | None = None,
     ) -> ApplyReport:
-        """Insert rows into a relation, maintaining every derived view."""
+        """Insert rows into a relation, maintaining every derived view.
+
+        On a pinned session the write goes to the origin database (the
+        single writer lock serialises concurrent writers) and the pin
+        then advances so this session reads its own write.
+        """
         self._ensure_open()
-        return self.database.insert(relation, rows, columns)
+        report = self._origin.insert(relation, rows, columns)
+        self._sync_pin()
+        return report
 
     def delete(
         self,
@@ -373,7 +479,9 @@ class Session:
     ) -> ApplyReport:
         """Delete rows (by value, predicate, or all) from a relation."""
         self._ensure_open()
-        return self.database.delete(relation, rows, where)
+        report = self._origin.delete(relation, rows, where)
+        self._sync_pin()
+        return report
 
     def apply(self, delta: "Delta") -> ApplyReport:
         """Apply a batched :class:`repro.ivm.delta.Delta` atomically.
@@ -384,7 +492,9 @@ class Session:
         database's change log.
         """
         self._ensure_open()
-        return self.database.apply(delta)
+        report = self._origin.apply(delta)
+        self._sync_pin()
+        return report
 
     def watch(self, query: Queryish, engine=None) -> "LiveView":
         """A maintained result that stays fresh under mutations."""
@@ -403,7 +513,8 @@ class Session:
         re-prepare on their next use.
         """
         self._ensure_open()
-        self.database.add_relation(relation, name=name)
+        self._origin.add_relation(relation, name=name)
+        self._sync_pin()
         return self
 
     def add_factorised(
@@ -411,7 +522,8 @@ class Session:
     ) -> "Session":
         """Register a factorised materialised view; returns self."""
         self._ensure_open()
-        self.database.add_factorised(name, factorisation)
+        self._origin.add_factorised(name, factorisation)
+        self._sync_pin()
         return self
 
     def names(self) -> list[str]:
@@ -455,7 +567,7 @@ class Session:
 
 
 def connect(
-    source: "Database | Relation | Iterable[Relation] | None" = None,
+    source: "Database | Snapshot | Relation | Iterable[Relation] | None" = None,
     engine: "str | Engine" = "fdb",
     cache: bool = True,
     plan_cache_size: int = 128,
@@ -464,15 +576,16 @@ def connect(
 ) -> Session:
     """Open a :class:`Session` — the canonical entry point.
 
-    ``source`` may be a :class:`repro.database.Database`, a single
-    :class:`~repro.relational.relation.Relation`, an iterable of
-    relations, or ``None`` for an empty database to be populated via
+    ``source`` may be a :class:`repro.database.Database`, a pinned
+    :class:`repro.database.Snapshot` (for a snapshot-isolated reader),
+    a single :class:`~repro.relational.relation.Relation`, an iterable
+    of relations, or ``None`` for an empty database to be populated via
     :meth:`Session.add_relation`.  ``cache`` and the two size knobs
     configure the session's plan/result caches.
     """
     if source is None:
         database = Database()
-    elif isinstance(source, Database):
+    elif isinstance(source, (Database, Snapshot)):
         database = source
     elif isinstance(source, Relation):
         database = Database([source])

@@ -24,12 +24,25 @@ bumps :attr:`version` and appends to a bounded change log
 views detect and forward changes.  The mutation API uses set semantics
 (the paper's relations are sets): inserting an existing row is a no-op
 and deleting a row removes every occurrence.
+
+Databases are also **safe under concurrent readers and writers**.
+Mutation is serialised by a single writer lock, every change applies
+copy-on-write (flat relations are replaced, never extended in place;
+factorised views were always persistent structures sharing unchanged
+fragments), and each committed version is published atomically as an
+immutable catalogue state.  :meth:`snapshot` pins one such state: a
+:class:`Snapshot` is a read-only, version-frozen view of the catalogue
+that stays consistent while writers keep appending — the MVCC primitive
+the server mode (:mod:`repro.server`) builds sessions on.  Pinned
+versions extend the change log's retention (up to a hard cap) so that
+readers and cached backends can still replay the gap when they advance.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.relational.relation import Relation
 
@@ -41,9 +54,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 #: Retained change-log length; older records force full re-preparation.
 MAX_LOG = 512
 
+#: Hard retention cap when snapshots pin old versions.  Beyond this the
+#: log truncates anyway: pinned readers keep their (object-level
+#: consistent) state but lose replayability — caches miss and backends
+#: re-prepare instead of forwarding, which is graceful degradation.
+MAX_PINNED_LOG = 8 * MAX_LOG
+
 
 class UnknownRelationError(KeyError):
     """Raised when a query references a name the database does not hold."""
+
+
+class SnapshotError(RuntimeError):
+    """Raised for unavailable pin versions or writes through a snapshot."""
 
 
 def _path_fallback_tree(ftree):
@@ -116,6 +139,189 @@ class ApplyReport:
         return "; ".join(parts)
 
 
+@dataclass(frozen=True)
+class _CatalogueState:
+    """One committed version of the catalogue, published atomically.
+
+    The dicts are shallow copies taken at commit time and treated as
+    immutable from then on; the relation and factorisation objects they
+    reference are never mutated after publication (mutation replaces
+    them copy-on-write), so holding a state *is* holding a consistent
+    version of the database.
+    """
+
+    version: int
+    relations: "dict[str, Relation]"
+    factorised: "dict[str, Factorisation]"
+    stale_flat: frozenset
+
+
+class Snapshot:
+    """A read-only view of a :class:`Database` pinned at one version.
+
+    Obtained from :meth:`Database.snapshot`.  A snapshot exposes the
+    database's read surface (:meth:`flat`, :meth:`get_factorised`,
+    :meth:`schema`, :meth:`names`, ``in``, :attr:`version`,
+    :meth:`changes_since`) over the catalogue state that was current at
+    the pinned version — concurrent writers never change what it
+    observes.  Engines and sessions accept a snapshot wherever they
+    accept a database, which is how the server mode gives every session
+    snapshot isolation over one shared store.
+
+    Snapshots hold a *pin* on their version: the change log retains the
+    records a pinned reader may still replay (bounded by
+    :data:`MAX_PINNED_LOG`), and per-version state stays available for
+    sibling pins.  Call :meth:`release` (or use the snapshot as a
+    context manager) when done; a released snapshot keeps serving
+    reads — only its retention claim is dropped.
+    """
+
+    __slots__ = ("database", "_state", "_flat_cache", "_released", "__weakref__")
+
+    def __init__(self, database: "Database", state: _CatalogueState) -> None:
+        self.database = database
+        self._state = state
+        self._flat_cache: dict[str, Relation] = {}
+        self._released = False
+
+    # ------------------------------------------------------------------
+    # Read surface (mirrors Database)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The pinned version: every read observes exactly this state."""
+        return self._state.version
+
+    @property
+    def relations(self) -> "dict[str, Relation]":
+        """The pinned flat catalogue (treat as read-only)."""
+        return self._state.relations
+
+    @property
+    def factorised(self) -> "dict[str, Factorisation]":
+        """The pinned factorised catalogue (treat as read-only)."""
+        return self._state.factorised
+
+    @property
+    def maintenance(self):
+        """The live database's maintenance counters (not versioned)."""
+        return self.database.maintenance
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._state.relations or name in self._state.factorised
+
+    def names(self) -> list[str]:
+        state = self._state
+        return sorted(set(state.relations) | set(state.factorised))
+
+    def schema(self, name: str) -> tuple[str, ...]:
+        state = self._state
+        if name in state.relations:
+            return state.relations[name].schema
+        if name in state.factorised:
+            return tuple(state.factorised[name].schema())
+        raise UnknownRelationError(name)
+
+    def get_factorised(self, name: str) -> "Factorisation | None":
+        return self._state.factorised.get(name)
+
+    def flat(self, name: str) -> Relation:
+        """The flat form at the pinned version.
+
+        Views whose flat copy was stale at commit time (or that only
+        exist factorised) are flattened from the pinned factorisation
+        and memoised on the snapshot — never written back into the
+        shared catalogue.
+        """
+        cached = self._flat_cache.get(name)
+        if cached is not None:
+            return cached
+        state = self._state
+        if name in state.stale_flat and name in state.factorised:
+            stale = state.relations.get(name)
+            refreshed = state.factorised[name].to_relation()
+            if stale is not None and set(stale.schema) == set(refreshed.schema):
+                refreshed = refreshed.project(stale.schema, dedup=False)
+            refreshed.name = name
+            self._flat_cache[name] = refreshed
+            return refreshed
+        if name in state.relations:
+            return state.relations[name]
+        if name in state.factorised:
+            flattened = state.factorised[name].to_relation()
+            flattened.name = name
+            self._flat_cache[name] = flattened
+            return flattened
+        raise UnknownRelationError(name)
+
+    def changes_since(self, version: int) -> "list[LogRecord] | None":
+        """Replayable records in ``(version, pinned]``, or None if truncated."""
+        if version >= self._state.version:
+            return []
+        records = self.database.changes_since(version)
+        if records is None:
+            return None
+        pin = self._state.version
+        return [record for record in records if record.version <= pin]
+
+    def snapshot(self, version: "int | None" = None) -> "Snapshot":
+        """A sibling pin (same version unless another retained one is named)."""
+        return self.database.snapshot(
+            self._state.version if version is None else version
+        )
+
+    # ------------------------------------------------------------------
+    # Writes are rejected loudly
+    # ------------------------------------------------------------------
+    def _read_only(self, *_args, **_kwargs):
+        raise SnapshotError(
+            "snapshots are read-only; apply changes through the "
+            "database (or a session over it) and take a fresh snapshot"
+        )
+
+    insert = delete = apply = add_relation = add_factorised = _read_only
+
+    # ------------------------------------------------------------------
+    # Pin lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Drop this pin's retention claim; idempotent.
+
+        Reads keep working off the captured state — releasing only
+        allows the change log (and per-version state registry) to
+        forget this version.
+        """
+        if self._released:
+            return
+        self._released = True
+        self.database._release_pin(self._state.version)
+
+    close = release
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        status = "released" if self._released else "pinned"
+        return (
+            f"Snapshot(version={self._state.version}, {status}, "
+            f"views={', '.join(self.names()) or '(empty)'})"
+        )
+
+
 class Database:
     """Catalogue of flat relations and factorised views, by name."""
 
@@ -129,6 +335,15 @@ class Database:
         self._log: list[LogRecord] = []
         self._log_floor = 0  # versions ≤ this are no longer replayable
         self._stale_flat: set[str] = set()
+        # Concurrency: _lock serialises writers (mutations and catalogue
+        # registration); _log_lock guards the change log and the pin
+        # registry, and is held only for short, non-blocking sections so
+        # readers never wait on an in-flight apply.
+        self._lock = threading.RLock()
+        self._log_lock = threading.Lock()
+        self._pins: dict[int, int] = {}  # version -> active pin count
+        self._retained: dict[int, _CatalogueState] = {}
+        self._published = _CatalogueState(0, {}, {}, frozenset())
         for relation in relations:
             self.add_relation(relation)
 
@@ -137,21 +352,25 @@ class Database:
     # ------------------------------------------------------------------
     def add_relation(self, relation: Relation, name: str = "") -> None:
         """Register a flat relation (name defaults to ``relation.name``)."""
-        name = name or relation.name
-        self.relations[name] = relation
-        self._stale_flat.discard(name)
-        self._record_registration(name)
+        with self._lock:
+            name = name or relation.name
+            self.relations[name] = relation
+            self._stale_flat.discard(name)
+            self._record_registration(name)
 
     def add_factorised(self, name: str, factorisation: "Factorisation") -> None:
         """Register a factorised materialised view."""
-        self.factorised[name] = factorisation
-        self._record_registration(name)
+        with self._lock:
+            self.factorised[name] = factorisation
+            self._record_registration(name)
 
     def _record_registration(self, name: str) -> None:
-        self.version += 1
+        version = self.version + 1
+        self.version = version
         self._append_log(
-            LogRecord(version=self.version, kind="register", relation=name)
+            LogRecord(version=version, kind="register", relation=name)
         )
+        self._publish()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -235,24 +454,82 @@ class Database:
 
         if isinstance(delta, (Insertion, Deletion)):
             delta = Delta((delta,))
-        for change in delta.changes:
-            self._validate_change(change)
-        records: list[LogRecord] = []
-        inserted = deleted = 0
-        for change in delta.changes:
-            record = self._apply_change(change)
-            records.append(record)
-            if record.kind == "insert":
-                inserted += len(record.rows)
-            else:
-                deleted += len(record.rows)
-        return ApplyReport(self.version, inserted, deleted, tuple(records))
+        with self._lock:  # the single-writer lock: mutations serialise
+            for change in delta.changes:
+                self._validate_change(change)
+            records: list[LogRecord] = []
+            inserted = deleted = 0
+            for change in delta.changes:
+                record = self._apply_change(change)
+                records.append(record)
+                if record.kind == "insert":
+                    inserted += len(record.rows)
+                else:
+                    deleted += len(record.rows)
+            return ApplyReport(self.version, inserted, deleted, tuple(records))
 
     def changes_since(self, version: int) -> list[LogRecord] | None:
         """Replayable records after ``version``, or None if truncated."""
-        if version < self._log_floor:
-            return None
-        return [record for record in self._log if record.version > version]
+        with self._log_lock:
+            if version < self._log_floor:
+                return None
+            return [record for record in self._log if record.version > version]
+
+    # ------------------------------------------------------------------
+    # Snapshots (MVCC readers)
+    # ------------------------------------------------------------------
+    def snapshot(self, version: "int | None" = None) -> Snapshot:
+        """Pin a version and return a read-only :class:`Snapshot` of it.
+
+        With no argument the latest committed state is pinned (the
+        common case: a reader joins at "now" and stays there until it
+        refreshes).  An explicit ``version`` re-pins a state another
+        snapshot is still holding — useful for sibling readers that
+        must agree on one version; any other version raises
+        :class:`SnapshotError`, since its state is no longer retained.
+        """
+        with self._log_lock:
+            state = self._published
+            if version is not None and version != state.version:
+                retained = self._retained.get(version)
+                if retained is None:
+                    raise SnapshotError(
+                        f"version {version} is not available for pinning "
+                        f"(latest is {state.version}; older versions stay "
+                        "available only while another snapshot pins them)"
+                    )
+                state = retained
+            self._pins[state.version] = self._pins.get(state.version, 0) + 1
+            self._retained[state.version] = state
+        return Snapshot(self, state)
+
+    def pinned_versions(self) -> list[int]:
+        """Versions currently pinned by live snapshots (sorted)."""
+        with self._log_lock:
+            return sorted(self._pins)
+
+    def _release_pin(self, version: int) -> None:
+        with self._log_lock:
+            count = self._pins.get(version, 0) - 1
+            if count > 0:
+                self._pins[version] = count
+            else:
+                self._pins.pop(version, None)
+                self._retained.pop(version, None)
+
+    def _publish(self) -> None:
+        """Publish the current catalogue as one atomic immutable state.
+
+        Called by every mutator after its change is complete (under the
+        writer lock); the single reference assignment is the commit
+        point concurrent readers observe.
+        """
+        self._published = _CatalogueState(
+            self.version,
+            dict(self.relations),
+            dict(self.factorised),
+            frozenset(self._stale_flat),
+        )
 
     # ------------------------------------------------------------------
     # Change application internals
@@ -308,18 +585,23 @@ class Database:
 
         # 1. The flat form of the named relation changes first, so that
         #    fragment construction during routed maintenance sees the
-        #    post-change base data.
+        #    post-change base data.  The change is copy-on-write: a new
+        #    relation object replaces the catalogue entry, so states
+        #    published for earlier versions (pinned by snapshots) keep
+        #    their row lists untouched.
         if name in self.relations:
             relation = self.flat(name)  # refreshes a stale copy first
             if kind == "insert":
-                relation.rows.extend(rows)
+                new_rows = relation.rows + rows
             else:
                 doomed = set(rows)
-                relation.rows = [
+                new_rows = [
                     row for row in relation.rows if row not in doomed
                 ]
+            self.relations[name] = Relation.adopt(
+                relation.schema, new_rows, name=relation.name
+            )
 
-        self.version += 1
         stats = self.maintenance
         stats.deltas_applied += 1
         if kind == "insert":
@@ -327,13 +609,18 @@ class Database:
         else:
             stats.rows_deleted += len(rows)
 
-        # 2. Route the change to every affected factorised view.
+        # 2. Route the change to every affected factorised view (each
+        #    maintained factorisation is a fresh persistent structure;
+        #    prior versions keep sharing the unchanged fragments).
         view_deltas: "dict[str, ViewDelta]" = {}
         if rows:
             view_deltas = self._maintain_views(name, kind, rows, schema)
 
+        # 3. Commit: log first, then the version stamp, then the atomic
+        #    state publication snapshots pin against.
+        version = self.version + 1
         record = LogRecord(
-            version=self.version,
+            version=version,
             kind=kind,
             relation=name,
             columns=tuple(schema),
@@ -341,6 +628,8 @@ class Database:
             view_deltas=view_deltas,
         )
         self._append_log(record)
+        self.version = version
+        self._publish()
         return record
 
     def _resolve_insert(self, change, schema: Sequence[str]) -> list[tuple]:
@@ -539,8 +828,30 @@ class Database:
         return factorise(joined.project(attributes), fact.ftree)
 
     def _append_log(self, record: LogRecord) -> None:
-        self._log.append(record)
-        if len(self._log) > MAX_LOG:
-            dropped = self._log[: len(self._log) - MAX_LOG]
-            self._log = self._log[len(self._log) - MAX_LOG :]
-            self._log_floor = dropped[-1].version
+        """Append one record, truncating with respect for pinned readers.
+
+        The log keeps :data:`MAX_LOG` records, but records newer than
+        the oldest pinned version are retained beyond that so snapshot
+        readers can still replay the gap when they refresh — up to the
+        :data:`MAX_PINNED_LOG` hard cap, past which truncation proceeds
+        regardless (a too-old pin then re-prepares instead of
+        forwarding).
+        """
+        with self._log_lock:
+            self._log.append(record)
+            excess = len(self._log) - MAX_LOG
+            if excess <= 0:
+                return
+            pin_floor = min(self._pins) if self._pins else record.version
+            hard_excess = len(self._log) - MAX_PINNED_LOG
+            dropped = 0
+            while dropped < excess:
+                if (
+                    self._log[dropped].version > pin_floor
+                    and dropped >= hard_excess
+                ):
+                    break
+                dropped += 1
+            if dropped:
+                self._log_floor = self._log[dropped - 1].version
+                self._log = self._log[dropped:]

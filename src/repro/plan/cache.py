@@ -20,11 +20,21 @@ Two complementary caches serve the prepared-query lifecycle:
   for — an insert into ``Orders`` evicts cached results over ``Orders``
   and every view maintained from it, and nothing else.
 
+Both caches are **snapshot-aware and thread-safe**, so one cache pair
+can be shared by every session of a :class:`repro.server.SessionPool`.
+Lookups validate against the *reader's* version — the pinned snapshot
+a session queries through, not "latest" — and an entry computed under
+version ``v`` is never served to a reader pinned at ``u < v`` (it
+stays cached for newer readers; the lookup simply misses).  Plans are
+snapshot-safe by construction: their catalogue fingerprint is computed
+from the reader's pinned catalogue.
+
 Both caches are LRU-bounded; capacity 0 disables a cache entirely.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Iterable
@@ -108,6 +118,7 @@ class PlanCache:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, tuple[Any, tuple]]" = (
             OrderedDict()
         )
@@ -123,38 +134,55 @@ class PlanCache:
         """
         if not self.capacity:
             return MISS
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return MISS
-        artifact, stored_fingerprint = entry
-        if stored_fingerprint != fingerprint:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return MISS
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return artifact
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return MISS
+            artifact, stored_fingerprint = entry
+            if stored_fingerprint != fingerprint:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return MISS
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return artifact
 
     def store(self, key: Hashable, artifact: Any, fingerprint: tuple) -> None:
         if not self.capacity:
             return
-        self._entries[key] = (artifact, fingerprint)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = (artifact, fingerprint)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 @dataclass
 class _ResultEntry:
+    """One cached result with its validity interval.
+
+    ``floor`` is the version the payload was computed at; ``version``
+    is the newest version it has been *validated* against.  Invariant:
+    no log record in ``(floor, version]`` touches ``relations``, so the
+    payload is correct for any reader pinned anywhere in
+    ``[floor, version]`` — and beyond ``version`` after a replay.
+    """
+
     payload: Any
     version: int
     relations: frozenset
+    floor: int = -1
+
+    def __post_init__(self) -> None:
+        if self.floor < 0:
+            self.floor = self.version
 
 
 def _touches(record: "LogRecord", relations: frozenset) -> bool:
@@ -172,37 +200,51 @@ class ResultCache:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, _ResultEntry]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def lookup(self, key: Hashable, database: "Database") -> Any:
-        """The cached payload if still valid at ``database.version``.
+        """The cached payload if still valid at the reader's version.
 
-        An entry computed at an older version survives exactly when
-        every newer log record leaves the entry's relations untouched;
-        its stamp then advances so later lookups skip the replay.
+        ``database`` may be the live database or a pinned
+        :class:`repro.database.Snapshot` — validation runs against
+        *its* version.  An entry computed at an older version survives
+        exactly when every log record up to the reader's version leaves
+        the entry's relations untouched; its stamp then advances so
+        later lookups skip the replay.  An entry computed at a *newer*
+        version than the reader's pin is never served (that would be a
+        stale-read-from-the-future for the pinned reader); it stays
+        cached for readers at or past its version.
         """
         if not self.capacity:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.version != database.version:
-            records = database.changes_since(entry.version)
-            if records is None or any(
-                _touches(record, entry.relations) for record in records
-            ):
-                del self._entries[key]
-                self.stats.invalidations += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
                 self.stats.misses += 1
                 return None
-            entry.version = database.version
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry.payload
+            if entry.floor > database.version:
+                # Computed under a version this pinned reader has not
+                # reached; serving it would leak future writes into the
+                # snapshot.  Miss without evicting.
+                self.stats.misses += 1
+                return None
+            if entry.version < database.version:
+                records = database.changes_since(entry.version)
+                if records is None or any(
+                    _touches(record, entry.relations) for record in records
+                ):
+                    del self._entries[key]
+                    self.stats.invalidations += 1
+                    self.stats.misses += 1
+                    return None
+                entry.version = database.version
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.payload
 
     def store(
         self,
@@ -213,16 +255,18 @@ class ResultCache:
     ) -> None:
         if not self.capacity:
             return
-        self._entries[key] = _ResultEntry(
-            payload, database.version, frozenset(relations)
-        )
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = _ResultEntry(
+                payload, database.version, frozenset(relations)
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 @dataclass

@@ -52,6 +52,26 @@ class Relation:
                 )
         self._index: dict[Any, Any] = {}
 
+    @classmethod
+    def adopt(
+        cls, schema: Sequence[str], rows: list[Row], name: str = ""
+    ) -> "Relation":
+        """Wrap an already-validated row list without copying it.
+
+        The copy-on-write mutation path of :class:`repro.database.
+        Database` builds a fresh row list per change and publishes it as
+        a new relation object; rows there are known to be tuples of the
+        right arity, so the per-row validation of ``__init__`` would
+        only re-tuple what is already canonical.  The caller transfers
+        ownership of ``rows``.
+        """
+        relation = cls.__new__(cls)
+        relation.name = name or "relation"
+        relation.schema = tuple(schema)
+        relation.rows = rows
+        relation._index = {}
+        return relation
+
     # ------------------------------------------------------------------
     # Basic container behaviour
     # ------------------------------------------------------------------

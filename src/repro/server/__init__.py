@@ -1,0 +1,37 @@
+"""Concurrent server mode: snapshot-isolated sessions over one database.
+
+Three layers, bottom up:
+
+- the concurrency core lives in :mod:`repro.database` — a single
+  writer lock, atomically published catalogue states, and
+  ``Database.snapshot()`` pinning readers to a committed version;
+- :class:`SessionPool` multiplexes snapshot-pinned
+  :class:`repro.api.session.Session` objects with bounded admission,
+  warm reuse, and idle reaping;
+- :class:`Server` / :func:`serve` expose the pool over HTTP/JSON on
+  stdlib asyncio, one pooled session per client connection, with
+  :class:`Client` as the matching blocking client.
+
+>>> from repro.server import serve
+>>> serve(database, port=8128)          # doctest: +SKIP
+
+or, embedded / in tests::
+
+    with Server(database, port=0) as server:
+        with Client(port=server.port) as client:
+            client.query("SELECT * FROM Orders")
+"""
+
+from repro.server.client import Client, ServerError
+from repro.server.http import Server, serve
+from repro.server.pool import PoolClosedError, PoolTimeoutError, SessionPool
+
+__all__ = [
+    "Client",
+    "PoolClosedError",
+    "PoolTimeoutError",
+    "Server",
+    "ServerError",
+    "SessionPool",
+    "serve",
+]

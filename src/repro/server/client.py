@@ -1,0 +1,163 @@
+"""A thin blocking HTTP client for the repro server.
+
+Built on stdlib :mod:`http.client` with one keep-alive connection per
+:class:`Client`, because the server's session model is per-connection:
+the prepared-query and watch handles a client holds are only valid on
+the TCP connection that created them, and the snapshot pin a client
+reads through belongs to that connection's pooled session.  Closing
+the client (or letting the connection drop) returns the session to the
+pool.
+
+>>> with Client("127.0.0.1", 8128) as client:
+...     client.insert("Orders", [(7, "od5", 30.0)])
+...     result = client.query("SELECT SUM(Price) FROM Orders GROUP BY Cust")
+...     result["rows"]
+
+Every method returns the decoded JSON payload; non-2xx responses raise
+:class:`ServerError` carrying the HTTP status and the server's
+``error`` message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterable, Sequence
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class Client:
+    """One keep-alive connection to a :class:`repro.server.Server`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8128, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._connection = http.client.HTTPConnection(
+            host, port, timeout=timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Any = None) -> dict:
+        body = None
+        headers = {"Connection": "keep-alive"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        self._connection.request(method, path, body=body, headers=headers)
+        response = self._connection.getresponse()
+        data = response.read()
+        decoded = json.loads(data) if data else {}
+        if response.status >= 300:
+            message = (
+                decoded.get("error", data.decode("utf-8", "replace"))
+                if isinstance(decoded, dict)
+                else str(decoded)
+            )
+            raise ServerError(response.status, message)
+        return decoded
+
+    def close(self) -> None:
+        """Drop the connection (the server returns its session)."""
+        self._connection.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def query(
+        self,
+        sql: str,
+        params: "dict | list | None" = None,
+        engine: "str | None" = None,
+    ) -> dict:
+        """Run one SQL statement; rows for SELECT, a report for writes."""
+        payload: dict = {"sql": sql}
+        if params is not None:
+            payload["params"] = params
+        if engine is not None:
+            payload["engine"] = engine
+        return self._request("POST", "/query", payload)
+
+    def prepare(self, sql: str, engine: "str | None" = None) -> str:
+        """Prepare a parameterised query; returns its handle."""
+        payload: dict = {"sql": sql}
+        if engine is not None:
+            payload["engine"] = engine
+        return self._request("POST", "/prepare", payload)["id"]
+
+    def execute(
+        self, handle: str, params: "dict | list | None" = None
+    ) -> dict:
+        """Run a prepared query by handle with fresh bindings."""
+        payload: dict = {"id": handle}
+        if params is not None:
+            payload["params"] = params
+        return self._request("POST", "/execute", payload)
+
+    def insert(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[Any]],
+        columns: "Sequence[str] | None" = None,
+    ) -> dict:
+        payload: dict = {"relation": relation, "rows": [list(r) for r in rows]}
+        if columns is not None:
+            payload["columns"] = list(columns)
+        return self._request("POST", "/insert", payload)
+
+    def delete(
+        self,
+        relation: str,
+        rows: "Iterable[Sequence[Any]] | None" = None,
+        all: bool = False,
+    ) -> dict:
+        payload: dict = {"relation": relation}
+        if rows is not None:
+            payload["rows"] = [list(r) for r in rows]
+        if all:
+            payload["all"] = True
+        return self._request("POST", "/delete", payload)
+
+    def refresh(self) -> int:
+        """Advance this connection's snapshot pin; returns the version."""
+        return self._request("POST", "/refresh")["version"]
+
+    def watch(self, sql: str, engine: "str | None" = None) -> dict:
+        """Register a live view; returns its handle + initial result."""
+        payload: dict = {"sql": sql}
+        if engine is not None:
+            payload["engine"] = engine
+        return self._request("POST", "/watch", payload)
+
+    def poll(self, handle: str) -> dict:
+        """The watch's current result at the freshest version."""
+        return self._request("GET", f"/watch/{handle}")
+
+    def unwatch(self, handle: str) -> dict:
+        return self._request("POST", "/unwatch", {"id": handle})
+
+    def __repr__(self) -> str:
+        return f"Client({self.host!r}, {self.port})"

@@ -1,0 +1,524 @@
+"""The asyncio HTTP/JSON front-end over a :class:`SessionPool`.
+
+``repro.server.serve(database)`` turns the library into a query server:
+a small HTTP/1.1 endpoint built on stdlib :mod:`asyncio` streams only.
+Each client connection leases one snapshot-pinned session from the pool
+(lazily, on its first session-needing request) and keeps it for the
+connection's lifetime, so every request on a connection observes one
+consistent database version until the client refreshes — snapshot
+isolation over the wire.  Engine work never runs on the event loop:
+every handler executes in a thread-pool executor, so slow queries do
+not stall other connections' request parsing or responses.
+
+Endpoints (JSON request and response bodies):
+
+====================  =====================================================
+``GET  /health``      liveness + the current committed version
+``GET  /stats``       pool/cache/server counters
+``POST /query``       ``{"sql": ...}`` — SELECT returns rows, INSERT/
+                      DELETE statements apply and return a change report
+``POST /prepare``     ``{"sql": ...}`` → ``{"id", "parameters"}``
+``POST /execute``     ``{"id", "params"}`` — run a prepared query
+``POST /insert``      ``{"relation", "rows", "columns"?}``
+``POST /delete``      ``{"relation", "rows"?, "all"?}``
+``POST /refresh``     advance this connection's pin to the newest version
+``POST /watch``       ``{"sql": ...}`` → ``{"id"}`` + the initial result
+``GET  /watch/<id>``  poll a live view (refreshes the pin first)
+``POST /unwatch``     ``{"id"}`` — drop a live view
+====================  =====================================================
+
+Admission control is the pool's: when all sessions are leased, a new
+connection's first query waits up to the pool's ``acquire_timeout`` and
+then receives ``503`` — the bounded admission queue surfacing as
+back-pressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.database import Database, UnknownRelationError
+from repro.query import QueryError
+from repro.server.pool import PoolClosedError, PoolTimeoutError, SessionPool
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.api.result import Result
+    from repro.api.session import Session
+    from repro.database import ApplyReport
+
+#: Request bodies beyond this are rejected with 413.
+MAX_BODY = 16 * 1024 * 1024
+MAX_HEADER_LINES = 100
+
+
+class ServerStoppedError(RuntimeError):
+    """Raised when interacting with a server that is not running."""
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    headers: dict[str, str]
+    payload: Any
+    keep_alive: bool
+
+
+@dataclass
+class _Connection:
+    """Per-connection state: the leased session and its handles."""
+
+    session: "Session | None" = None
+    prepared: dict = field(default_factory=dict)
+    watches: dict = field(default_factory=dict)
+    next_id: int = 0
+
+    def handle(self, prefix: str) -> str:
+        self.next_id += 1
+        return f"{prefix}-{self.next_id}"
+
+
+def _result_payload(result: "Result") -> dict:
+    payload = {
+        "columns": list(result.schema),
+        "rows": [list(row) for row in result.rows],
+        "engine": result.engine,
+        "seconds": result.seconds,
+    }
+    if result.lifecycle is not None:
+        payload["plan_cache"] = result.lifecycle.plan_cache
+        payload["result_cache"] = result.lifecycle.result_cache
+    return payload
+
+
+def _report_payload(report: "ApplyReport") -> dict:
+    return {
+        "version": report.version,
+        "inserted": report.inserted,
+        "deleted": report.deleted,
+        "rebuilds": report.rebuilds,
+    }
+
+
+class BadRequest(ValueError):
+    """A malformed request body (maps to a 400 response)."""
+
+
+def _field(payload: Any, name: str, kind=None, required: bool = True):
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    value = payload.get(name)
+    if value is None:
+        if required:
+            raise BadRequest(f"missing required field {name!r}")
+        return None
+    if kind is not None and not isinstance(value, kind):
+        expected = kind.__name__ if isinstance(kind, type) else str(kind)
+        raise BadRequest(f"field {name!r} must be a {expected}")
+    return value
+
+
+class Server:
+    """The asyncio HTTP front-end; see the module docstring.
+
+    The server owns (or adopts) a :class:`SessionPool` and a thread
+    executor.  It can run in the foreground (:meth:`serve_forever`, the
+    CLI path) or on a background thread (:meth:`start` / :meth:`stop`,
+    the embedding and test path); either way ``port=0`` binds an
+    ephemeral port published as :attr:`port` once listening.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        host: str = "127.0.0.1",
+        port: int = 8128,
+        engine: str = "fdb",
+        pool_size: int = 8,
+        workers: "int | None" = None,
+        acquire_timeout: float = 5.0,
+        pool: "SessionPool | None" = None,
+        **engine_options,
+    ) -> None:
+        self.database = database
+        self.host = host
+        self.port = port
+        self.pool = pool or SessionPool(
+            database,
+            engine=engine,
+            size=pool_size,
+            acquire_timeout=acquire_timeout,
+            **engine_options,
+        )
+        self._workers = workers or max(4, pool_size)
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        self._stop_event: "asyncio.Event | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._startup_error: "BaseException | None" = None
+        self.requests = 0
+        self.rejected = 0
+        self.connections = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def _amain(self, ready: "threading.Event | None" = None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-server"
+        )
+        server = await asyncio.start_server(self._on_connection, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stop_event.wait()
+        finally:
+            self._executor.shutdown(wait=False)
+            self.pool.close()
+            self._loop = None
+
+    def serve_forever(self) -> None:
+        """Run in the foreground until interrupted (the CLI path)."""
+        try:
+            asyncio.run(self._amain())
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+
+    def start(self) -> "Server":
+        """Serve on a daemon thread; returns once listening.
+
+        :attr:`port` then holds the actual bound port (useful with
+        ``port=0``).  Call :meth:`stop` (or use the server as a context
+        manager) to shut down.
+        """
+        if self._thread is not None:
+            raise ServerStoppedError("this server was already started")
+        ready = threading.Event()
+
+        def runner() -> None:
+            try:
+                asyncio.run(self._amain(ready))
+            except BaseException as error:  # pragma: no cover - surfaced below
+                self._startup_error = error
+                ready.set()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Stop a background server; idempotent."""
+        loop, event = self._loop, self._stop_event
+        if loop is not None and event is not None:
+            try:
+                loop.call_soon_threadsafe(event.set)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "Server":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Loop teardown cancels in-flight connection tasks; ending
+            # quietly here keeps shutdown free of spurious tracebacks.
+            pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        state = _Connection()
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                status, payload = await self._dispatch(state, request)
+                self.requests += 1
+                await self._respond(writer, status, payload, request.keep_alive)
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request
+        finally:
+            if state.session is not None:
+                # Returning a pooled session is lock + park — cheap
+                # enough to run inline, and safe at loop teardown where
+                # an executor hop would be cancelled mid-await.
+                session = state.session
+                state.session = None
+                try:
+                    session.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - racing client close
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> "_Request | None":
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            raise BadRequest("malformed request line") from None
+        headers: dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            raise BadRequest(f"request body of {length} bytes exceeds {MAX_BODY}")
+        body = await reader.readexactly(length) if length else b""
+        payload = None
+        if body:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as error:
+                raise BadRequest(f"invalid JSON body: {error}") from None
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        return _Request(method.upper(), path, headers, payload, keep_alive)
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        keep_alive: bool,
+    ) -> None:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   413: "Payload Too Large", 500: "Internal Server Error",
+                   503: "Service Unavailable"}
+        body = json.dumps(payload, default=str).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, state: _Connection, request: _Request
+    ) -> tuple[int, Any]:
+        key = (request.method, request.path)
+        if key == ("GET", "/health"):
+            return 200, {
+                "status": "ok",
+                "version": self.database.version,
+                "pool": {"leased": self.pool.leased, "idle": self.pool.idle},
+            }
+        if key == ("GET", "/stats"):
+            stats = self.pool.stats()
+            stats.update(
+                requests=self.requests,
+                rejected=self.rejected,
+                connections=self.connections,
+            )
+            return 200, stats
+        handler = self._route(request)
+        if handler is None:
+            return 404, {"error": f"no route for {request.method} {request.path}"}
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
+        try:
+            return await loop.run_in_executor(
+                self._executor, self._run_handler, handler, state, request
+            )
+        except RuntimeError:  # pragma: no cover - executor torn down
+            return 503, {"error": "server is shutting down"}
+
+    def _route(
+        self, request: _Request
+    ) -> "Callable[[_Connection, _Request], tuple[int, Any]] | None":
+        if request.method == "POST":
+            return {
+                "/query": self._do_query,
+                "/prepare": self._do_prepare,
+                "/execute": self._do_execute,
+                "/insert": self._do_insert,
+                "/delete": self._do_delete,
+                "/refresh": self._do_refresh,
+                "/watch": self._do_watch,
+                "/unwatch": self._do_unwatch,
+            }.get(request.path)
+        if request.method == "GET" and request.path.startswith("/watch/"):
+            return self._do_poll
+        return None
+
+    def _run_handler(self, handler, state: _Connection, request: _Request):
+        """Executor-side wrapper: session admission + error mapping."""
+        try:
+            if state.session is None:
+                state.session = self.pool.acquire()
+            return handler(state, request)
+        except (PoolTimeoutError, PoolClosedError) as error:
+            self.rejected += 1
+            return 503, {"error": str(error)}
+        except BadRequest as error:
+            return 400, {"error": str(error)}
+        except (QueryError, UnknownRelationError, KeyError, ValueError) as error:
+            return 400, {"error": f"{type(error).__name__}: {error}"}
+        except Exception as error:  # pragma: no cover - defensive
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    # ------------------------------------------------------------------
+    # Handlers (run inside the executor, session leased)
+    # ------------------------------------------------------------------
+    def _do_query(self, state: _Connection, request: _Request):
+        sql = _field(request.payload, "sql", str)
+        params = _field(request.payload, "params", (dict, list), required=False)
+        engine = _field(request.payload, "engine", str, required=False)
+        outcome = state.session.sql(sql, engine=engine, params=params)
+        from repro.api.result import Result
+
+        if isinstance(outcome, Result):
+            payload = _result_payload(outcome)
+            payload["version"] = state.session.version
+            return 200, payload
+        return 200, _report_payload(outcome)
+
+    def _do_prepare(self, state: _Connection, request: _Request):
+        sql = _field(request.payload, "sql", str)
+        engine = _field(request.payload, "engine", str, required=False)
+        prepared = state.session.prepare(sql, engine=engine)
+        handle = state.handle("prep")
+        state.prepared[handle] = prepared
+        return 200, {"id": handle, "parameters": list(prepared.parameters)}
+
+    def _do_execute(self, state: _Connection, request: _Request):
+        handle = _field(request.payload, "id", str)
+        params = _field(request.payload, "params", (dict, list), required=False)
+        prepared = state.prepared.get(handle)
+        if prepared is None:
+            raise BadRequest(f"unknown prepared-query id {handle!r}")
+        if isinstance(params, list):
+            result = prepared.run(*params)
+        else:
+            result = prepared.run(**(params or {}))
+        payload = _result_payload(result)
+        payload["version"] = state.session.version
+        return 200, payload
+
+    def _do_insert(self, state: _Connection, request: _Request):
+        relation = _field(request.payload, "relation", str)
+        rows = _field(request.payload, "rows", list)
+        columns = _field(request.payload, "columns", list, required=False)
+        report = state.session.insert(
+            relation, [tuple(row) for row in rows], columns
+        )
+        return 200, _report_payload(report)
+
+    def _do_delete(self, state: _Connection, request: _Request):
+        relation = _field(request.payload, "relation", str)
+        rows = _field(request.payload, "rows", list, required=False)
+        everything = _field(request.payload, "all", bool, required=False)
+        if rows is None and not everything:
+            raise BadRequest("delete needs \"rows\" or \"all\": true")
+        report = state.session.delete(
+            relation, None if rows is None else [tuple(row) for row in rows]
+        )
+        return 200, _report_payload(report)
+
+    def _do_refresh(self, state: _Connection, request: _Request):
+        return 200, {"version": state.session.refresh()}
+
+    def _do_watch(self, state: _Connection, request: _Request):
+        sql = _field(request.payload, "sql", str)
+        engine = _field(request.payload, "engine", str, required=False)
+        live = state.session.watch(sql, engine=engine)
+        handle = state.handle("watch")
+        state.watches[handle] = live
+        payload = _result_payload(live.result)
+        payload.update(id=handle, version=state.session.version)
+        return 200, payload
+
+    def _do_poll(self, state: _Connection, request: _Request):
+        handle = request.path[len("/watch/"):]
+        live = state.watches.get(handle)
+        if live is None:
+            raise BadRequest(f"unknown watch id {handle!r}")
+        # Polling means "show me the freshest state": advance this
+        # connection's pin, then let the live view sync to it.
+        state.session.refresh()
+        payload = _result_payload(live.result)
+        payload.update(id=handle, version=state.session.version)
+        return 200, payload
+
+    def _do_unwatch(self, state: _Connection, request: _Request):
+        handle = _field(request.payload, "id", str)
+        if state.watches.pop(handle, None) is None:
+            raise BadRequest(f"unknown watch id {handle!r}")
+        return 200, {"id": handle, "removed": True}
+
+
+def serve(
+    database: Database,
+    host: str = "127.0.0.1",
+    port: int = 8128,
+    engine: str = "fdb",
+    pool_size: int = 8,
+    **options,
+) -> None:
+    """Serve ``database`` over HTTP in the foreground (blocks).
+
+    The one-call entry point::
+
+        from repro.server import serve
+        serve(database, port=8128, engine="fdb", pool_size=8)
+
+    For an embedded or test server use :class:`Server` directly
+    (``Server(db, port=0).start()`` binds an ephemeral port).
+    """
+    server = Server(
+        database, host=host, port=port, engine=engine, pool_size=pool_size,
+        **options,
+    )
+    print(f"repro server listening on {server.url} (pool={pool_size}, "
+          f"engine={engine!r}) — Ctrl-C to stop")
+    server.serve_forever()

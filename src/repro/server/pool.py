@@ -1,0 +1,259 @@
+"""Snapshot-isolated session multiplexing over one shared database.
+
+A :class:`SessionPool` owns one :class:`repro.database.Database` and
+hands out :class:`repro.api.session.Session` objects pinned to a
+snapshot of it.  Each lease observes one committed version for its
+whole lifetime (refreshing on demand), writers commit through the
+database's single writer lock, and the pool bounds admission: at most
+``size`` sessions are leased at once, further :meth:`acquire` calls
+queue (bounded by their timeout).
+
+Sessions return to the pool warm — their prepared engine backends and
+the pool-shared plan/result caches survive across leases, so a reused
+session forwards the change-log gap to its backends instead of
+reloading.  Idle sessions are reaped after ``idle_timeout`` seconds
+(their backends close for real), keeping a long-lived pool from
+pinning resources for traffic that has gone away.
+
+The pool is thread-safe; each *leased session* must be used by one
+thread at a time (the HTTP front-end guarantees this by processing a
+connection's requests sequentially).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.api.session import Session
+from repro.plan.cache import SessionCaches
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.api.engines import Engine
+    from repro.database import Database
+
+
+class PoolClosedError(RuntimeError):
+    """Raised when acquiring from a closed pool."""
+
+
+class PoolTimeoutError(TimeoutError):
+    """Raised when the admission queue wait exceeds the timeout."""
+
+
+class SessionPool:
+    """A bounded pool of snapshot-pinned sessions over one database.
+
+    Parameters
+    ----------
+    database:
+        the shared store every session reads (each at its own pin);
+    engine:
+        default engine name (or instance factory input) for pooled
+        sessions — ``engine_options`` are forwarded per session;
+    size:
+        max concurrently leased sessions (the admission bound);
+    acquire_timeout:
+        default seconds an :meth:`acquire` waits for a free slot
+        before raising :class:`PoolTimeoutError` (None = wait forever);
+    idle_timeout:
+        seconds a returned session may sit idle before it is destroyed
+        (its backends closed); ``None`` disables reaping;
+    plan_cache_size / result_cache_size:
+        capacities of the *pool-shared* cache pair.  Sharing is safe:
+        both caches validate per reader version (a result computed
+        under version v is never served to a session pinned earlier).
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        engine: "str | Engine" = "fdb",
+        size: int = 8,
+        acquire_timeout: "float | None" = 30.0,
+        idle_timeout: "float | None" = 300.0,
+        plan_cache_size: int = 128,
+        result_cache_size: int = 256,
+        **engine_options,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.database = database
+        self._engine = engine
+        self._engine_options = engine_options
+        self.size = size
+        self.acquire_timeout = acquire_timeout
+        self.idle_timeout = idle_timeout
+        self.caches = SessionCaches.sized(plan_cache_size, result_cache_size)
+        self._condition = threading.Condition()
+        self._idle: list[tuple[Session, float]] = []  # LIFO, (session, t)
+        self._leased: set[int] = set()
+        self._closed = False
+        self.created = 0
+        self.destroyed = 0
+        self.reaped = 0
+        self.timeouts = 0
+        self.leases = 0
+
+    # ------------------------------------------------------------------
+    # Leasing
+    # ------------------------------------------------------------------
+    def acquire(self, timeout: "float | None" = ...) -> Session:
+        """Lease a session pinned to the newest committed version.
+
+        Blocks while ``size`` sessions are already out, up to
+        ``timeout`` seconds (defaulting to the pool's
+        ``acquire_timeout``); a timed-out wait raises
+        :class:`PoolTimeoutError` — the bounded admission queue.  The
+        returned session is freshly pinned; call ``session.close()``
+        (or use it as a context manager) to return it.
+        """
+        if timeout is ...:
+            timeout = self.acquire_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while True:
+                if self._closed:
+                    raise PoolClosedError("the session pool is closed")
+                self._reap_locked()
+                if len(self._leased) < self.size:
+                    break
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    self.timeouts += 1
+                    raise PoolTimeoutError(
+                        f"no session became available within {timeout:.1f}s "
+                        f"({self.size} leased; the admission queue is full)"
+                    )
+                self._condition.wait(remaining)
+            if self._idle:
+                session, _ = self._idle.pop()
+            else:
+                session = self._create()
+            self._leased.add(id(session))
+            self.leases += 1
+        session._in_pool = False
+        session.refresh()  # pin to the newest committed version
+        return session
+
+    def release(self, session: Session) -> None:
+        """Return a leased session (``session.close()`` calls this).
+
+        The session keeps its prepared backends and drops only its pin,
+        so the change log can truncate past idle readers; a closed pool
+        (or an over-full idle list) destroys it instead.
+        """
+        session._in_pool = True
+        session._unpin()
+        with self._condition:
+            self._leased.discard(id(session))
+            if self._closed:
+                self._destroy(session)
+            else:
+                self._idle.append((session, time.monotonic()))
+                self._reap_locked()
+            self._condition.notify()
+
+    def _create(self) -> Session:
+        session = Session(
+            self.database.snapshot(),
+            engine=self._engine,
+            caches=self.caches,
+            **self._engine_options,
+        )
+        session._pool = self
+        self.created += 1
+        return session
+
+    def _destroy(self, session: Session) -> None:
+        session._pool = None  # close() must not bounce back to the pool
+        session._in_pool = False
+        session._destroy()
+        self.destroyed += 1
+
+    # ------------------------------------------------------------------
+    # Reaping and shutdown
+    # ------------------------------------------------------------------
+    def _reap_locked(self) -> None:
+        if self.idle_timeout is None or not self._idle:
+            return
+        cutoff = time.monotonic() - self.idle_timeout
+        kept: list[tuple[Session, float]] = []
+        for session, returned_at in self._idle:
+            if returned_at < cutoff:
+                self._destroy(session)
+                self.reaped += 1
+            else:
+                kept.append((session, returned_at))
+        self._idle = kept
+
+    def reap(self) -> int:
+        """Destroy idle-expired sessions now; returns how many died."""
+        with self._condition:
+            before = self.reaped
+            self._reap_locked()
+            return self.reaped - before
+
+    def close(self) -> None:
+        """Destroy idle sessions and refuse further leases; idempotent.
+
+        Sessions still leased are destroyed as they come back.
+        """
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            for session, _ in self._idle:
+                self._destroy(session)
+            self._idle.clear()
+            self._condition.notify_all()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def leased(self) -> int:
+        """Sessions currently out."""
+        return len(self._leased)
+
+    @property
+    def idle(self) -> int:
+        """Sessions parked and ready for the next lease."""
+        return len(self._idle)
+
+    def stats(self) -> dict:
+        """A JSON-able counters dict (served by the /stats endpoint)."""
+        with self._condition:
+            return {
+                "size": self.size,
+                "leased": len(self._leased),
+                "idle": len(self._idle),
+                "created": self.created,
+                "destroyed": self.destroyed,
+                "reaped": self.reaped,
+                "leases": self.leases,
+                "timeouts": self.timeouts,
+                "database_version": self.database.version,
+                "pinned_versions": self.database.pinned_versions(),
+                "caches": self.caches.describe(),
+            }
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"SessionPool(size={self.size}, leased={self.leased}, "
+            f"idle={self.idle}, {state})"
+        )

@@ -1,0 +1,147 @@
+"""HTTP round-trip tests: the asyncio front-end plus the thin client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import Client, Server, ServerError
+
+
+@pytest.fixture()
+def server(pizzeria):
+    with Server(pizzeria, port=0, pool_size=4, acquire_timeout=0.2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with Client(port=server.port) as c:
+        yield c
+
+
+def test_health_reports_version(pizzeria, server, client):
+    payload = client.health()
+    assert payload["status"] == "ok"
+    assert payload["version"] == pizzeria.version
+
+
+def test_select_round_trip(client):
+    result = client.query(
+        "SELECT customer, SUM(price) AS total FROM Orders, Pizzas, Items "
+        "WHERE Orders.pizza = Pizzas.pizza AND Pizzas.item = Items.item "
+        "GROUP BY customer"
+    )
+    assert result["columns"] == ["customer", "total"]
+    assert sorted(result["rows"]) == [
+        ["Lucia", 9], ["Mario", 22], ["Pietro", 9],
+    ]
+    assert result["engine"] == "FDB"
+    assert "version" in result
+
+
+def test_insert_then_requery_on_one_connection(client):
+    before = client.query("SELECT COUNT(*) AS n FROM Items")["rows"][0][0]
+    report = client.insert("Items", [("truffle", 9)])
+    assert report["inserted"] == 1
+    after = client.query("SELECT COUNT(*) AS n FROM Items")["rows"][0][0]
+    assert after == before + 1  # read-your-own-writes
+
+
+def test_sql_writes_through_query_endpoint(client):
+    report = client.query("INSERT INTO Items VALUES ('olives', 2)")
+    assert report["inserted"] == 1
+    rows = client.query(
+        "SELECT price FROM Items WHERE item = 'olives'"
+    )["rows"]
+    assert rows == [[2]]
+
+
+def test_connections_are_snapshot_isolated(server):
+    with Client(port=server.port) as reader, Client(port=server.port) as writer:
+        before = reader.query("SELECT COUNT(*) AS n FROM Items")["rows"]
+        writer.insert("Items", [("truffle", 9)])
+        # The reader's pin predates the commit: same answer.
+        assert reader.query("SELECT COUNT(*) AS n FROM Items")["rows"] == before
+        # Until it opts into the new version.
+        reader.refresh()
+        rows = reader.query("SELECT COUNT(*) AS n FROM Items")["rows"]
+        assert rows[0][0] == before[0][0] + 1
+
+
+def test_prepare_execute_with_parameters(client):
+    handle = client.prepare("SELECT price FROM Items WHERE item = :which")
+    assert client.execute(handle, {"which": "ham"})["rows"] == [[1]]
+    assert client.execute(handle, {"which": "base"})["rows"] == [[6]]
+
+
+def test_watch_poll_unwatch(client):
+    watch = client.watch("SELECT COUNT(*) AS n FROM Items")
+    assert watch["rows"] == [[4]]
+    client.insert("Items", [("truffle", 9)])
+    assert client.poll(watch["id"])["rows"] == [[5]]
+    client.unwatch(watch["id"])
+    with pytest.raises(ServerError) as excinfo:
+        client.poll(watch["id"])
+    assert excinfo.value.status == 400
+
+
+def test_delete_endpoint(client):
+    report = client.delete("Items", rows=[("pineapple", 2)])
+    assert report["deleted"] == 1
+    rows = client.query("SELECT COUNT(*) AS n FROM Items")["rows"]
+    assert rows == [[3]]
+
+
+def test_error_mapping(client):
+    with pytest.raises(ServerError) as bad_sql:
+        client.query("SELEKT nope")
+    assert bad_sql.value.status == 400
+
+    with pytest.raises(ServerError) as bad_handle:
+        client.execute("prep-does-not-exist")
+    assert bad_handle.value.status == 400
+
+    with pytest.raises(ServerError) as bad_route:
+        client._request("POST", "/no-such-endpoint", {})
+    assert bad_route.value.status == 404
+
+    with pytest.raises(ServerError) as bad_body:
+        client._request("POST", "/query", {"not-sql": 1})
+    assert bad_body.value.status == 400
+
+
+def test_pool_exhaustion_maps_to_503(server):
+    holders = [Client(port=server.port) for _ in range(server.pool.size)]
+    try:
+        for holder in holders:
+            holder.query("SELECT COUNT(*) AS n FROM Items")
+        overflow = Client(port=server.port)
+        with pytest.raises(ServerError) as excinfo:
+            overflow.query("SELECT COUNT(*) AS n FROM Items")
+        assert excinfo.value.status == 503
+        overflow.close()
+    finally:
+        for holder in holders:
+            holder.close()
+
+
+def test_stats_endpoint(client):
+    client.query("SELECT COUNT(*) AS n FROM Items")
+    stats = client.stats()
+    assert stats["requests"] >= 1
+    assert stats["size"] == 4
+    assert "caches" in stats
+
+
+def test_server_restores_pins_on_disconnect(pizzeria, server):
+    with Client(port=server.port) as c:
+        c.query("SELECT COUNT(*) AS n FROM Items")
+        assert pizzeria.pinned_versions() == [pizzeria.version]
+    # Connection closed -> session parked -> pin released (eventually;
+    # the server handles the disconnect asynchronously).
+    import time
+
+    deadline = time.monotonic() + 5
+    while pizzeria.pinned_versions() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert pizzeria.pinned_versions() == []

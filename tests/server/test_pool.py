@@ -1,0 +1,150 @@
+"""SessionPool lifecycle: leasing, warm reuse, admission, reaping."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.session import SessionClosedError
+from repro.server import PoolClosedError, PoolTimeoutError, SessionPool
+
+
+def test_acquire_release_reuses_the_session(pizzeria):
+    pool = SessionPool(pizzeria, size=2)
+    session = pool.acquire()
+    assert pool.leased == 1
+    first_id = id(session)
+    session.close()
+    assert pool.leased == 0 and pool.idle == 1
+
+    again = pool.acquire()
+    assert id(again) == first_id  # warm reuse, not a rebuild
+    assert pool.created == 1
+    again.close()
+    pool.close()
+
+
+def test_pool_owned_close_returns_instead_of_destroying(pizzeria):
+    """Satellite: close() on a pooled session parks it, backends alive."""
+    pool = SessionPool(pizzeria, size=2)
+    session = pool.acquire()
+    session.sql("SELECT COUNT(*) AS n FROM Items")  # warms a backend
+    backends = dict(session._engines)
+    session.close()
+
+    assert pool.destroyed == 0
+    assert not session.closed  # parked, not destroyed
+    with pytest.raises(SessionClosedError):
+        session.sql("SELECT COUNT(*) AS n FROM Items")  # but unusable
+
+    again = pool.acquire()
+    assert dict(again._engines) == backends  # backends survived the park
+    again.close()
+    pool.close()
+
+
+def test_leased_sessions_are_pinned_idle_sessions_are_not(pizzeria):
+    pool = SessionPool(pizzeria, size=2)
+    session = pool.acquire()
+    assert session.pinned_version == pizzeria.version
+    assert pizzeria.pinned_versions() == [pizzeria.version]
+    session.close()
+    # Parked sessions drop their pin so the change log can truncate.
+    assert pizzeria.pinned_versions() == []
+    pool.close()
+
+
+def test_acquire_pins_the_newest_version(pizzeria):
+    pool = SessionPool(pizzeria, size=2)
+    first = pool.acquire()
+    v = first.version
+    first.close()
+    pizzeria.insert("Items", [("truffle", 9)])
+    second = pool.acquire()
+    assert second.version == v + 1
+    second.close()
+    pool.close()
+
+
+def test_bounded_admission_times_out(pizzeria):
+    pool = SessionPool(pizzeria, size=1, acquire_timeout=0.05)
+    held = pool.acquire()
+    with pytest.raises(PoolTimeoutError):
+        pool.acquire()
+    assert pool.timeouts == 1
+    held.close()
+    pool.close()
+
+
+def test_release_unblocks_a_waiting_acquire(pizzeria):
+    pool = SessionPool(pizzeria, size=1)
+    held = pool.acquire()
+    got = []
+
+    def waiter():
+        session = pool.acquire(timeout=5)
+        got.append(session)
+        session.close()
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    held.close()
+    thread.join(timeout=5)
+    assert not thread.is_alive() and len(got) == 1
+    pool.close()
+
+
+def test_idle_reaping_destroys_expired_sessions(pizzeria):
+    import time
+
+    pool = SessionPool(pizzeria, size=2, idle_timeout=0.01)
+    session = pool.acquire()
+    session.close()
+    time.sleep(0.05)
+    assert pool.reap() == 1
+    assert pool.idle == 0 and pool.destroyed == 1
+    pool.close()
+
+
+def test_closed_pool_refuses_leases_and_destroys_returns(pizzeria):
+    pool = SessionPool(pizzeria, size=2)
+    leased = pool.acquire()
+    pool.close()
+    with pytest.raises(PoolClosedError):
+        pool.acquire()
+    leased.close()  # comes back to a closed pool -> destroyed
+    assert pool.destroyed == 1 and pool.idle == 0
+    assert pizzeria.pinned_versions() == []
+
+
+def test_shared_caches_respect_each_readers_pin(pizzeria):
+    """Two pooled sessions at different pins share one result cache."""
+    pool = SessionPool(pizzeria, size=2, engine="fdb")
+    old = pool.acquire()
+    n_old = old.sql("SELECT COUNT(*) AS n FROM Items").rows[0][0]
+
+    pizzeria.insert("Items", [("truffle", 9)])
+    new = pool.acquire()
+    assert new.version == old.version + 1
+    n_new = new.sql("SELECT COUNT(*) AS n FROM Items").rows[0][0]
+    assert n_new == n_old + 1
+
+    # Re-reading through the old pin must not pick up the newer
+    # session's cached result.
+    assert old.sql("SELECT COUNT(*) AS n FROM Items").rows[0][0] == n_old
+    old.close()
+    new.close()
+    pool.close()
+
+
+def test_stats_are_json_able(pizzeria):
+    import json
+
+    pool = SessionPool(pizzeria, size=2)
+    session = pool.acquire()
+    session.sql("SELECT COUNT(*) AS n FROM Items")
+    payload = json.dumps(pool.stats())
+    assert "database_version" in payload
+    session.close()
+    pool.close()

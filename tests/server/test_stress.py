@@ -1,0 +1,206 @@
+"""Seeded multi-threaded stress: concurrent writer vs pinned readers.
+
+One writer thread commits a deterministic sequence of single-change
+mutations; reader threads continuously take snapshots and check
+**prefix consistency**: a snapshot at version ``v`` must show exactly
+the state after the first ``v - v0`` commits — across *both* relations
+(no torn reads) — and the change log it replays must be gap-free (no
+skipped entries).  The commit schedule is seeded, so a failure replays
+exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.database import Database
+from repro.relational.relation import Relation
+
+SEED = 20130807
+WRITES = 120
+READERS = 4
+
+
+def _build() -> "tuple[Database, list[tuple[frozenset, frozenset]], list]":
+    """The database plus the expected (A-rows, B-rows) state per version.
+
+    The writer's schedule is precomputed with a seeded RNG: each step
+    inserts one row into A or B (deterministically chosen), and
+    ``expected[i]`` is the exact state a snapshot at ``v0 + i`` must
+    observe.
+    """
+    db = Database()
+    db.add_relation(Relation(("k", "v"), [(0, 0)], "A"))
+    db.add_relation(Relation(("k", "v"), [(0, 0)], "B"))
+
+    rng = random.Random(SEED)
+    rows_a = {(0, 0)}
+    rows_b = {(0, 0)}
+    expected = [(frozenset(rows_a), frozenset(rows_b))]
+    schedule = []
+    for step in range(1, WRITES + 1):
+        target = "A" if rng.random() < 0.5 else "B"
+        row = (step, rng.randrange(1000))
+        schedule.append((target, row))
+        (rows_a if target == "A" else rows_b).add(row)
+        expected.append((frozenset(rows_a), frozenset(rows_b)))
+    return db, expected, schedule
+
+
+def test_concurrent_readers_see_prefix_consistent_states():
+    db, expected, schedule = _build()
+    base_version = db.version
+    failures: list[str] = []
+    stop = threading.Event()
+
+    def writer() -> None:
+        try:
+            for target, row in schedule:
+                db.insert(target, [row])
+        finally:
+            stop.set()
+
+    def reader(index: int) -> None:
+        checks = 0
+        while not (stop.is_set() and checks > 0):
+            snap = db.snapshot()
+            try:
+                offset = snap.version - base_version
+                if not 0 <= offset < len(expected):
+                    failures.append(
+                        f"reader {index}: version {snap.version} outside "
+                        f"the committed range"
+                    )
+                    return
+                want_a, want_b = expected[offset]
+                got_a = frozenset(snap.flat("A").rows)
+                got_b = frozenset(snap.flat("B").rows)
+                # Torn-read check: both relations must match the same
+                # prefix of the commit sequence.
+                if got_a != want_a or got_b != want_b:
+                    failures.append(
+                        f"reader {index}: snapshot v{snap.version} saw "
+                        f"A±{len(got_a ^ want_a)} B±{len(got_b ^ want_b)} "
+                        f"rows off the expected state"
+                    )
+                    return
+                # Skipped-entry check: the replayable log up to the pin
+                # must be gap-free and stop exactly at the pin.
+                records = snap.changes_since(base_version)
+                if records is not None:
+                    versions = [record.version for record in records]
+                    if versions != list(
+                        range(base_version + 1, snap.version + 1)
+                    ):
+                        failures.append(
+                            f"reader {index}: change log {versions} has "
+                            f"gaps up to v{snap.version}"
+                        )
+                        return
+                checks += 1
+            finally:
+                snap.release()
+        assert checks > 0
+
+    threads = [threading.Thread(target=writer)]
+    threads += [
+        threading.Thread(target=reader, args=(i,)) for i in range(READERS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "stress thread hung"
+
+    assert not failures, failures[0]
+    assert db.version == base_version + WRITES
+    final_a, final_b = expected[-1]
+    assert frozenset(db.flat("A").rows) == final_a
+    assert frozenset(db.flat("B").rows) == final_b
+    assert db.pinned_versions() == []
+
+
+def test_concurrent_writers_serialise_without_lost_updates():
+    """Two writer threads interleave; every commit lands exactly once."""
+    db = Database()
+    db.add_relation(Relation(("k", "v"), [], "A"))
+    base_version = db.version
+    per_writer = 60
+
+    def writer(tag: int) -> None:
+        for step in range(per_writer):
+            db.insert("A", [(tag * 10_000 + step, tag)])
+
+    threads = [
+        threading.Thread(target=writer, args=(tag,)) for tag in (1, 2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive(), "writer thread hung"
+
+    assert db.version == base_version + 2 * per_writer
+    rows = db.flat("A").rows
+    assert len(rows) == 2 * per_writer  # nothing lost, nothing doubled
+    # The log is one gap-free serialisation of both writers.
+    records = db.changes_since(base_version)
+    assert [r.version for r in records] == list(
+        range(base_version + 1, db.version + 1)
+    )
+
+
+def test_pooled_readers_under_mutation_load(pizzeria):
+    """Pool + HTTP-free stress: sessions lease, read, and refresh while
+    a writer mutates — every read is internally consistent."""
+    from repro.server import SessionPool
+
+    pool = SessionPool(pizzeria, size=4, engine="fdb")
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def writer() -> None:
+        try:
+            for step in range(40):
+                pizzeria.insert("Items", [(f"stress-{step}", step % 7)])
+        finally:
+            stop.set()
+
+    def reader(index: int) -> None:
+        rng = random.Random(SEED + index)
+        while not stop.is_set():
+            session = pool.acquire()
+            try:
+                first = session.sql("SELECT COUNT(*) AS n FROM Items")
+                second = session.sql("SELECT COUNT(*) AS n FROM Items")
+                # Same pin, same answer — even while the writer commits.
+                if first.rows != second.rows:
+                    failures.append(
+                        f"reader {index}: unstable read at "
+                        f"v{session.version}: {first.rows} != {second.rows}"
+                    )
+                    return
+                if rng.random() < 0.3:
+                    session.refresh()
+                    third = session.sql("SELECT COUNT(*) AS n FROM Items")
+                    if third.rows[0][0] < first.rows[0][0]:
+                        failures.append(
+                            f"reader {index}: refresh went backwards"
+                        )
+                        return
+            finally:
+                session.close()
+
+    threads = [threading.Thread(target=writer)]
+    threads += [
+        threading.Thread(target=reader, args=(i,)) for i in range(3)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "stress thread hung"
+
+    assert not failures, failures[0]
+    pool.close()

@@ -20,6 +20,11 @@ Commands
     Boot the concurrent HTTP/JSON server over the generated workload
     database (``--port``, ``--pool-size``, ``--engine``); see
     :mod:`repro.server`.
+``analyze``
+    Run the static-analysis suite: the repo-specific linter over the
+    source tree plus semantic verification of every registered view
+    and the FULL_WORKLOAD plan corpus (``--json`` writes the findings
+    report); see :mod:`repro.analysis`.
 """
 
 from __future__ import annotations
@@ -143,6 +148,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_analyze
+
+    return run_analyze(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +216,13 @@ def main(argv: list[str] | None = None) -> int:
         help="engine pooled sessions run on (default: fdb)",
     )
 
+    analyze_cmd = sub.add_parser(
+        "analyze", help="lint the source tree and verify views/plans"
+    )
+    from repro.analysis.cli import add_arguments as add_analyze_arguments
+
+    add_analyze_arguments(analyze_cmd)
+
     args = parser.parse_args(argv)
     handlers = {
         "experiments": cmd_experiments,
@@ -213,6 +231,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": cmd_explain,
         "advise": cmd_advise,
         "serve": cmd_serve,
+        "analyze": cmd_analyze,
     }
     return handlers[args.command](args)
 

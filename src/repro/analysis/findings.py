@@ -1,0 +1,169 @@
+"""The common findings model shared by the verifier and the linter.
+
+Every check in :mod:`repro.analysis` — f-tree invariants, f-plan
+operator conditions, expression type checks, and the ``ast``-based code
+lints — reports problems as :class:`Finding` records.  A finding names
+the violated invariant (``rule``), says what went wrong (``message``),
+and anchors the problem either in source code (``file``/``line``, the
+linter) or on a named object (``subject``, the verifier: a view, a
+query, a plan step).
+
+Findings aggregate into a :class:`Report` with one JSON shape::
+
+    {"version": 1,
+     "findings": [{"rule": ..., "severity": ..., "message": ...,
+                   "file": ..., "line": ..., "subject": ...,
+                   "source": "lint" | "verify"}, ...],
+     "summary": {"errors": N, "warnings": M, "rules": {...}}}
+
+Lint findings can be silenced in place with a suppression comment on
+the flagged line or the line directly above it::
+
+    self._cache[key] = value  # repro: allow[lock-discipline]
+    # repro: allow[cow-mutation] -- fresh copy, never published
+    relation.rows.extend(batch)
+
+``allow[*]`` silences every rule on that line.  Verifier findings have
+no source location, so they cannot be suppressed — fix the plan.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Finding severities, most severe first.  ``error`` findings fail the
+#: CI gate and (behind ``verify=True``) abort query preparation;
+#: ``warning`` findings are reported but do not fail anything.
+SEVERITIES = ("error", "warning")
+
+_SUPPRESSION = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a violated invariant and where it was violated."""
+
+    rule: str
+    message: str
+    severity: str = "error"
+    file: str | None = None
+    line: int | None = None
+    subject: str | None = None
+    source: str = "verify"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "subject": self.subject,
+            "source": self.source,
+        }
+
+    def describe(self) -> str:
+        """One human-readable line: ``location: [rule] message``."""
+        if self.file is not None:
+            location = f"{self.file}:{self.line}"
+        elif self.subject is not None:
+            location = self.subject
+        else:
+            location = "<unlocated>"
+        return f"{location}: {self.severity}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Report:
+    """A batch of findings with the canonical JSON serialisation."""
+
+    findings: list[Finding]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing error-severity was found."""
+        return not self.errors
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def to_dict(self) -> dict:
+        rules: dict[str, int] = {}
+        for finding in self.findings:
+            rules[finding.rule] = rules.get(finding.rule, 0) + 1
+        return {
+            "version": 1,
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "rules": dict(sorted(rules.items())),
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def describe(self) -> str:
+        if not self.findings:
+            return "no findings"
+        lines = [f.describe() for f in self.findings]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+def suppressed_rules(source: str) -> dict[int, set[str]]:
+    """Per-line suppression sets parsed from ``# repro: allow[...]``.
+
+    A suppression comment covers its own line; a line holding *only*
+    the comment also covers the next line (the idiomatic place to
+    justify why a rule does not apply).  Returns a mapping of line
+    numbers (1-based, matching :attr:`Finding.line`) to suppressed rule
+    names, with ``"*"`` meaning "every rule".
+    """
+    table: dict[int, set[str]] = {}
+    lines = source.splitlines()
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESSION.search(text)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        rules.discard("")
+        table.setdefault(number, set()).update(rules)
+        if text.lstrip().startswith("#"):
+            # A standalone comment covers the code line it introduces,
+            # skipping over the rest of its own comment block.
+            follow = number
+            while follow < len(lines) and lines[follow].lstrip().startswith("#"):
+                follow += 1
+            table.setdefault(follow + 1, set()).update(rules)
+    return table
+
+
+def is_suppressed(
+    finding: Finding, suppressions: dict[int, set[str]]
+) -> bool:
+    """Whether a (line-anchored) finding is silenced by a comment."""
+    if finding.line is None:
+        return False
+    rules = suppressions.get(finding.line, ())
+    return "*" in rules or finding.rule in rules

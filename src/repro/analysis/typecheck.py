@@ -1,0 +1,274 @@
+"""Prepare-time type checking of queries against catalogue schemas.
+
+The catalogue stores no column types — relations are tuples of Python
+values — so the checker first *infers* a type lattice per visible
+column by sampling rows (``number`` | ``text`` | ``mixed`` |
+``unknown``), then checks every expression the query evaluates:
+
+- arithmetic (``BinOp``/``Neg``) applies to numeric operands only —
+  a ``text`` column inside ``price * 2`` fails at prepare time instead
+  of raising ``TypeError`` deep inside the evaluator;
+- aggregate arguments: ``sum``/``avg`` need numeric inputs; ``min``/
+  ``max`` over a ``mixed`` column cannot be ordered consistently;
+- comparisons between a column and a literal of a different type are
+  flagged (*warning*: SQL semantics make them merely always-false);
+- ``Param`` placeholders get a *slot type* from every use site (the
+  compared column's type, or ``number`` inside arithmetic); two uses
+  demanding conflicting types is an error no binding can satisfy.
+
+Rules: ``type/unknown-relation``, ``type/unknown-attribute``,
+``type/arithmetic``, ``type/aggregate-argument``,
+``type/comparison`` (warning), ``type/param-conflict``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.analysis.findings import Finding
+from repro.expr import Attr, BinOp, Const, Expr, Neg, Param
+from repro.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.database import Database
+
+NUMBER = "number"
+TEXT = "text"
+MIXED = "mixed"
+UNKNOWN = "unknown"
+
+#: How many rows per relation the inference pass samples.
+SAMPLE_ROWS = 200
+
+
+def _value_type(value: Any) -> str:
+    if isinstance(value, bool):
+        return UNKNOWN
+    if isinstance(value, (int, float)):
+        return NUMBER
+    if isinstance(value, str):
+        return TEXT
+    return UNKNOWN
+
+
+def _join(first: str, second: str) -> str:
+    if first == UNKNOWN:
+        return second
+    if second == UNKNOWN or first == second:
+        return first
+    return MIXED
+
+
+def infer_column_types(
+    database: "Database", relations: tuple[str, ...]
+) -> dict[str, str]:
+    """Per-attribute types sampled from the referenced relations.
+
+    Natural-join name collisions resolve to the first relation exposing
+    the attribute — the same visibility rule the query builder applies.
+    Unknown relations are skipped here; :func:`check_query_types`
+    reports them.
+    """
+    types: dict[str, str] = {}
+    for name in relations:
+        try:
+            relation = database.flat(name)
+        except Exception:
+            continue
+        for position, attribute in enumerate(relation.schema):
+            if attribute in types:
+                continue
+            seen = UNKNOWN
+            for row in relation.rows[:SAMPLE_ROWS]:
+                value = row[position]
+                if value is None:
+                    continue
+                seen = _join(seen, _value_type(value))
+                if seen == MIXED:
+                    break
+            types[attribute] = seen
+    return types
+
+
+class _Checker:
+    def __init__(
+        self,
+        query: Query,
+        types: Mapping[str, str],
+        subject: str | None,
+    ) -> None:
+        self.query = query
+        self.types = types
+        self.subject = subject
+        self.findings: list[Finding] = []
+        self.param_slots: dict[str, tuple[str, str]] = {}
+        self.known = set(types)
+        self.aliases = {spec.alias for spec in query.aggregates}
+        self.aliases.update(column.alias for column in query.computed)
+
+    def finding(
+        self, rule: str, message: str, severity: str = "error"
+    ) -> None:
+        self.findings.append(
+            Finding(rule, message, severity=severity, subject=self.subject)
+        )
+
+    # -- attribute and expression typing --------------------------------
+    def attr_type(self, name: str, where: str) -> str:
+        if name not in self.known:
+            if name not in self.aliases:
+                self.finding(
+                    "type/unknown-attribute",
+                    f"{where} references unknown attribute {name!r}",
+                )
+            return UNKNOWN
+        return self.types.get(name, UNKNOWN)
+
+    def bind_param(self, name: str, slot: str, where: str) -> None:
+        if slot == UNKNOWN:
+            return
+        previous = self.param_slots.get(name)
+        if previous is None:
+            self.param_slots[name] = (slot, where)
+        elif previous[0] != slot:
+            self.finding(
+                "type/param-conflict",
+                f"parameter :{name} needs type {slot} in {where} but "
+                f"type {previous[0]} in {previous[1]}; no binding can "
+                "satisfy both",
+            )
+
+    def expr_type(self, expr: Expr, where: str, numeric: bool = False) -> str:
+        """Type of ``expr``; ``numeric`` marks an arithmetic context."""
+        if isinstance(expr, Const):
+            return _value_type(expr.value)
+        if isinstance(expr, Param):
+            if numeric:
+                self.bind_param(expr.name, NUMBER, where)
+            return NUMBER if numeric else UNKNOWN
+        if isinstance(expr, Attr):
+            kind = self.attr_type(expr.name, where)
+            if numeric and kind in (TEXT, MIXED):
+                self.finding(
+                    "type/arithmetic",
+                    f"{where} uses attribute {expr.name!r} of type "
+                    f"{kind} in arithmetic; operands must be numeric",
+                )
+            return kind
+        if isinstance(expr, Neg):
+            self.expr_type(expr.operand, where, numeric=True)
+            return NUMBER
+        if isinstance(expr, BinOp):
+            self.expr_type(expr.left, where, numeric=True)
+            self.expr_type(expr.right, where, numeric=True)
+            return NUMBER
+        return UNKNOWN
+
+    # -- query clause checks --------------------------------------------
+    def check(self) -> list[Finding]:
+        query = self.query
+        for column in query.computed:
+            self.expr_type(
+                column.expression, f"computed column {column.alias!r}"
+            )
+        for spec in query.aggregates:
+            self.check_aggregate(spec)
+        for comparison in query.comparisons:
+            self.check_comparison(comparison)
+        for attribute in query.group_by:
+            self.attr_type(attribute, "GROUP BY")
+        for attribute in query.projection or ():
+            self.attr_type(attribute, "projection")
+        return self.findings
+
+    def check_aggregate(self, spec) -> None:
+        where = f"aggregate {spec}"
+        target = spec.attribute
+        if target is None:
+            return
+        if isinstance(target, Expr):
+            # Expression arguments are arithmetic throughout.
+            self.expr_type(target, where, numeric=True)
+            return
+        kind = self.attr_type(target, where)
+        if spec.function in ("sum", "avg") and kind in (TEXT, MIXED):
+            self.finding(
+                "type/aggregate-argument",
+                f"{where} needs a numeric argument, but {target!r} "
+                f"has type {kind}",
+            )
+        elif spec.function in ("min", "max") and kind == MIXED:
+            self.finding(
+                "type/aggregate-argument",
+                f"{where} cannot order attribute {target!r} of mixed "
+                "type consistently",
+            )
+
+    def check_comparison(self, comparison) -> None:
+        where = f"condition {comparison}"
+        value = comparison.value
+        if comparison.is_expression:
+            left = self.expr_type(comparison.attribute, where)
+        else:
+            left = self.attr_type(comparison.attribute, where)
+        if isinstance(value, Param):
+            self.bind_param(value.name, left, where)
+            return
+        if isinstance(value, Expr):
+            self.expr_type(value, where)
+            return
+        right = _value_type(value)
+        if (
+            left in (NUMBER, TEXT)
+            and right in (NUMBER, TEXT)
+            and left != right
+        ):
+            self.finding(
+                "type/comparison",
+                f"{where} compares a {left} operand with a {right} "
+                "literal; the comparison can never hold",
+                severity="warning",
+            )
+
+
+def check_query_types(
+    query: Query,
+    database: "Database",
+    *,
+    subject: str | None = None,
+) -> list[Finding]:
+    """Type-check every expression ``query`` evaluates.
+
+    Returns findings (see the module docstring's rule catalogue); an
+    empty list means the query is well-typed against the current
+    catalogue samples.
+    """
+    findings: list[Finding] = []
+    known: list[str] = []
+    for name in query.relations:
+        try:
+            database.schema(name)
+        except Exception:
+            findings.append(
+                Finding(
+                    "type/unknown-relation",
+                    f"query references unknown relation {name!r}",
+                    subject=subject,
+                )
+            )
+        else:
+            known.append(name)
+    types = infer_column_types(database, tuple(known))
+    checker = _Checker(query, types, subject)
+    findings.extend(checker.check())
+    return findings
+
+
+def param_slots(
+    query: Query, database: "Database"
+) -> dict[str, str]:
+    """The inferred slot type per ``Param`` name (diagnostic helper)."""
+    types = infer_column_types(database, tuple(query.relations))
+    checker = _Checker(query, types, None)
+    checker.check()
+    return {name: slot for name, (slot, _) in checker.param_slots.items()}

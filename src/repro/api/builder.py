@@ -52,6 +52,9 @@ from repro.api.util import suggest as _suggest
 from repro.relational.sort import SortKey
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from typing import Mapping
+
+    from repro.api.engines import Engine
     from repro.api.result import Result
     from repro.api.session import Session
     from repro.plan.prepared import PreparedQuery
@@ -329,7 +332,9 @@ class QueryBuilder:
     # ------------------------------------------------------------------
     # Ordering and limit
     # ------------------------------------------------------------------
-    def order_by(self, *keys, desc: bool = False) -> "QueryBuilder":
+    def order_by(
+        self, *keys: "str | tuple[str, str] | SortKey", desc: bool = False
+    ) -> "QueryBuilder":
         """Order the output; ``desc=True`` flips every key of this call.
 
         Keys may be attribute names, ``(attribute, "desc")`` pairs, or
@@ -414,7 +419,11 @@ class QueryBuilder:
 
         return query_to_sql(self.to_query())
 
-    def run(self, engine=None, params=None) -> "Result":
+    def run(
+        self,
+        engine: "str | Engine | None" = None,
+        params: "Mapping[str, Any] | None" = None,
+    ) -> "Result":
         """Execute through the session; ``engine`` overrides the default.
 
         ``params`` binds :func:`repro.param` placeholders for one-shot
@@ -425,12 +434,12 @@ class QueryBuilder:
 
     execute = run
 
-    def prepare(self, engine=None) -> "PreparedQuery":
+    def prepare(self, engine: "str | Engine | None" = None) -> "PreparedQuery":
         """Compile once; returns a reusable
         :class:`repro.plan.prepared.PreparedQuery` handle."""
         return self._session.prepare(self, engine=engine)
 
-    def explain(self, engine=None) -> str:
+    def explain(self, engine: "str | Engine | None" = None) -> str:
         """The chosen engine's explain text, without executing."""
         return self._session.explain(self, engine=engine)
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import sqlite3
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from repro.core.engine import FactorisedResult, FDBCompiled, FDBEngine
 from repro.query import Query
@@ -42,7 +42,7 @@ from repro.sql.generator import query_to_sql
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.fplan import ExecutionTrace, FPlan
-    from repro.database import Database
+    from repro.database import Database, LogRecord
 
 
 @dataclass
@@ -104,7 +104,9 @@ class Engine(ABC):
         """
         return self.run(query, database)
 
-    def forward(self, records, database: "Database") -> bool:
+    def forward(
+        self, records: "Iterable[LogRecord]", database: "Database"
+    ) -> bool:
         """Absorb logged mutations into prepared state.
 
         ``records`` are :class:`repro.database.LogRecord` entries newer
@@ -151,7 +153,11 @@ class FDBBackend(Engine):
         return self._engine.compile(query, database)
 
     def run_planned(
-        self, artifact, query: Query, database: "Database", params=None
+        self,
+        artifact: Any,
+        query: Query,
+        database: "Database",
+        params: "Mapping[str, Any] | None" = None,
     ) -> EngineRun:
         if not isinstance(artifact, FDBCompiled):
             return self.run(query, database)
@@ -162,7 +168,9 @@ class FDBBackend(Engine):
     def explain(self, query: Query, database: "Database") -> str:
         return self._engine.explain(query, database)
 
-    def forward(self, records, database: "Database") -> bool:
+    def forward(
+        self, records: "Iterable[LogRecord]", database: "Database"
+    ) -> bool:
         # FDB holds no prepared copy: every run reads the (maintained)
         # factorisations and flat relations from the database.
         return True
@@ -193,11 +201,17 @@ class RDBBackend(Engine):
         return RDBPlan(self._pipeline(query))
 
     def run_planned(
-        self, artifact, query: Query, database: "Database", params=None
+        self,
+        artifact: Any,
+        query: Query,
+        database: "Database",
+        params: "Mapping[str, Any] | None" = None,
     ) -> EngineRun:
         return self.run(query, database)
 
-    def forward(self, records, database: "Database") -> bool:
+    def forward(
+        self, records: "Iterable[LogRecord]", database: "Database"
+    ) -> bool:
         # The flat baseline re-reads database.flat() per run (stale flat
         # copies of maintained views refresh lazily there).
         return True
@@ -294,7 +308,9 @@ class SQLiteBackend(Engine):
             self._database = database
         return self._connection
 
-    def forward(self, records, database: "Database") -> bool:
+    def forward(
+        self, records: "Iterable[LogRecord]", database: "Database"
+    ) -> bool:
         """Replay logged row deltas on the live connection.
 
         Base changes and the exact per-view deltas the maintenance
@@ -358,7 +374,11 @@ class SQLiteBackend(Engine):
         return query_to_sql(query)
 
     def run_planned(
-        self, artifact, query: Query, database: "Database", params=None
+        self,
+        artifact: Any,
+        query: Query,
+        database: "Database",
+        params: "Mapping[str, Any] | None" = None,
     ) -> EngineRun:
         if not isinstance(artifact, str):
             return self.run(query, database)

@@ -124,6 +124,13 @@ class Session:
         retain their own compiled plan);
     plan_cache_size / result_cache_size:
         LRU capacities of the two caches (0 disables one cache);
+    verify:
+        ``True`` runs the :mod:`repro.analysis` plan verifier over
+        every freshly compiled artifact — f-tree invariants, f-plan
+        operator conditions, expression types — and raises
+        :class:`~repro.analysis.verifier.PlanVerificationError` at
+        *prepare* time when an invariant is violated (cache hits were
+        verified when stored and are not re-checked);
     engine_options:
         forwarded to the registry factory of the default engine
         (e.g. ``optimizer="exhaustive"`` for FDB, or the
@@ -144,6 +151,7 @@ class Session:
         plan_cache_size: int = 128,
         result_cache_size: int = 256,
         caches: "SessionCaches | None" = None,
+        verify: bool = False,
         **engine_options,
     ) -> None:
         # A session over a Snapshot is a pinned (snapshot-isolated)
@@ -157,6 +165,7 @@ class Session:
             self._origin = database
             self._snapshot = None
         self.database = database
+        self.verify = verify
         self._default_engine: "str | Engine" = engine
         self._default_options = engine_options
         self._engines: dict = {}
@@ -191,7 +200,13 @@ class Session:
         self._check_relations(relations)
         return QueryBuilder(self, tuple(relations))
 
-    def sql(self, text: str, engine=None, name: str = "", params=None):
+    def sql(
+        self,
+        text: str,
+        engine: "str | Engine | None" = None,
+        name: str = "",
+        params: "Mapping[str, Any] | Sequence[Any] | None" = None,
+    ) -> "Result | ApplyReport":
         """Parse a SQL string and execute it.
 
         SELECT statements run through the chosen engine and return a
@@ -217,7 +232,9 @@ class Session:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def prepare(self, query: Queryish, engine=None) -> PreparedQuery:
+    def prepare(
+        self, query: Queryish, engine: "str | Engine | None" = None
+    ) -> PreparedQuery:
         """Plan a query once; run it many times with fresh bindings.
 
         Returns a :class:`repro.plan.prepared.PreparedQuery` whose
@@ -230,7 +247,12 @@ class Session:
         self._ensure_open()
         return PreparedQuery(self, self._coerce(query), engine=engine)
 
-    def execute(self, query: Queryish, engine=None, params=None) -> Result:
+    def execute(
+        self,
+        query: Queryish,
+        engine: "str | Engine | None" = None,
+        params: "Mapping[str, Any] | Sequence[Any] | None" = None,
+    ) -> Result:
         """Run a query (builder, AST, or SQL text); returns a Result.
 
         A thin prepare-then-run wrapper: repeated structurally
@@ -254,7 +276,7 @@ class Session:
             f"of positional values, got {type(params).__name__}"
         )
 
-    def explain(self, query: Queryish, engine=None) -> str:
+    def explain(self, query: Queryish, engine: "str | Engine | None" = None) -> str:
         """Describe the chosen engine's plan without executing."""
         self._ensure_open()
         lowered = self._coerce(query)
@@ -271,7 +293,9 @@ class Session:
 
     def with_engine(self, engine: "str | Engine", **engine_options) -> "Session":
         """A new session over the same database with another default."""
-        return Session(self.database, engine=engine, **engine_options)
+        return Session(
+            self.database, engine=engine, verify=self.verify, **engine_options
+        )
 
     @staticmethod
     def engines() -> tuple[str, ...]:
@@ -496,7 +520,9 @@ class Session:
         self._sync_pin()
         return report
 
-    def watch(self, query: Queryish, engine=None) -> "LiveView":
+    def watch(
+        self, query: Queryish, engine: "str | Engine | None" = None
+    ) -> "LiveView":
         """A maintained result that stays fresh under mutations."""
         from repro.ivm.view import LiveView
 
@@ -572,6 +598,7 @@ def connect(
     cache: bool = True,
     plan_cache_size: int = 128,
     result_cache_size: int = 256,
+    verify: bool = False,
     **engine_options,
 ) -> Session:
     """Open a :class:`Session` — the canonical entry point.
@@ -581,7 +608,8 @@ def connect(
     a single :class:`~repro.relational.relation.Relation`, an iterable
     of relations, or ``None`` for an empty database to be populated via
     :meth:`Session.add_relation`.  ``cache`` and the two size knobs
-    configure the session's plan/result caches.
+    configure the session's plan/result caches; ``verify=True`` turns
+    on the :mod:`repro.analysis` plan verifier (see :class:`Session`).
     """
     if source is None:
         database = Database()
@@ -597,5 +625,6 @@ def connect(
         cache=cache,
         plan_cache_size=plan_cache_size,
         result_cache_size=result_cache_size,
+        verify=verify,
         **engine_options,
     )

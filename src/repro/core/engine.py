@@ -261,11 +261,28 @@ class FDBEngine:
         factorised views), so compilation stays valid until the
         catalogue changes shape — data mutations never stale a plan.
         """
+        query, ftree, hypergraph, ctx = self.planning_inputs(query, database)
+        plan = self.optimizer.plan(ftree, ctx)
+        return FDBCompiled(query, plan, ftree, hypergraph)
+
+    def planning_inputs(
+        self, query: Query, database: "Database"
+    ) -> tuple[Query, FTree, Hypergraph, PlanContext]:
+        """The schema-level state :meth:`compile` optimises over.
+
+        Returns ``(effective_query, ftree, hypergraph, context)``: the
+        projection-normalised query, the input f-tree derived from the
+        catalogue, its hypergraph, and the optimiser's
+        :class:`repro.core.optimizer.PlanContext` (kept attributes,
+        aggregation components, γ coupling/protection constraints).
+        Exposed so the plan verifier (:mod:`repro.analysis`) can replay
+        a compiled plan under exactly the constraints it was planned
+        with.
+        """
         query = _with_effective_projection(query, database)
         ftree, hypergraph, equalities = self._input_shape(query, database)
         ctx = self._plan_context(query, ftree, hypergraph, equalities)
-        plan = self.optimizer.plan(ftree, ctx)
-        return FDBCompiled(query, plan, ftree, hypergraph)
+        return query, ftree, hypergraph, ctx
 
     def execute_planned(
         self, compiled: FDBCompiled, query: Query, database: "Database"

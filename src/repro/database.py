@@ -385,15 +385,23 @@ class Database:
         a base-relation change marked them stale.
         """
         if name in self._stale_flat and name in self.factorised:
-            stale = self.relations.get(name)
-            refreshed = self.factorised[name].to_relation()
-            if stale is not None and set(stale.schema) == set(
-                refreshed.schema
-            ):
-                refreshed = refreshed.project(stale.schema, dedup=False)
-            refreshed.name = name
-            self.relations[name] = refreshed
-            self._stale_flat.discard(name)
+            # The lazy refresh mutates the catalogue, so it needs the
+            # writer lock (reentrant: maintenance calls flat() while
+            # already holding it); staleness is re-checked under the
+            # lock in case a concurrent reader refreshed first.
+            with self._lock:
+                if name in self._stale_flat and name in self.factorised:
+                    stale = self.relations.get(name)
+                    refreshed = self.factorised[name].to_relation()
+                    if stale is not None and set(stale.schema) == set(
+                        refreshed.schema
+                    ):
+                        refreshed = refreshed.project(
+                            stale.schema, dedup=False
+                        )
+                    refreshed.name = name
+                    self.relations[name] = refreshed
+                    self._stale_flat.discard(name)
         if name in self.relations:
             return self.relations[name]
         if name in self.factorised:
@@ -792,16 +800,20 @@ class Database:
             if view_name in self.relations:
                 source = self.relations[view_name]
             else:
-                source = fact.to_relation(view_name)
-                positions = [schema.index(a) for a in source.schema]
+                # A freshly flattened copy — never shared, so applying
+                # the change in place is safe.  Kept on a separate name
+                # from the published-catalogue branch above.
+                fresh = fact.to_relation(view_name)
+                positions = [schema.index(a) for a in fresh.schema]
                 changed = [tuple(row[p] for p in positions) for row in rows]
                 if kind == "insert":
-                    source.rows.extend(changed)
+                    fresh.rows.extend(changed)
                 else:
                     doomed = set(changed)
-                    source.rows = [
-                        row for row in source.rows if row not in doomed
+                    fresh.rows = [
+                        row for row in fresh.rows if row not in doomed
                     ]
+                source = fresh
             rebuilt = factorise(source, fact.ftree)
             if rebuilt.tuple_count() == len(set(source.rows)):
                 return rebuilt

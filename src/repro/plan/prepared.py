@@ -196,10 +196,30 @@ class PreparedQuery:
         start = time.perf_counter()
         artifact = backend.plan(self._query, database)
         self.prepare_seconds = time.perf_counter() - start
+        if getattr(self._session, "verify", False):
+            # Sessions opened with verify=True run the repro.analysis
+            # semantic verifier over every *fresh* compile — cache hits
+            # were checked when first stored.  Error findings abort the
+            # prepare before the bad plan reaches either store.
+            self._verify_artifact(artifact, database)
         self._artifact, self._fingerprint = artifact, fingerprint
         plans.store(cache_key, artifact, fingerprint)
         self._plan_status = "miss"
         return artifact
+
+    def _verify_artifact(self, artifact: Any, database) -> None:
+        """Raise :class:`PlanVerificationError` on error findings."""
+        from repro.analysis.verifier import (
+            PlanVerificationError,
+            verify_artifact,
+        )
+
+        findings = verify_artifact(
+            self._query, artifact, database, subject=f"prepare:{self._query}"
+        )
+        errors = [f for f in findings if f.severity == "error"]
+        if errors:
+            raise PlanVerificationError(errors)
 
     def _current_artifact(self, backend: "Engine", database) -> Any:
         """The retained plan if still valid, else a revalidated one.

@@ -183,6 +183,8 @@ class Server:
                 await self._stop_event.wait()
         finally:
             self._executor.shutdown(wait=False)
+            # repro: allow[async-blocking] -- shutdown path: the
+            # executor is already gone, and close() only parks sessions.
             self.pool.close()
             self._loop = None
 
@@ -280,6 +282,8 @@ class Server:
                 session = state.session
                 state.session = None
                 try:
+                    # repro: allow[async-blocking] -- see above: cheap,
+                    # and safe at loop teardown unlike an executor hop.
                     session.close()
                 except Exception:  # pragma: no cover - defensive
                     pass

@@ -190,10 +190,15 @@ class ShardStore:
             if insert:
                 present = set(relation.rows)
                 ordered = [row for row in ordered if row not in present]
+                # repro: allow[cow-mutation] -- shard-slice relations
+                # are owned solely by this store (never published to
+                # snapshot readers); in-place routing is the delta
+                # fast path.
                 relation.rows.extend(ordered)
             else:
                 doomed = set(ordered)
                 ordered = [row for row in relation.rows if row in doomed]
+                # repro: allow[cow-mutation] -- same: store-private slice.
                 relation.rows = [
                     row for row in relation.rows if row not in doomed
                 ]

@@ -1,0 +1,96 @@
+"""The ``python -m repro analyze`` entry point and the verify= knob."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import PlanVerificationError
+from repro.api.session import Session, connect
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def run_cli(*args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_analyze_lint_only_exits_clean(tmp_path):
+    report_path = tmp_path / "findings.json"
+    proc = run_cli("--skip-plans", "--json", str(report_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(report_path.read_text())
+    assert payload["version"] == 1
+    assert payload["summary"]["errors"] == 0
+
+
+def test_analyze_flags_seeded_bug(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "def grow(database, rows):\n"
+        '    relation = database.relations["R"]\n'
+        "    relation.rows.extend(rows)\n"
+    )
+    report_path = tmp_path / "findings.json"
+    proc = run_cli(
+        "--skip-plans", "--json", str(report_path), str(bad)
+    )
+    assert proc.returncode == 1
+    payload = json.loads(report_path.read_text())
+    assert payload["summary"]["rules"].get("cow-mutation") == 1
+
+
+def test_analyze_full_run_exits_clean(tmp_path):
+    proc = run_cli("--skip-lint", "--scale", "0.1")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "plan" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# The verify= session knob
+# ---------------------------------------------------------------------------
+def test_verified_session_runs_valid_queries(tiny_workload_db):
+    with connect(tiny_workload_db, verify=True) as session:
+        result = (
+            session.query("R1")
+            .group_by("customer")
+            .sum("price", "revenue")
+            .run()
+        )
+        assert result.rows
+
+
+def test_verified_session_rejects_bad_aggregate(tiny_workload_db):
+    with connect(tiny_workload_db, verify=True) as session:
+        with pytest.raises(PlanVerificationError) as excinfo:
+            session.query("R3").sum("customer").run()
+    assert "type/aggregate-argument" in str(excinfo.value)
+
+
+def test_rejection_happens_at_prepare_time(tiny_workload_db):
+    with connect(tiny_workload_db, verify=True) as session:
+        prepared = session.prepare(session.query("R3").sum("customer"))
+        with pytest.raises(PlanVerificationError):
+            prepared.run()
+
+
+def test_unverified_session_skips_the_checks(tiny_workload_db):
+    # Without the knob, planning the same bad query succeeds (the
+    # failure would only surface deep inside execution).
+    with connect(tiny_workload_db) as session:
+        session.prepare(session.query("R3").sum("customer"))
+
+
+def test_with_engine_inherits_verify(tiny_workload_db):
+    session = Session(tiny_workload_db, verify=True)
+    assert session.with_engine("rdb").verify is True

@@ -1,0 +1,109 @@
+"""Prepare-time type checking of the expression AST against catalogues."""
+
+from __future__ import annotations
+
+from repro import col, param
+from repro.analysis import check_query_types, infer_column_types
+from repro.analysis.typecheck import NUMBER, TEXT, param_slots
+from repro.database import Database
+from repro.query import AggregateSpec, Comparison, ComputedColumn, Query
+from repro.relational.relation import Relation
+
+
+def make_db():
+    orders = Relation(
+        ("customer", "day", "price", "qty"),
+        [("Mario", "Monday", 10, 2), ("Lucia", "Friday", 7, 1)],
+        name="Orders",
+    )
+    return Database([orders])
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def test_clean_query_has_no_findings(tmp_path):
+    db = make_db()
+    query = Query(
+        relations=("Orders",),
+        group_by=("customer",),
+        aggregates=(AggregateSpec("sum", "price", "revenue"),),
+    )
+    assert check_query_types(query, db) == []
+
+
+def test_infer_column_types_samples_rows():
+    types = infer_column_types(make_db(), ("Orders",))
+    assert types["customer"] == TEXT
+    assert types["price"] == NUMBER
+
+
+def test_unknown_relation():
+    query = Query(relations=("Nope",))
+    findings = check_query_types(query, make_db())
+    assert rules_of(findings) == ["type/unknown-relation"]
+
+
+def test_unknown_attribute():
+    query = Query(relations=("Orders",), group_by=("flavour",))
+    findings = check_query_types(query, make_db())
+    assert rules_of(findings) == ["type/unknown-attribute"]
+
+
+def test_sum_over_text_column():
+    query = Query(
+        relations=("Orders",),
+        aggregates=(AggregateSpec("sum", "customer", "total"),),
+    )
+    findings = check_query_types(query, make_db())
+    assert "type/aggregate-argument" in rules_of(findings)
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_min_over_text_is_fine():
+    query = Query(
+        relations=("Orders",),
+        aggregates=(AggregateSpec("min", "customer", "first"),),
+    )
+    assert check_query_types(query, make_db()) == []
+
+
+def test_arithmetic_over_text():
+    query = Query(
+        relations=("Orders",),
+        computed=(ComputedColumn((col("customer") * 2), "doubled"),),
+    )
+    findings = check_query_types(query, make_db())
+    assert "type/arithmetic" in rules_of(findings)
+
+
+def test_comparison_type_mismatch_is_warning():
+    query = Query(
+        relations=("Orders",),
+        comparisons=(Comparison("price", "=", "ten"),),
+    )
+    findings = check_query_types(query, make_db())
+    assert rules_of(findings) == ["type/comparison"]
+    assert findings[0].severity == "warning"
+
+
+def test_param_slot_inference_and_conflict():
+    query = Query(
+        relations=("Orders",),
+        comparisons=(
+            Comparison("price", ">", param("floor")),
+            Comparison("customer", "=", param("floor")),
+        ),
+    )
+    findings = check_query_types(query, make_db())
+    assert "type/param-conflict" in rules_of(findings)
+
+
+def test_param_slots_helper():
+    query = Query(
+        relations=("Orders",),
+        comparisons=(Comparison("price", ">", param("floor")),),
+    )
+    slots = param_slots(query, make_db())
+    assert slots == {"floor": NUMBER}

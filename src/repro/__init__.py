@@ -21,7 +21,10 @@ The package provides:
   object;
 - :mod:`repro.server` — concurrent server mode: ``SessionPool`` for
   snapshot-isolated session multiplexing and an asyncio HTTP/JSON
-  front-end (``serve``/``Server``/``Client``).
+  front-end (``serve``/``Server``/``Client``);
+- :mod:`repro.obs` — observability: a mergeable metrics registry,
+  hierarchical query spans, Prometheus text exposition, and the
+  slow-query log (``REPRO_OBS=0`` disables it all).
 
 Quickstart::
 
@@ -35,6 +38,8 @@ Quickstart::
     print(result.pretty())
     print(result.plan)   # the f-plan that produced the result
 """
+
+import logging as _logging
 
 from repro.database import Database
 from repro.expr import Attr, BinOp, Const, Expr, Neg, Param, col, lit, param
@@ -52,6 +57,11 @@ from repro.relational.relation import Relation
 from repro.relational.sort import SortKey
 
 __version__ = "1.0.0"
+
+# Library logging convention: the "repro.*" hierarchy stays silent
+# unless the application configures handlers (PEP 282 / logging HOWTO).
+if not _logging.getLogger("repro").handlers:  # pragma: no branch
+    _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "AggregateSpec",

@@ -25,6 +25,10 @@ Commands
     source tree plus semantic verification of every registered view
     and the FULL_WORKLOAD plan corpus (``--json`` writes the findings
     report); see :mod:`repro.analysis`.
+``metrics``
+    Scrape and pretty-print a live server's ``/metrics`` endpoint
+    (``--url``), or run a sample workload locally and print the
+    process registry; see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -154,6 +158,47 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return run_analyze(args)
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import parse_prometheus, render_prometheus
+
+    if args.url:
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/metrics"
+        with urlopen(url, timeout=10) as response:
+            text = response.read().decode("utf-8")
+        if args.raw:
+            print(text, end="")
+            return 0
+        families = parse_prometheus(text)
+        for name in sorted(families):
+            family = families[name]
+            print(f"{name} ({family['kind']}): {family['help']}")
+            for (series, labels), value in sorted(family["samples"].items()):
+                label_text = (
+                    "{" + ", ".join(f"{k}={v}" for k, v in labels) + "}"
+                    if labels
+                    else ""
+                )
+                print(f"  {series}{label_text} = {value}")
+        return 0
+    # No server to scrape: run a small sample workload so the local
+    # registry has something to show, then print the exposition.
+    from repro.api import connect
+    from repro.sql import parse_query
+
+    session = connect(_build_db(args.scale))
+    query = parse_query(
+        "SELECT customer, SUM(price) AS revenue "
+        "FROM Orders, Packages, Items "
+        "GROUP BY customer ORDER BY revenue"
+    )
+    for _ in range(3):
+        session.execute(query, engine="fdb")
+    print(render_prometheus(), end="")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,6 +268,21 @@ def main(argv: list[str] | None = None) -> int:
 
     add_analyze_arguments(analyze_cmd)
 
+    metrics_cmd = sub.add_parser(
+        "metrics", help="scrape /metrics, or print the local registry"
+    )
+    metrics_cmd.add_argument(
+        "--url",
+        default="",
+        help="base URL of a running repro server (e.g. http://127.0.0.1:8128)",
+    )
+    metrics_cmd.add_argument(
+        "--raw",
+        action="store_true",
+        help="print the scraped exposition verbatim instead of parsing it",
+    )
+    metrics_cmd.add_argument("--scale", type=float, default=0.25)
+
     args = parser.parse_args(argv)
     handlers = {
         "experiments": cmd_experiments,
@@ -232,6 +292,7 @@ def main(argv: list[str] | None = None) -> int:
         "advise": cmd_advise,
         "serve": cmd_serve,
         "analyze": cmd_analyze,
+        "metrics": cmd_metrics,
     }
     return handlers[args.command](args)
 

@@ -36,6 +36,16 @@ so this module checks them structurally:
     session/pool operations (``.acquire``/``.sql``/``.execute``/...)
     invoked directly on the loop instead of through the executor.
 
+``obs-allocation``
+    Observability calls that allocate per call — ``.labels(...)``
+    child resolution, ``metrics()``/``.counter(``/``.gauge(``/
+    ``.histogram(`` family construction, ``span(...)``/
+    ``remote_root(...)`` span creation, ``get_logger(...)`` — must not
+    run inside a lexical ``with self.<lock>:`` block.  The hot-path
+    discipline (see :mod:`repro.obs.metrics`) is to pre-bind children
+    at module import or ``__init__`` and call the allocation-free
+    ``inc``/``set``/``observe`` on them inside critical sections.
+
 Findings are :class:`repro.analysis.findings.Finding` records;
 ``# repro: allow[rule]`` comments suppress them in place (see
 :mod:`repro.analysis.findings`).
@@ -91,6 +101,16 @@ ASYNC_BLOCKING_METHODS = frozenset(
     }
 )
 ASYNC_SUBJECT_HINTS = ("session", "pool")
+
+#: Observability calls that allocate on every invocation (child lookup,
+#: family registration, span construction, logger resolution) and so
+#: must stay out of lock-guarded critical sections.
+OBS_ALLOCATING_CALLS = frozenset(
+    {
+        "labels", "counter", "gauge", "histogram",
+        "metrics", "span", "remote_root", "get_logger",
+    }
+)
 
 
 def _call_name(func: ast.AST) -> str | None:
@@ -360,6 +380,86 @@ def _lock_discipline(cls: ast.ClassDef, filename: str) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# obs-allocation: no per-call observability allocation under a lock
+# ---------------------------------------------------------------------------
+class _ObsAllocationVisitor(ast.NodeVisitor):
+    """Flags allocating observability calls while a lock is lexically held."""
+
+    def __init__(
+        self,
+        cls_name: str,
+        method_name: str,
+        lock_attrs: set[str],
+        filename: str,
+        findings: list[Finding],
+    ) -> None:
+        self.cls_name = cls_name
+        self.method_name = method_name
+        self.lock_attrs = lock_attrs
+        self.filename = filename
+        self.findings = findings
+        self.held = 0
+
+    def visit_With(self, node: ast.With) -> None:
+        acquires = any(
+            _is_self_attribute(item.context_expr) in self.lock_attrs
+            for item in node.items
+        )
+        if acquires:
+            self.held += 1
+        for item in node.items:
+            self.visit(item.context_expr)
+        for statement in node.body:
+            self.visit(statement)
+        if acquires:
+            self.held -= 1
+
+    # A nested def's body runs later, outside the lexical lock region.
+    def visit_FunctionDef(self, node) -> None:
+        saved, self.held = self.held, 0
+        self.generic_visit(node)
+        self.held = saved
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node.func)
+        if self.held and name in OBS_ALLOCATING_CALLS:
+            shape = f"{name}(...)" if isinstance(node.func, ast.Name) else (
+                f".{name}(...)"
+            )
+            self.findings.append(
+                Finding(
+                    "obs-allocation",
+                    f"{self.cls_name}.{self.method_name}: {shape} "
+                    "allocates inside a lock-guarded section; pre-bind "
+                    "the instrument (module import or __init__) and call "
+                    "inc/set/observe on the bound child instead",
+                    file=self.filename,
+                    line=node.lineno,
+                    source="lint",
+                )
+            )
+        self.generic_visit(node)
+
+
+def _obs_allocation(cls: ast.ClassDef, filename: str) -> list[Finding]:
+    locks, _ = _init_attributes(cls)
+    if not locks:
+        return []
+    findings: list[Finding] = []
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        visitor = _ObsAllocationVisitor(
+            cls.name, item.name, locks, filename, findings
+        )
+        for statement in item.body:
+            visitor.visit(statement)
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # frozen-dataclass immutability
 # ---------------------------------------------------------------------------
 def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
@@ -617,6 +717,7 @@ def lint_source(source: str, filename: str) -> list[Finding]:
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef):
             findings.extend(_lock_discipline(node, filename))
+            findings.extend(_obs_allocation(node, filename))
             findings.extend(_frozen_mutation(node, filename))
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             findings.extend(_function_mutation_rules(node, filename))

@@ -64,7 +64,12 @@ class Result:
     lifecycle:
         the :class:`repro.plan.prepared.LifecycleInfo` of the execution
         (plan/result cache outcomes and prepare-vs-run timings) when the
-        result came through the prepared-query lifecycle, else ``None``.
+        result came through the prepared-query lifecycle, else ``None``;
+    span:
+        the finished root :class:`repro.obs.Span` of this execution when
+        observability was enabled (set by the prepared-query lifecycle),
+        else ``None``.  ``explain()`` renders it as a tree;
+        :meth:`trace_json` exports it.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class Result:
         self._relation = relation
         self._explain_fn = explain_fn
         self._explain_text: str | None = None
+        self.span = None  # root repro.obs.Span, attached post-construction
 
     # ------------------------------------------------------------------
     # Rows
@@ -183,7 +189,24 @@ class Result:
         if self.maintenance is not None:
             # Appended outside the cache: the live stats keep counting.
             text += f"\nmaintenance: {self.maintenance.describe()}"
+        if self.trace is not None and getattr(self.trace, "seconds", None):
+            # EXPLAIN ANALYZE: per-step wall time and intermediate sizes.
+            text += "\n" + self.trace.describe()
+        if self.span is not None:
+            text += (
+                f"\nspan tree (trace {self.span.trace_id}):\n"
+                + self.span.render()
+            )
         return text
+
+    def trace_json(self) -> str | None:
+        """The execution's span tree as a JSON document, or ``None``
+        when observability was disabled for this query."""
+        if self.span is None:
+            return None
+        import json
+
+        return json.dumps(self.span.to_dict(), indent=2)
 
     @property
     def expression_stats(self):

@@ -5,10 +5,11 @@ from __future__ import annotations
 import json
 import os
 import statistics
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
+
+from repro.obs import clock
 
 #: Machine-readable results written next to the ASCII tables.
 BENCH_JSON_NAME = "BENCH_PR2.json"
@@ -72,9 +73,9 @@ def time_call_stats(
     samples: list[float] = []
     result: Any = None
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
+        start = clock.now()
         result = call()
-        samples.append(time.perf_counter() - start)
+        samples.append(clock.now() - start)
     return min(samples), statistics.median(samples), result
 
 

@@ -14,6 +14,7 @@ from typing import Sequence
 from repro.core import operators as ops
 from repro.core.frep import Factorisation
 from repro.core.ftree import FTree
+from repro.obs import clock
 from repro.query import Comparison
 
 
@@ -162,8 +163,11 @@ class RemoveLeafStep(Step):
 
 @dataclass
 class ExecutionTrace:
-    """Sizes and trees recorded while executing an f-plan.
+    """Sizes, trees, and per-step wall time recorded while executing.
 
+    ``seconds[i]`` is the wall-clock cost of applying ``steps[i]``
+    (``sizes[i]`` the size of its output factorisation) — the EXPLAIN
+    ANALYZE evidence surfaced through ``Result.explain()``.
     ``expression_stats`` (a
     :class:`repro.core.aggregates.ExpressionStats`, when the engine
     evaluated expression aggregates) records whether evaluation stayed
@@ -173,14 +177,16 @@ class ExecutionTrace:
     steps: list[str] = field(default_factory=list)
     sizes: list[int] = field(default_factory=list)
     trees: list[FTree] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
     expression_stats: object | None = None
 
     def describe(self) -> str:
         lines = ["f-plan execution:"]
-        lines.extend(
-            f"  {step:<40} size={size}"
-            for step, size in zip(self.steps, self.sizes)
-        )
+        timings: "list[float | None]" = list(self.seconds)
+        timings.extend([None] * (len(self.steps) - len(timings)))
+        for step, size, spent in zip(self.steps, self.sizes, timings):
+            timing = "" if spent is None else f"  {spent * 1000.0:8.3f} ms"
+            lines.append(f"  {step:<40} size={size}{timing}")
         return "\n".join(lines)
 
 
@@ -211,10 +217,15 @@ class FPlan:
     ) -> Factorisation:
         """Apply every step to the factorisation, optionally tracing."""
         current = fact
+        if trace is None:
+            for step in self.steps:
+                current = step.apply(current)
+            return current
         for step in self.steps:
+            started = clock.now()
             current = step.apply(current)
-            if trace is not None:
-                trace.steps.append(str(step))
-                trace.sizes.append(current.size())
-                trace.trees.append(current.ftree)
+            trace.seconds.append(clock.now() - started)
+            trace.steps.append(str(step))
+            trace.sizes.append(current.size())
+            trace.trees.append(current.ftree)
         return current

@@ -44,12 +44,34 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
+from repro.obs import clock
+from repro.obs.metrics import metrics
 from repro.relational.relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.core.frep import Factorisation
     from repro.ivm.delta import Delta, Deletion, Insertion
     from repro.ivm.maintain import ViewDelta
+
+# Pre-bound instruments: the updates below run inside the writer lock
+# or the log lock, so they must not allocate (linter: obs-allocation).
+_IVM_EVENTS = metrics().counter(
+    "repro_ivm_maintenance_total",
+    "IVM view-maintenance outcomes: routed splice vs full rebuild.",
+    ("outcome",),
+)
+_IVM_SPLICE = _IVM_EVENTS.labels("splice")
+_IVM_REBUILD = _IVM_EVENTS.labels("rebuild")
+_LOG_RECORDS = metrics().gauge(
+    "repro_change_log_records", "Retained change-log records."
+).labels()
+_WRITER_WAIT = metrics().histogram(
+    "repro_writer_lock_wait_seconds",
+    "Time writers spent waiting for the single-writer lock.",
+).labels()
+_PINNED = metrics().gauge(
+    "repro_pinned_snapshots", "Versions currently pinned by live snapshots."
+).labels()
 
 #: Retained change-log length; older records force full re-preparation.
 MAX_LOG = 512
@@ -462,7 +484,11 @@ class Database:
 
         if isinstance(delta, (Insertion, Deletion)):
             delta = Delta((delta,))
+        wait_start = clock.now()
         with self._lock:  # the single-writer lock: mutations serialise
+            # Measured outside-in: the gap between requesting and
+            # holding the lock is the writer's queueing delay.
+            _WRITER_WAIT.observe(clock.now() - wait_start)
             for change in delta.changes:
                 self._validate_change(change)
             records: list[LogRecord] = []
@@ -509,6 +535,7 @@ class Database:
                 state = retained
             self._pins[state.version] = self._pins.get(state.version, 0) + 1
             self._retained[state.version] = state
+            _PINNED.set(len(self._pins))
         return Snapshot(self, state)
 
     def pinned_versions(self) -> list[int]:
@@ -524,6 +551,7 @@ class Database:
             else:
                 self._pins.pop(version, None)
                 self._retained.pop(version, None)
+            _PINNED.set(len(self._pins))
 
     def _publish(self) -> None:
         """Publish the current catalogue as one atomic immutable state.
@@ -741,6 +769,7 @@ class Database:
                     )
                 self.factorised[view_name] = new_fact
                 self.maintenance.record_incremental(splice.nodes_touched)
+                _IVM_SPLICE.inc()
                 view_deltas[view_name] = ViewDelta(
                     name=view_name,
                     schema=tuple(new_fact.schema()),
@@ -754,6 +783,7 @@ class Database:
                 )
                 self.factorised[view_name] = new_fact
                 self.maintenance.record_rebuild(violation.reason)
+                _IVM_REBUILD.inc()
                 view_deltas[view_name] = ViewDelta(
                     name=view_name,
                     schema=tuple(new_fact.schema()),
@@ -851,6 +881,7 @@ class Database:
         """
         with self._log_lock:
             self._log.append(record)
+            _LOG_RECORDS.set(len(self._log))
             excess = len(self._log) - MAX_LOG
             if excess <= 0:
                 return
@@ -867,3 +898,4 @@ class Database:
             if dropped:
                 self._log_floor = self._log[dropped - 1].version
                 self._log = self._log[dropped:]
+                _LOG_RECORDS.set(len(self._log))

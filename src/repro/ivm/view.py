@@ -16,10 +16,10 @@ incremental-vs-recompute ratio and the factorisation rebuild count.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.ivm.stats import MaintenanceStats
+from repro.obs import clock
 from repro.query import Query
 from repro.relational.relation import Relation
 from repro.relational.sort import sort_rows
@@ -65,13 +65,13 @@ class LiveView:
         self._supported = self._check_supported()
         self._seconds = 0.0
         self._counting = True
-        start = time.perf_counter()
+        start = clock.now()
         if self._supported:
             self._rebuild_groups()
             self._result = self._result_from_groups()
         else:
             self._result = self._run_query()
-        self._seconds = time.perf_counter() - start
+        self._seconds = clock.now() - start
 
     # ------------------------------------------------------------------
     # Public surface
@@ -138,22 +138,22 @@ class LiveView:
         database = self._session.database
         if database.version == self._version:
             return
-        start = time.perf_counter()
+        start = clock.now()
         records = database.changes_since(self._version)
         if records is None or not self._supported:
             self.refresh()
-            self._seconds = time.perf_counter() - start
+            self._seconds = clock.now() - start
             return
         for record in records:
             if not self._apply_record(record):
                 self.refresh()
-                self._seconds = time.perf_counter() - start
+                self._seconds = clock.now() - start
                 return
         if self._dirty_keys:
             self._recompute_dirty()
         self._version = database.version
         self._result = self._result_from_groups()
-        self._seconds = time.perf_counter() - start
+        self._seconds = clock.now() - start
 
     def _apply_record(self, record: "LogRecord") -> bool:
         """Fold one log record into the group state; False = bail out."""

@@ -1,0 +1,153 @@
+"""Prometheus text exposition (and its inverse, for round-trip tests).
+
+:func:`render_prometheus` serialises a :class:`MetricsRegistry` in the
+text format version 0.0.4 (``# HELP``/``# TYPE`` headers, ``_bucket``
+series with cumulative ``le`` bounds plus ``_sum``/``_count`` for
+histograms).  :func:`parse_prometheus` reads the same format back into
+plain data — used by the scrape round-trip test and the
+``python -m repro metrics --url`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.metrics import MetricsRegistry
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _labels(names, values, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    pairs = [
+        f'{name}="{_escape(value)}"' for name, value in zip(names, values)
+    ]
+    pairs.extend(f'{name}="{_escape(value)}"' for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
+    """The registry (default: the process one) in Prometheus text format."""
+    if registry is None:
+        from repro.obs.metrics import metrics
+
+        registry = metrics()
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, sample in family.samples():
+            if family.kind in ("counter", "gauge"):
+                labels = _labels(family.labelnames, key)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(sample)}"
+                )
+                continue
+            cumulative = 0
+            for bound, count in zip(sample["bounds"], sample["counts"]):
+                cumulative += count
+                labels = _labels(
+                    family.labelnames, key, (("le", f"{bound:.10g}"),)
+                )
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+            cumulative += sample["counts"][-1]
+            labels = _labels(family.labelnames, key, (("le", "+Inf"),))
+            lines.append(f"{family.name}_bucket{labels} {cumulative}")
+            labels = _labels(family.labelnames, key)
+            lines.append(
+                f"{family.name}_sum{labels} {_format_value(sample['sum'])}"
+            )
+            lines.append(f"{family.name}_count{labels} {sample['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str) -> tuple[tuple[str, str], ...]:
+    pairs: list[tuple[str, str]] = []
+    index = 0
+    while index < len(text):
+        equals = text.index("=", index)
+        name = text[index:equals].strip().lstrip(",").strip()
+        assert text[equals + 1] == '"'
+        value: list[str] = []
+        cursor = equals + 2
+        while text[cursor] != '"':
+            if text[cursor] == "\\":
+                escaped = text[cursor + 1]
+                value.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escaped, escaped)
+                )
+                cursor += 2
+            else:
+                value.append(text[cursor])
+                cursor += 1
+        pairs.append((name, "".join(value)))
+        index = cursor + 1
+    return tuple(pairs)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{name: {kind, help, samples}}``.
+
+    ``samples`` maps a sorted tuple of ``(label, value)`` pairs to the
+    numeric sample.  Histogram sub-series (``_bucket``/``_sum``/
+    ``_count``) are folded under their base family name.
+    """
+    families: dict[str, dict] = {}
+
+    def family(name: str) -> dict:
+        return families.setdefault(
+            name, {"kind": None, "help": "", "samples": {}}
+        )
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            family(name)["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            family(name)["kind"] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        if "{" in line:
+            name = line[: line.index("{")]
+            raw_labels = line[line.index("{") + 1 : line.rindex("}")]
+            labels = _parse_labels(raw_labels)
+            value = float(line[line.rindex("}") + 1 :].strip())
+        else:
+            name, _, raw_value = line.partition(" ")
+            labels = ()
+            value = float(raw_value.strip())
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed is not None and families.get(trimmed, {}).get(
+                "kind"
+            ) == "histogram":
+                base = trimmed
+                break
+        entry = family(base)
+        key = (name, tuple(sorted(labels)))
+        entry["samples"][key] = value
+    return families

@@ -1,0 +1,26 @@
+"""The ``repro.*`` logger hierarchy.
+
+Library convention: the root ``repro`` logger carries a
+:class:`logging.NullHandler` so an application that never configures
+logging sees no "No handlers could be found" noise, while one that does
+(``logging.basicConfig(level=logging.INFO)``) receives every layer's
+records — server access lines at INFO, slow queries at WARNING —
+through the standard propagation rules.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT = logging.getLogger("repro")
+if not any(isinstance(h, logging.NullHandler) for h in _ROOT.handlers):
+    _ROOT.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return _ROOT
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -39,9 +39,28 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Hashable, Iterable
 
+from repro.obs.metrics import metrics
+
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.ftree import FNode, FTree
     from repro.database import Database, LogRecord
+
+# Cache events aggregate across every cache instance in the process.
+# Children are pre-bound here so the increments inside the lock-guarded
+# lookup/store paths stay allocation-free (linter rule obs-allocation).
+_CACHE_EVENTS = metrics().counter(
+    "repro_cache_events_total",
+    "Plan/result cache events by outcome.",
+    ("cache", "event"),
+)
+_PLAN_HIT = _CACHE_EVENTS.labels("plan", "hit")
+_PLAN_MISS = _CACHE_EVENTS.labels("plan", "miss")
+_PLAN_INVALIDATION = _CACHE_EVENTS.labels("plan", "invalidation")
+_PLAN_EVICTION = _CACHE_EVENTS.labels("plan", "eviction")
+_RESULT_HIT = _CACHE_EVENTS.labels("result", "hit")
+_RESULT_MISS = _CACHE_EVENTS.labels("result", "miss")
+_RESULT_INVALIDATION = _CACHE_EVENTS.labels("result", "invalidation")
+_RESULT_EVICTION = _CACHE_EVENTS.labels("result", "eviction")
 
 #: Sentinel distinguishing "no cached artifact" from a cached ``None``
 #: (engines without a compile stage legitimately plan to ``None``).
@@ -138,15 +157,19 @@ class PlanCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _PLAN_MISS.inc()
                 return MISS
             artifact, stored_fingerprint = entry
             if stored_fingerprint != fingerprint:
                 del self._entries[key]
                 self.stats.invalidations += 1
                 self.stats.misses += 1
+                _PLAN_INVALIDATION.inc()
+                _PLAN_MISS.inc()
                 return MISS
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _PLAN_HIT.inc()
             return artifact
 
     def store(self, key: Hashable, artifact: Any, fingerprint: tuple) -> None:
@@ -158,6 +181,7 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                _PLAN_EVICTION.inc()
 
     def clear(self) -> None:
         with self._lock:
@@ -225,12 +249,14 @@ class ResultCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                _RESULT_MISS.inc()
                 return None
             if entry.floor > database.version:
                 # Computed under a version this pinned reader has not
                 # reached; serving it would leak future writes into the
                 # snapshot.  Miss without evicting.
                 self.stats.misses += 1
+                _RESULT_MISS.inc()
                 return None
             if entry.version < database.version:
                 records = database.changes_since(entry.version)
@@ -240,10 +266,13 @@ class ResultCache:
                     del self._entries[key]
                     self.stats.invalidations += 1
                     self.stats.misses += 1
+                    _RESULT_INVALIDATION.inc()
+                    _RESULT_MISS.inc()
                     return None
                 entry.version = database.version
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            _RESULT_HIT.inc()
             return entry.payload
 
     def store(
@@ -263,6 +292,7 @@ class ResultCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+                _RESULT_EVICTION.inc()
 
     def clear(self) -> None:
         with self._lock:

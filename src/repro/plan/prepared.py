@@ -15,16 +15,28 @@ API change.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.obs import clock, spans
+from repro.obs.metrics import metrics
 from repro.plan.cache import MISS, catalogue_fingerprint
 from repro.plan.canonical import bound_key, canonical_key
 from repro.plan.params import ParameterError, bind_params, collect_params
 from repro.query import Query
 
 from repro.relational.relation import Relation
+
+_QUERIES = metrics().counter(
+    "repro_queries_total",
+    "Queries executed through the prepared-query lifecycle.",
+    ("engine",),
+)
+_QUERY_SECONDS = metrics().histogram(
+    "repro_query_seconds",
+    "End-to-end query latency through the prepared-query lifecycle.",
+    ("engine",),
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.api.engines import Engine, EngineRun
@@ -193,9 +205,10 @@ class PreparedQuery:
             plans.store(cache_key, self._artifact, fingerprint)
             self._plan_status = "hit"
             return self._artifact
-        start = time.perf_counter()
-        artifact = backend.plan(self._query, database)
-        self.prepare_seconds = time.perf_counter() - start
+        start = clock.now()
+        with spans.span("plan", engine=backend.name):
+            artifact = backend.plan(self._query, database)
+        self.prepare_seconds = clock.now() - start
         if getattr(self._session, "verify", False):
             # Sessions opened with verify=True run the repro.analysis
             # semantic verifier over every *fresh* compile — cache hits
@@ -270,30 +283,47 @@ class PreparedQuery:
             if self._parameters or values
             else self._query
         )
+        with spans.span("session.query") as root:
+            result = self._run_bound(session, bound, values, root)
+        if root is not None:
+            result.span = root
+        return result
+
+    def _run_bound(
+        self, session: "Session", bound: Query, values: dict, root
+    ) -> "Result":
+        """The lifecycle body, inside the ``session.query`` root span."""
         database = session.database
         results = session.caches.results
         result_key = (
             self._engine_key(),
             bound_key(self._query, values) if values else self._key,
         )
-        start = time.perf_counter()
-        payload = results.lookup(result_key, database)
+        start = clock.now()
+        with spans.span("cache.lookup"):
+            payload = results.lookup(result_key, database)
         if payload is not None:
             # A hit needs no live backend: _peek names it without
             # freshening (no change-log forwarding for skipped work).
             payload = _isolate(payload)  # hits never alias the snapshot
+            backend = session._peek(self._engine)
+            run_seconds = clock.now() - start
             info = LifecycleInfo(
                 plan_cache="skipped",
                 result_cache="hit",
                 prepare_seconds=self.prepare_seconds,
-                run_seconds=time.perf_counter() - start,
+                run_seconds=run_seconds,
                 parameters=self._parameters,
             )
-            return self._wrap(bound, session._peek(self._engine), payload, info)
+            self._observe(root, backend.name, "hit", run_seconds)
+            return self._wrap(bound, backend, payload, info)
         backend = session._resolve(self._engine)
         artifact = self._current_artifact(backend, database)
-        payload = backend.run_planned(artifact, bound, database, params=values)
-        run_seconds = time.perf_counter() - start
+        with spans.span("engine.run", engine=backend.name):
+            payload = backend.run_planned(
+                artifact, bound, database, params=values
+            )
+        run_seconds = clock.now() - start
         # Store a snapshot: the caller owns `payload` and may mutate
         # its rows; the cache entry must stay pristine.
         results.store(
@@ -306,10 +336,26 @@ class PreparedQuery:
             run_seconds=run_seconds,
             parameters=self._parameters,
         )
+        self._observe(
+            root,
+            backend.name,
+            "miss" if results.capacity else "off",
+            run_seconds,
+        )
         # The retained plan serves every later run of this handle: from
         # now on optimisation is skipped, which is what "hit" reports.
         self._plan_status = "hit"
         return self._wrap(bound, backend, payload, info)
+
+    def _observe(
+        self, root, engine: str, result_cache: str, run_seconds: float
+    ) -> None:
+        """Per-query metrics and root-span attributes (enabled only)."""
+        if root is not None:
+            root.attributes["engine"] = engine
+            root.attributes["result_cache"] = result_cache
+        _QUERIES.labels(engine).inc()
+        _QUERY_SECONDS.labels(engine).observe(run_seconds)
 
     __call__ = run
 

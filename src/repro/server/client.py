@@ -159,5 +159,20 @@ class Client:
     def unwatch(self, handle: str) -> dict:
         return self._request("POST", "/unwatch", {"id": handle})
 
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``GET /metrics``)."""
+        self._connection.request(
+            "GET", "/metrics", headers={"Connection": "keep-alive"}
+        )
+        response = self._connection.getresponse()
+        data = response.read()
+        if response.status >= 300:
+            raise ServerError(response.status, data.decode("utf-8", "replace"))
+        return data.decode("utf-8")
+
+    def slow_queries(self) -> list[dict]:
+        """The slowest recent queries with span trees (``/debug/slow``)."""
+        return self._request("GET", "/debug/slow")["slow_queries"]
+
     def __repr__(self) -> str:
         return f"Client({self.host!r}, {self.port})"

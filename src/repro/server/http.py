@@ -15,6 +15,8 @@ Endpoints (JSON request and response bodies):
 ====================  =====================================================
 ``GET  /health``      liveness + the current committed version
 ``GET  /stats``       pool/cache/server counters
+``GET  /metrics``     Prometheus text exposition of the process registry
+``GET  /debug/slow``  the N slowest recent queries with their span trees
 ``POST /query``       ``{"sql": ...}`` — SELECT returns rows, INSERT/
                       DELETE statements apply and return a change report
 ``POST /prepare``     ``{"sql": ...}`` → ``{"id", "parameters"}``
@@ -43,6 +45,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.database import Database, UnknownRelationError
+from repro.obs import (
+    CONTENT_TYPE,
+    clock,
+    get_logger,
+    render_prometheus,
+    slow_log,
+)
+from repro.obs.metrics import metrics
 from repro.query import QueryError
 from repro.server.pool import PoolClosedError, PoolTimeoutError, SessionPool
 
@@ -54,6 +64,36 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 #: Request bodies beyond this are rejected with 413.
 MAX_BODY = 16 * 1024 * 1024
 MAX_HEADER_LINES = 100
+
+_HTTP_SECONDS = metrics().histogram(
+    "repro_http_request_seconds",
+    "Request handling wall time by endpoint.",
+    ("endpoint",),
+)
+_HTTP_RESPONSES = metrics().counter(
+    "repro_http_responses_total",
+    "Responses by endpoint and status class.",
+    ("endpoint", "status"),
+)
+_HTTP_IN_FLIGHT = metrics().gauge(
+    "repro_http_requests_in_flight",
+    "Requests currently being handled.",
+).labels()
+_ACCESS = get_logger("server")
+
+#: Paths that keep their own metric label; anything else folds into
+#: ``other`` so hostile or misdirected traffic cannot explode the
+#: label cardinality of the per-endpoint series.
+_KNOWN_PATHS = frozenset({
+    "/health", "/stats", "/metrics", "/debug/slow", "/query", "/prepare",
+    "/execute", "/insert", "/delete", "/refresh", "/watch", "/unwatch",
+})
+
+
+def _endpoint(path: str) -> str:
+    if path.startswith("/watch/"):
+        return "/watch/:id"
+    return path if path in _KNOWN_PATHS else "other"
 
 
 class ServerStoppedError(RuntimeError):
@@ -67,6 +107,14 @@ class _Request:
     headers: dict[str, str]
     payload: Any
     keep_alive: bool
+
+
+@dataclass
+class _Raw:
+    """A non-JSON response body with its own content type."""
+
+    body: bytes
+    content_type: str
 
 
 @dataclass
@@ -267,7 +315,20 @@ class Server:
                 request = await self._read_request(reader)
                 if request is None:
                     break
-                status, payload = await self._dispatch(state, request)
+                started = clock.now()
+                _HTTP_IN_FLIGHT.inc()
+                try:
+                    status, payload = await self._dispatch(state, request)
+                finally:
+                    _HTTP_IN_FLIGHT.dec()
+                elapsed = clock.now() - started
+                endpoint = _endpoint(request.path)
+                _HTTP_SECONDS.labels(endpoint).observe(elapsed)
+                _HTTP_RESPONSES.labels(endpoint, f"{status // 100}xx").inc()
+                _ACCESS.info(
+                    "%s %s -> %d in %.1f ms",
+                    request.method, request.path, status, elapsed * 1000.0,
+                )
                 self.requests += 1
                 await self._respond(writer, status, payload, request.keep_alive)
                 if not request.keep_alive:
@@ -333,10 +394,15 @@ class Server:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    413: "Payload Too Large", 500: "Internal Server Error",
                    503: "Service Unavailable"}
-        body = json.dumps(payload, default=str).encode("utf-8")
+        if isinstance(payload, _Raw):
+            body = payload.body
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload, default=str).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -365,6 +431,11 @@ class Server:
                 connections=self.connections,
             )
             return 200, stats
+        if key == ("GET", "/metrics"):
+            text = render_prometheus(metrics())
+            return 200, _Raw(text.encode("utf-8"), CONTENT_TYPE)
+        if key == ("GET", "/debug/slow"):
+            return 200, {"slow_queries": slow_log().slowest()}
         handler = self._route(request)
         if handler is None:
             return 404, {"error": f"no route for {request.method} {request.path}"}

@@ -23,15 +23,42 @@ connection's requests sequentially).
 from __future__ import annotations
 
 import threading
-import time
 from typing import TYPE_CHECKING
 
 from repro.api.session import Session
+from repro.obs import clock
+from repro.obs.metrics import metrics
 from repro.plan.cache import SessionCaches
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.api.engines import Engine
     from repro.database import Database
+
+# Pool instruments aggregate across every pool in the process.  All
+# children are pre-bound so updates inside the condition-guarded
+# sections stay allocation-free (linter rule obs-allocation).
+_POOL_EVENTS = metrics().counter(
+    "repro_pool_events_total",
+    "Session pool lifecycle events.",
+    ("event",),
+)
+_POOL_LEASE = _POOL_EVENTS.labels("lease")
+_POOL_RELEASE = _POOL_EVENTS.labels("release")
+_POOL_TIMEOUT = _POOL_EVENTS.labels("timeout")
+_POOL_REAP = _POOL_EVENTS.labels("reap")
+_POOL_CREATE = _POOL_EVENTS.labels("create")
+_POOL_DESTROY = _POOL_EVENTS.labels("destroy")
+_POOL_WAIT = metrics().histogram(
+    "repro_pool_admission_wait_seconds",
+    "Time acquire() waited for admission to the pool.",
+).labels()
+_POOL_SESSIONS = metrics().gauge(
+    "repro_pool_sessions",
+    "Pool sessions by state (last pool to change wins).",
+    ("state",),
+)
+_POOL_LEASED = _POOL_SESSIONS.labels("leased")
+_POOL_IDLE = _POOL_SESSIONS.labels("idle")
 
 
 class PoolClosedError(RuntimeError):
@@ -95,6 +122,7 @@ class SessionPool:
         self.reaped = 0
         self.timeouts = 0
         self.leases = 0
+        self.releases = 0
 
     # ------------------------------------------------------------------
     # Leasing
@@ -111,7 +139,8 @@ class SessionPool:
         """
         if timeout is ...:
             timeout = self.acquire_timeout
-        deadline = None if timeout is None else time.monotonic() + timeout
+        wait_start = clock.now()
+        deadline = None if timeout is None else wait_start + timeout
         with self._condition:
             while True:
                 if self._closed:
@@ -120,21 +149,26 @@ class SessionPool:
                 if len(self._leased) < self.size:
                     break
                 remaining = (
-                    None if deadline is None else deadline - time.monotonic()
+                    None if deadline is None else deadline - clock.now()
                 )
                 if remaining is not None and remaining <= 0:
                     self.timeouts += 1
+                    _POOL_TIMEOUT.inc()
                     raise PoolTimeoutError(
                         f"no session became available within {timeout:.1f}s "
                         f"({self.size} leased; the admission queue is full)"
                     )
                 self._condition.wait(remaining)
+            _POOL_WAIT.observe(clock.now() - wait_start)
             if self._idle:
                 session, _ = self._idle.pop()
             else:
                 session = self._create()
             self._leased.add(id(session))
             self.leases += 1
+            _POOL_LEASE.inc()
+            _POOL_LEASED.set(len(self._leased))
+            _POOL_IDLE.set(len(self._idle))
         session._in_pool = False
         session.refresh()  # pin to the newest committed version
         return session
@@ -153,8 +187,12 @@ class SessionPool:
             if self._closed:
                 self._destroy(session)
             else:
-                self._idle.append((session, time.monotonic()))
+                self._idle.append((session, clock.now()))
                 self._reap_locked()
+            self.releases += 1
+            _POOL_RELEASE.inc()
+            _POOL_LEASED.set(len(self._leased))
+            _POOL_IDLE.set(len(self._idle))
             self._condition.notify()
 
     def _create(self) -> Session:
@@ -166,6 +204,7 @@ class SessionPool:
         )
         session._pool = self
         self.created += 1
+        _POOL_CREATE.inc()
         return session
 
     def _destroy(self, session: Session) -> None:
@@ -173,6 +212,7 @@ class SessionPool:
         session._in_pool = False
         session._destroy()
         self.destroyed += 1
+        _POOL_DESTROY.inc()
 
     # ------------------------------------------------------------------
     # Reaping and shutdown
@@ -180,15 +220,17 @@ class SessionPool:
     def _reap_locked(self) -> None:
         if self.idle_timeout is None or not self._idle:
             return
-        cutoff = time.monotonic() - self.idle_timeout
+        cutoff = clock.now() - self.idle_timeout
         kept: list[tuple[Session, float]] = []
         for session, returned_at in self._idle:
             if returned_at < cutoff:
                 self._destroy(session)
                 self.reaped += 1
+                _POOL_REAP.inc()
             else:
                 kept.append((session, returned_at))
         self._idle = kept
+        _POOL_IDLE.set(len(self._idle))
 
     def reap(self) -> int:
         """Destroy idle-expired sessions now; returns how many died."""
@@ -209,6 +251,7 @@ class SessionPool:
             for session, _ in self._idle:
                 self._destroy(session)
             self._idle.clear()
+            _POOL_IDLE.set(0)
             self._condition.notify_all()
 
     def __enter__(self) -> "SessionPool":
@@ -245,6 +288,7 @@ class SessionPool:
                 "destroyed": self.destroyed,
                 "reaped": self.reaped,
                 "leases": self.leases,
+                "releases": self.releases,
                 "timeouts": self.timeouts,
                 "database_version": self.database.version,
                 "pinned_versions": self.database.pinned_versions(),

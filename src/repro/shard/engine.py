@@ -21,6 +21,7 @@ engine answer-complete for the whole query class.
 
 from __future__ import annotations
 
+import contextvars
 import itertools
 import os
 import weakref
@@ -30,6 +31,9 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.api.engines import Engine, EngineRun
 from repro.core.engine import FDBCompiled, FDBEngine
+from repro.obs import clock, spans
+from repro.obs.metrics import metrics, snapshot_diff
+from repro.obs.state import STATE
 from repro.query import Query
 from repro.relational.relation import Relation
 from repro.shard.merge import (
@@ -53,6 +57,17 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
 _FORK_REGISTRY: dict[int, ShardStore] = {}
 _TOKENS = itertools.count(1)
 
+#: Per-shard evaluation wall time by execution mode.  The fixed bucket
+#: bounds (class-level, see repro.obs.metrics.BUCKETS) make the fork
+#: workers' observations merge exactly into the parent registry.
+_SHARD_SECONDS = metrics().histogram(
+    "repro_shard_run_seconds",
+    "Per-shard evaluation wall time.",
+    ("mode",),
+)
+_SHARD_FORK = _SHARD_SECONDS.labels("fork")
+_SHARD_LOCAL = _SHARD_SECONDS.labels("local")
+
 
 def _fork_available() -> bool:
     import multiprocessing
@@ -70,22 +85,41 @@ def _evaluate_shard(
     query: Query,
     optimizer: str,
     compiled: "FDBCompiled | None" = None,
-) -> tuple[tuple[str, ...], list[tuple], str]:
+    span_context: "spans.SpanContext | None" = None,
+) -> tuple[tuple[str, ...], list[tuple], str, "dict | None", "dict | None"]:
     """Run one shard's query in a forked worker; rows travel back.
 
     ``compiled`` carries the shard's prepared f-plan across the process
     boundary (stripped of its explain payload), so re-runs of a
     prepared query skip optimisation inside every worker too.
+    ``span_context`` is the parent's pickled span identity: the worker
+    records a ``shard.run`` span under it and returns the span as a
+    dict (durations only — perf_counter timestamps do not compare
+    across processes) plus a metrics *delta* of this task.  The delta
+    is a before/after snapshot diff, so repeated tasks in a long-lived
+    worker are never double-counted on merge.
     """
     store = _FORK_REGISTRY[token]
     engine = FDBEngine(optimizer=optimizer)
-    if compiled is not None:
-        result, _, _ = engine.execute_planned(
-            compiled, query, store.databases[index]
-        )
-    else:
-        result, _, _ = engine.execute_traced(query, store.databases[index])
-    return tuple(result.schema), result.rows, result.name
+    before = metrics().snapshot() if STATE.enabled else None
+    with spans.remote_root(
+        "shard.run", span_context, shard=index, mode="fork"
+    ) as shard_span:
+        started = clock.now()
+        if compiled is not None:
+            result, _, _ = engine.execute_planned(
+                compiled, query, store.databases[index]
+            )
+        else:
+            result, _, _ = engine.execute_traced(query, store.databases[index])
+        _SHARD_FORK.observe(clock.now() - started)
+    payload = shard_span.to_dict() if shard_span is not None else None
+    delta = (
+        snapshot_diff(metrics().snapshot(), before)
+        if before is not None
+        else None
+    )
+    return tuple(result.schema), result.rows, result.name, payload, delta
 
 
 @dataclass
@@ -205,7 +239,9 @@ class ShardedFDBBackend(Engine):
             return EngineRun(relation=result, plan=plan, trace=trace)
         plan = plan_shards(query)
         shard_results = self._map_shards(plan.shard_query, store)
-        return EngineRun(relation=self._merge(query, plan, shard_results))
+        with spans.span("merge", strategy=plan.strategy):
+            merged = self._merge(query, plan, shard_results)
+        return EngineRun(relation=merged)
 
     # ------------------------------------------------------------------
     # Two-phase lifecycle
@@ -272,7 +308,9 @@ class ShardedFDBBackend(Engine):
         shard_results = self._map_shards(
             merge.shard_query, store, compiled=artifact.shard_plans
         )
-        return EngineRun(relation=self._merge(query, merge, shard_results))
+        with spans.span("merge", strategy=merge.strategy):
+            merged = self._merge(query, merge, shard_results)
+        return EngineRun(relation=merged)
 
     def explain(self, query: Query, database: "Database") -> str:
         store = self._ensure_store(database)
@@ -362,6 +400,21 @@ class ShardedFDBBackend(Engine):
         assert isinstance(result, Relation)
         return result
 
+    def _timed_local(
+        self,
+        store: ShardStore,
+        index: int,
+        query: Query,
+        compiled: "FDBCompiled | None",
+        mode: str,
+    ) -> Relation:
+        """One in-process shard evaluation inside its ``shard.run`` span."""
+        with spans.span("shard.run", shard=index, mode=mode):
+            started = clock.now()
+            result = self._run_local(store, index, query, compiled)
+            _SHARD_LOCAL.observe(clock.now() - started)
+        return result
+
     def _map_shards(
         self,
         query: Query,
@@ -373,9 +426,14 @@ class ShardedFDBBackend(Engine):
             compiled if compiled is not None else [None] * store.shards
         )
         if self.workers <= 1 or store.shards == 1:
-            return [self._run_local(store, i, query, plans[i]) for i in indices]
+            return [
+                self._timed_local(store, i, query, plans[i], "sequential")
+                for i in indices
+            ]
         if _fork_available():
             pool, token = self._ensure_pool(store)
+            parent = spans.current_span()
+            context = spans.span_context()
             futures = [
                 pool.submit(
                     _evaluate_shard,
@@ -384,19 +442,39 @@ class ShardedFDBBackend(Engine):
                     query,
                     self.optimizer,
                     plans[i].lite() if plans[i] is not None else None,
+                    context,
                 )
                 for i in indices
             ]
-            return [
-                Relation(schema, rows, name=name)
-                for schema, rows, name in (f.result() for f in futures)
-            ]
+            results: list[Relation] = []
+            for future in futures:
+                schema, rows, name, span_payload, delta = future.result()
+                if span_payload is not None and parent is not None:
+                    # Re-parent the worker's span under this process's
+                    # engine.run span (durations survive, timestamps
+                    # never crossed the boundary).
+                    parent.adopt(span_payload)
+                if delta:
+                    metrics().merge(delta)
+                results.append(Relation(schema, rows, name=name))
+            return results
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             # execute_traced/execute_planned are stateless, so one
             # engine serves all threads; the GIL serialises the work
-            # but keeps semantics.
+            # but keeps semantics.  Each task runs under its own copy
+            # of the context (thread executors do not propagate
+            # contextvars), so shard.run spans attach to this thread's
+            # current span.
             futures = [
-                pool.submit(self._run_local, store, i, query, plans[i])
+                pool.submit(
+                    contextvars.copy_context().run,
+                    self._timed_local,
+                    store,
+                    i,
+                    query,
+                    plans[i],
+                    "thread",
+                )
                 for i in indices
             ]
             return [f.result() for f in futures]

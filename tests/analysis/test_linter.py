@@ -201,6 +201,119 @@ class TestAsyncBlocking:
 
 
 # ---------------------------------------------------------------------------
+# Observability allocation under locks
+# ---------------------------------------------------------------------------
+class TestObsAllocation:
+    def test_labels_inside_lock_flags(self):
+        findings = lint(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def lookup(self, key, events):
+                    with self._lock:
+                        events.labels("plan", "hit").inc()
+            """
+        )
+        assert rules_of(findings) == ["obs-allocation"]
+        assert ".labels(...)" in findings[0].message
+
+    def test_family_construction_inside_lock_flags(self):
+        findings = lint(
+            """
+            import threading
+            from repro.obs.metrics import metrics
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def apply(self):
+                    with self._lock:
+                        metrics().counter("repro_x_total").inc()
+            """
+        )
+        assert rules_of(findings) == ["obs-allocation", "obs-allocation"]
+
+    def test_span_inside_lock_flags(self):
+        findings = lint(
+            """
+            import threading
+            from repro.obs import spans
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def run(self):
+                    with self._lock:
+                        with spans.span("engine.run"):
+                            pass
+            """
+        )
+        assert rules_of(findings) == ["obs-allocation"]
+
+    def test_prebound_child_inside_lock_is_clean(self):
+        findings = lint(
+            """
+            import threading
+
+            _HITS = None  # pre-bound at import in real code
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def lookup(self, key):
+                    with self._lock:
+                        _HITS.inc()
+            """
+        )
+        assert findings == []
+
+    def test_allocation_outside_lock_is_clean(self):
+        findings = lint(
+            """
+            import threading
+            from repro.obs import spans
+
+            class Engine:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def run(self, events):
+                    child = events.labels("fdb")
+                    with spans.span("engine.run"):
+                        with self._lock:
+                            child.inc()
+            """
+        )
+        assert findings == []
+
+    def test_nested_def_under_lock_is_clean(self):
+        # The closure body runs later, when the lock is released.
+        findings = lint(
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def deferred(self, events):
+                    with self._lock:
+                        def emit():
+                            events.labels("a").inc()
+                        return emit
+            """
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions and report plumbing
 # ---------------------------------------------------------------------------
 class TestSuppressions:

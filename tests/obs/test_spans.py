@@ -1,0 +1,184 @@
+"""Span trees: nesting, thread/process propagation, the slow log."""
+
+from __future__ import annotations
+
+import contextvars
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs import configure
+from repro.obs.spans import (
+    Span,
+    SpanContext,
+    current_span,
+    remote_root,
+    slow_log,
+    span,
+    span_context,
+)
+
+
+class TestNesting:
+    def test_child_attaches_to_the_enclosing_span(self):
+        with span("session.query") as root:
+            with span("plan") as plan:
+                assert current_span() is plan
+            with span("engine.run"):
+                with span("merge"):
+                    pass
+        assert [c.name for c in root.children] == ["plan", "engine.run"]
+        assert root.children[1].children[0].name == "merge"
+        assert all(
+            c.trace_id == root.trace_id for c in root.children
+        )
+
+    def test_durations_recorded_on_exit(self):
+        with span("q") as root:
+            with span("step") as step:
+                pass
+        assert root.duration is not None and root.duration >= 0.0
+        assert step.duration is not None
+
+    def test_exception_marks_the_span(self):
+        try:
+            with span("q") as root:
+                raise KeyError("boom")
+        except KeyError:
+            pass
+        assert root.attributes["error"] == "KeyError"
+
+    def test_current_span_resets_after_exit(self):
+        assert current_span() is None
+        with span("q"):
+            assert current_span() is not None
+        assert current_span() is None
+
+    def test_disabled_span_binds_none(self):
+        configure(enabled=False)
+        try:
+            with span("q") as root:
+                assert root is None
+            assert remote_root("r", None) is not None  # the noop object
+            with remote_root("r", None) as remote:
+                assert remote is None
+        finally:
+            configure(enabled=True)
+
+
+class TestThreadPropagation:
+    def test_copied_context_attaches_across_threads(self):
+        # The documented executor pattern: one fresh copy per task.
+        def work(index):
+            with span("shard.run", shard=index):
+                return index
+
+        with span("engine.run") as parent:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                futures = [
+                    pool.submit(contextvars.copy_context().run, work, i)
+                    for i in range(4)
+                ]
+                [f.result() for f in futures]
+        assert sorted(
+            c.attributes["shard"] for c in parent.children
+        ) == [0, 1, 2, 3]
+        assert all(c.parent_id == parent.span_id for c in parent.children)
+
+    def test_plain_submit_does_not_inherit(self):
+        # Without the copy, the worker thread sees no current span.
+        with span("engine.run"):
+            with ThreadPoolExecutor(max_workers=1) as pool:
+                assert pool.submit(current_span).result() is None
+
+
+class TestProcessProtocol:
+    def test_span_context_pickles(self):
+        with span("session.query"):
+            context = span_context()
+        assert pickle.loads(pickle.dumps(context)) == context
+
+    def test_remote_root_carries_the_parent_identity(self):
+        context = SpanContext("trace-1", "span-1")
+        with remote_root("shard.run", context, shard=2) as remote:
+            pass
+        assert remote.trace_id == "trace-1"
+        assert remote.parent_id == "span-1"
+        assert remote.attributes == {"shard": 2}
+
+    def test_to_dict_from_dict_round_trip(self):
+        with span("q") as root:
+            with span("step", shard=0):
+                pass
+        clone = Span.from_dict(root.to_dict())
+        assert clone.name == "q"
+        assert clone.span_id == root.span_id
+        assert clone.children[0].attributes == {"shard": 0}
+        assert clone.children[0].duration == root.children[0].duration
+
+    def test_adopt_reparents_a_worker_payload(self):
+        context_holder = {}
+        with span("engine.run") as parent:
+            context_holder["ctx"] = span_context()
+        # "Worker side": record against the pickled context.
+        with remote_root(
+            "shard.run", context_holder["ctx"], shard=1
+        ) as worker:
+            pass
+        payload = pickle.loads(pickle.dumps(worker.to_dict()))
+        adopted = parent.adopt(payload)
+        assert adopted in parent.children
+        assert adopted.parent_id == parent.span_id
+        assert adopted.trace_id == parent.trace_id
+
+    def test_adopt_rewrites_an_orphan_subtree(self):
+        with remote_root("shard.run", None) as orphan:
+            pass
+        with span("engine.run") as parent:
+            pass
+        adopted = parent.adopt(orphan)
+        assert adopted.trace_id == parent.trace_id
+
+
+class TestRendering:
+    def test_render_shows_tree_and_attributes(self):
+        with span("session.query") as root:
+            with span("shard.run", shard=0, mode="fork"):
+                pass
+        text = root.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("session.query")
+        assert "  shard.run [mode=fork, shard=0]" in lines[1]
+        assert "ms" in lines[0]
+
+
+class TestSlowLog:
+    def test_roots_are_recorded_and_ranked(self):
+        slow_log().clear()
+        with span("fast") as fast:
+            pass
+        with span("slow") as slow:
+            pass
+        # Rank deterministically without sleeping.
+        fast.duration = 0.001
+        slow.duration = 0.5
+        entries = slow_log().slowest(limit=2)
+        assert [e["name"] for e in entries] == ["slow", "fast"]
+        assert entries[0]["tree"]["name"] == "slow"
+        slow_log().clear()
+
+    def test_child_spans_are_not_recorded(self):
+        slow_log().clear()
+        with span("root"):
+            with span("child"):
+                pass
+        names = [e["name"] for e in slow_log().slowest()]
+        assert names == ["root"]
+        slow_log().clear()
+
+    def test_capacity_bounds_the_buffer(self):
+        slow_log().clear()
+        for index in range(40):
+            with span(f"q{index}"):
+                pass
+        assert len(slow_log().slowest(limit=100)) == 32
+        slow_log().clear()

@@ -1,0 +1,135 @@
+"""End-to-end traces: Result.explain() span trees across every engine path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import connect
+from repro.data.workloads import build_workload_database
+from repro.obs import configure
+
+REVENUE = (
+    "SELECT customer, SUM(price) AS revenue "
+    "FROM Orders, Packages, Items GROUP BY customer"
+)
+
+# Single-relation aggregation over the registered view: shardable.
+SHARDABLE = "SELECT customer, SUM(price) AS revenue FROM R1 GROUP BY customer"
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_workload_database(scale=0.1, seed=7)
+
+
+def _span_names(node: dict) -> set[str]:
+    names = {node["name"]}
+    for child in node["children"]:
+        names |= _span_names(child)
+    return names
+
+
+class TestSingleEngine:
+    def test_result_carries_the_root_span(self, db):
+        session = connect(db, engine="fdb")
+        result = session.sql(REVENUE)
+        assert result.span is not None
+        assert result.span.name == "session.query"
+        assert result.span.duration is not None
+
+    def test_explain_renders_the_span_tree(self, db):
+        session = connect(db, engine="fdb")
+        result = session.sql(REVENUE)
+        text = result.explain()
+        assert f"span tree (trace {result.span.trace_id})" in text
+        assert "session.query" in text
+        assert "engine.run" in text
+
+    def test_trace_json_exports_the_tree(self, db):
+        session = connect(db, engine="fdb")
+        result = session.sql(REVENUE)
+        tree = json.loads(result.trace_json())
+        assert tree["name"] == "session.query"
+        names = _span_names(tree)
+        assert {"cache.lookup", "engine.run"} <= names
+
+    def test_plan_span_appears_on_first_execution_only(self, db):
+        session = connect(db, engine="fdb")
+        first = session.sql(REVENUE + " ORDER BY revenue")
+        assert "plan" in _span_names(json.loads(first.trace_json()))
+        again = session.sql(REVENUE + " ORDER BY revenue")
+        # Plan cache hit: no recompile, hence no plan span.
+        assert "plan" not in _span_names(json.loads(again.trace_json()))
+
+    def test_disabled_results_have_no_span(self, db):
+        configure(enabled=False)
+        try:
+            session = connect(db, engine="fdb")
+            result = session.sql(REVENUE)
+            assert result.span is None
+            assert result.trace_json() is None
+            assert "span tree" not in result.explain()
+        finally:
+            configure(enabled=True)
+
+
+class TestParallelEngine:
+    """The acceptance-criteria trace: per-shard spans re-parented."""
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_shard_spans_reparent_under_the_root(self, db, workers):
+        session = connect(
+            db, engine="fdb-parallel", shards=3, workers=workers
+        )
+        try:
+            result = session.sql(SHARDABLE)
+            tree = json.loads(result.trace_json())
+            names = _span_names(tree)
+            assert {"session.query", "engine.run", "merge"} <= names
+
+            def collect(node, name):
+                found = [node] if node["name"] == name else []
+                for child in node["children"]:
+                    found.extend(collect(child, name))
+                return found
+
+            shard_spans = collect(tree, "shard.run")
+            assert len(shard_spans) == 3
+            assert sorted(
+                s["attributes"]["shard"] for s in shard_spans
+            ) == [0, 1, 2]
+            # Every shard span is inside the root's trace (the fork
+            # path re-parents via Span.adopt, the local paths attach
+            # directly).
+            assert all(
+                s["trace_id"] == tree["trace_id"] for s in shard_spans
+            )
+            assert all(
+                s["seconds"] is not None for s in shard_spans
+            )
+        finally:
+            session.close()
+
+    def test_explain_shows_per_shard_lines(self, db):
+        session = connect(db, engine="fdb-parallel", shards=2, workers=0)
+        try:
+            result = session.sql(SHARDABLE)
+            text = result.explain()
+            assert text.count("shard.run") == 2
+            assert "merge" in text
+        finally:
+            session.close()
+
+
+class TestExplainAnalyze:
+    def test_fplan_steps_carry_wall_times(self, db):
+        session = connect(db, engine="fdb")
+        result = session.sql(REVENUE)
+        trace = result.trace
+        assert trace is not None
+        assert len(trace.seconds) == len(trace.steps)
+        assert all(s >= 0.0 for s in trace.seconds)
+        text = result.explain()
+        assert "ms" in text

@@ -1,0 +1,204 @@
+"""Observability over the wire: /metrics, /debug/slow, pool gauges."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.obs.export import CONTENT_TYPE, parse_prometheus
+from repro.obs.metrics import metrics
+from repro.server import Client, Server, SessionPool
+
+SEED = 20130807
+
+
+@pytest.fixture()
+def server(pizzeria):
+    with Server(pizzeria, port=0, pool_size=4, acquire_timeout=0.2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with Client(port=server.port) as c:
+        yield c
+
+
+PIZZERIA_TOTAL = (
+    "SELECT customer, SUM(price) AS total FROM Orders, Pizzas, Items "
+    "WHERE Orders.pizza = Pizzas.pizza AND Pizzas.item = Items.item "
+    "GROUP BY customer"
+)
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_covers_every_layer(self, client):
+        client.query(PIZZERIA_TOTAL)
+        client.query(PIZZERIA_TOTAL)  # result-cache hit
+        client.insert("Items", [("truffle", 9)])
+        text = client.metrics()
+        families = parse_prometheus(text)
+        # The acceptance-criteria series: cache, pool, IVM, HTTP.
+        assert "repro_cache_events_total" in families
+        assert "repro_pool_events_total" in families
+        assert "repro_ivm_maintenance_total" in families
+        assert "repro_http_request_seconds" in families
+        assert "repro_queries_total" in families
+        http = families["repro_http_request_seconds"]
+        assert http["kind"] == "histogram"
+        count = http["samples"][
+            (
+                "repro_http_request_seconds_count",
+                (("endpoint", "/query"),),
+            )
+        ]
+        assert count >= 2.0
+        responses = families["repro_http_responses_total"]["samples"]
+        assert (
+            responses[
+                ("repro_http_responses_total",
+                 (("endpoint", "/query"), ("status", "2xx")))
+            ]
+            >= 2.0
+        )
+
+    def test_exposition_is_well_formed(self, client):
+        client.query(PIZZERIA_TOTAL)
+        text = client.metrics()
+        assert text.startswith("# HELP ")
+        lines = [ln for ln in text.splitlines() if ln]
+        typed = {
+            ln.split()[3]
+            for ln in lines
+            if ln.startswith("# TYPE ")
+        }
+        assert typed <= {"counter", "gauge", "histogram"}
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            name_and_labels, _, value = line.rpartition(" ")
+            assert name_and_labels
+            float(value)  # every sample value parses
+
+    def test_scrape_counts_itself_without_a_session(self, server):
+        # /metrics is served off the event loop: no pool admission.
+        leased_before = server.pool.leased
+        with Client(port=server.port) as c:
+            c.metrics()
+            text = c.metrics()
+        assert server.pool.leased == leased_before
+        families = parse_prometheus(text)
+        count = families["repro_http_request_seconds"]["samples"][
+            (
+                "repro_http_request_seconds_count",
+                (("endpoint", "/metrics"),),
+            )
+        ]
+        assert count >= 1.0
+
+    def test_content_type_is_prometheus_text(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        try:
+            connection.request("GET", "/metrics")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == CONTENT_TYPE
+            response.read()
+        finally:
+            connection.close()
+
+
+class TestSlowLogEndpoint:
+    def test_debug_slow_lists_recent_traces(self, client):
+        client.query(PIZZERIA_TOTAL)
+        entries = client.slow_queries()
+        assert entries, "the ring buffer should hold the query just run"
+        entry = entries[0]
+        assert entry["name"] == "session.query"
+        assert entry["seconds"] >= 0.0
+        assert entry["trace_id"]
+        assert entry["tree"]["name"] == "session.query"
+
+    def test_entries_are_ranked_slowest_first(self, client):
+        for _ in range(3):
+            client.query(PIZZERIA_TOTAL)
+        entries = client.slow_queries()
+        seconds = [e["seconds"] for e in entries]
+        assert seconds == sorted(seconds, reverse=True)
+
+
+class TestPoolGauges:
+    def test_stats_exposes_releases(self, pizzeria):
+        pool = SessionPool(pizzeria, size=2)
+        session = pool.acquire()
+        session.close()
+        stats = pool.stats()
+        assert stats["leases"] == 1
+        assert stats["releases"] == 1
+        assert stats["leased"] == 0 and stats["idle"] == 1
+        pool.close()
+
+    def test_gauges_balance_under_seeded_stress(self, pizzeria):
+        """Satellite: admissions == releases + active at quiesce, and
+        the leased/idle gauges never go negative."""
+        pool = SessionPool(pizzeria, size=4, engine="fdb")
+        stop = threading.Event()
+        failures: list[str] = []
+        sessions = metrics().gauge(
+            "repro_pool_sessions", labelnames=("state",)
+        )
+        leased_gauge = sessions.labels("leased")
+        idle_gauge = sessions.labels("idle")
+
+        def writer() -> None:
+            try:
+                for step in range(30):
+                    pizzeria.insert("Items", [(f"obs-{step}", step % 5)])
+            finally:
+                stop.set()
+
+        def reader(index: int) -> None:
+            rng = random.Random(SEED + index)
+            passes = 0
+            while not (stop.is_set() and passes > 0):
+                passes += 1
+                session = pool.acquire()
+                try:
+                    session.sql("SELECT COUNT(*) AS n FROM Items")
+                    if leased_gauge.value < 0 or idle_gauge.value < 0:
+                        failures.append(
+                            f"reader {index}: negative pool gauge "
+                            f"(leased={leased_gauge.value}, "
+                            f"idle={idle_gauge.value})"
+                        )
+                        return
+                    if rng.random() < 0.2:
+                        session.refresh()
+                finally:
+                    session.close()
+
+        threads = [threading.Thread(target=writer)]
+        threads += [
+            threading.Thread(target=reader, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "stress thread hung"
+        assert not failures, failures[0]
+
+        # Quiesced: every admission was matched by a release (none of
+        # the readers still holds a session).
+        stats = pool.stats()
+        assert stats["leases"] == stats["releases"] + stats["leased"]
+        assert stats["leased"] == 0
+        assert stats["idle"] >= 1
+        assert leased_gauge.value >= 0 and idle_gauge.value >= 0
+        pool.close()

@@ -1,0 +1,213 @@
+"""Columnar kernel speedup: fdb-columnar vs fdb-legacy vs sqlite.
+
+Measures the fig4 aggregate queries Q2/Q3 end to end through
+``FDBEngine.execute_traced`` (compile + f-plan + output, the same path
+the adapters in :mod:`repro.bench.engines` measure) for both union
+layouts, alongside sqlite as the flat baseline, plus per-kernel
+microbenchmarks (union merge, product, γ fold) that time one operator
+application on identical inputs in each layout.
+
+The PR's acceptance criterion is that the columnar layout's Q2 median
+at scale 1.0 beats the legacy layout by at least 3× on the pure-Python
+path (no numpy).
+
+Writes ``BENCH_PR9.json``.
+
+Usage::
+
+    python benchmarks/bench_columnar.py            # scales 0.1 and 1.0
+    python benchmarks/bench_columnar.py --quick    # CI smoke (0.1 only)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.engines import SQLiteAdapter  # noqa: E402
+from repro.core import operators as ops  # noqa: E402
+from repro.core.build import factorise_path  # noqa: E402
+from repro.core.engine import FDBEngine  # noqa: E402
+from repro.data.workloads import WORKLOAD, build_workload_database  # noqa: E402
+from repro.relational.relation import Relation  # noqa: E402
+
+QUERIES = ("Q2", "Q3")
+
+
+def _median_ms(samples) -> float:
+    return statistics.median(samples) * 1000.0
+
+
+def _bench_fdb(database, query, layout, repeats) -> list[float]:
+    engine = FDBEngine(output="flat", layout=layout)
+    engine.execute_traced(query, database)  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.execute_traced(query, database)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _bench_sqlite(database, query, repeats) -> list[float]:
+    adapter = SQLiteAdapter()
+    adapter.prepare(database)
+    adapter.run(query)  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        adapter.run(query)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# Per-kernel microbenchmarks: one operator application per layout
+# ---------------------------------------------------------------------------
+def _micro_inputs(rows, layout, schema=("a", "b", "c")):
+    """A path factorisation over ``rows`` in the given layout."""
+    relation = Relation(schema, rows)
+    return factorise_path(relation, key="M", layout=layout)
+
+
+def _micro_rows(n):
+    groups = max(n // 4, 1)
+    return [
+        (i % groups, (i * 7) % 101, float(i % 13))
+        for i in range(n)
+    ]
+
+
+def _time_operator(apply, repeats) -> list[float]:
+    apply()  # warm-up
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        apply()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _microbench(layout, n, repeats) -> dict:
+    fact = _micro_inputs(_micro_rows(n), layout)
+    other = _micro_inputs(
+        [(i % max(n // 5, 1), i % 11, float(i % 7)) for i in range(n)],
+        layout,
+        schema=("a2", "b2", "c2"),
+    )
+
+    # union merge: the sibling-merge selection σ_{A=B} intersects two
+    # sorted unions entry by entry (legacy) or array by array (columnar).
+    paired = ops.product(fact, other)
+    samples = {}
+    samples["union_merge"] = _median_ms(
+        _time_operator(
+            lambda: ops.merge_siblings(paired, "a", "a2"), repeats
+        )
+    )
+    samples["product"] = _median_ms(
+        _time_operator(lambda: ops.product(fact, other), repeats)
+    )
+    samples["gamma_fold"] = _median_ms(
+        _time_operator(
+            lambda: ops.apply_aggregation(
+                fact, "a", ("b",), (("count", None), ("sum", "c"))
+            ),
+            repeats,
+        )
+    )
+    return samples
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scale 0.1 only and few repeats (CI smoke; relaxes the gate)",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR9.json"),
+    )
+    args = parser.parse_args(argv)
+
+    scales = (0.1,) if args.quick else (0.1, 1.0)
+    repeats = args.repeats if args.repeats is not None else (5 if args.quick else 21)
+
+    results = []
+    gate_ratio = None
+    for scale in scales:
+        database = build_workload_database(scale=scale, seed=args.seed)
+        for name in QUERIES:
+            query = WORKLOAD[name].query
+            columnar = _median_ms(
+                _bench_fdb(database, query, "columnar", repeats)
+            )
+            legacy = _median_ms(_bench_fdb(database, query, "legacy", repeats))
+            flat = _median_ms(_bench_sqlite(database, query, repeats))
+            ratio = legacy / columnar if columnar else 0.0
+            if name == "Q2" and scale == 1.0:
+                gate_ratio = ratio
+            results.append(
+                {
+                    "query": name,
+                    "scale": scale,
+                    "fdb_columnar_median_ms": columnar,
+                    "fdb_legacy_median_ms": legacy,
+                    "sqlite_median_ms": flat,
+                    "legacy_over_columnar": ratio,
+                }
+            )
+            print(
+                f"{name:<4} scale {scale:<4} columnar {columnar:8.2f} ms  "
+                f"legacy {legacy:8.2f} ms  sqlite {flat:8.2f} ms  "
+                f"({ratio:.2f}x)"
+            )
+
+    micro_n = 2_000 if args.quick else 20_000
+    micro = {}
+    for layout in ("columnar", "legacy"):
+        micro[layout] = _microbench(layout, micro_n, max(repeats, 5))
+    for kernel in sorted(micro["columnar"]):
+        c, l = micro["columnar"][kernel], micro["legacy"][kernel]
+        print(
+            f"kernel {kernel:<12} columnar {c:8.3f} ms  legacy {l:8.3f} ms  "
+            f"({l / c if c else 0.0:.2f}x)"
+        )
+
+    payload = {
+        "benchmark": "bench_columnar",
+        "config": {
+            "scales": list(scales),
+            "repeats": repeats,
+            "seed": args.seed,
+            "quick": args.quick,
+            "micro_rows": micro_n,
+        },
+        "results": results,
+        "microbenchmarks": micro,
+        "q2_scale1_legacy_over_columnar": gate_ratio,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if not args.quick and (gate_ratio is None or gate_ratio < 3.0):
+        print(
+            f"FAIL: columnar beats legacy by {gate_ratio:.2f}x on Q2 at "
+            "scale 1.0 (< 3x)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

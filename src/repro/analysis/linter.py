@@ -36,6 +36,20 @@ so this module checks them structurally:
     session/pool operations (``.acquire``/``.sql``/``.execute``/...)
     invoked directly on the loop instead of through the executor.
 
+``kernel-scalar-loop``
+    The columnar kernels in :mod:`repro.core.kernels` and
+    :mod:`repro.core.aggregates` earn their speedup by moving data as
+    whole arrays; a ``for`` statement binding union *values* one
+    element at a time (``for v in union.values``,
+    ``for i, v in enumerate(values)``) reintroduces the per-singleton
+    interpreter overhead the layout exists to avoid.  Comprehensions
+    and generator expressions are sanctioned (single-opcode loops over
+    a column are the batch idiom), as are index loops like
+    ``for i in range(len(values))`` that do per-*context* batch work.
+    Loops that genuinely must visit entries one by one (regrouping
+    pivots, early-exit scans) carry a
+    ``# repro: allow[kernel-scalar-loop]`` justification.
+
 ``obs-allocation``
     Observability calls that allocate per call — ``.labels(...)``
     child resolution, ``metrics()``/``.counter(``/``.gauge(``/
@@ -101,6 +115,13 @@ ASYNC_BLOCKING_METHODS = frozenset(
     }
 )
 ASYNC_SUBJECT_HINTS = ("session", "pool")
+
+#: Modules under ``core/`` holding the hot batch kernels the
+#: ``kernel-scalar-loop`` rule polices.
+KERNEL_MODULES = frozenset({"kernels.py", "aggregates.py"})
+
+#: Iterator wrappers whose arguments still bind elements one at a time.
+ELEMENTWISE_WRAPPERS = frozenset({"enumerate", "zip", "reversed", "sorted"})
 
 #: Observability calls that allocate on every invocation (child lookup,
 #: family registration, span construction, logger resolution) and so
@@ -696,6 +717,60 @@ def _async_blocking(
 
 
 # ---------------------------------------------------------------------------
+# kernel-scalar-loop (columnar kernel modules)
+# ---------------------------------------------------------------------------
+def _is_kernel_module(filename: str) -> bool:
+    path = Path(filename)
+    return "core" in path.parts and path.name in KERNEL_MODULES
+
+
+def _binds_union_values(iterable: ast.AST) -> bool:
+    """Whether iterating ``iterable`` yields union values one at a time.
+
+    Matches the ``.values`` data attribute of a union (never the
+    ``dict.values()`` *call*), local columns named ``values`` /
+    ``*_values``, and the same wrapped in ``enumerate``/``zip``/
+    ``reversed``/``sorted``.  Index iterators such as
+    ``range(len(values))`` deliberately do not match: walking contexts
+    by position is how batch kernels are written.
+    """
+    if isinstance(iterable, ast.Attribute) and iterable.attr == "values":
+        return True
+    if isinstance(iterable, ast.Name) and (
+        iterable.id == "values" or iterable.id.endswith("_values")
+    ):
+        return True
+    if (
+        isinstance(iterable, ast.Call)
+        and isinstance(iterable.func, ast.Name)
+        and iterable.func.id in ELEMENTWISE_WRAPPERS
+    ):
+        return any(_binds_union_values(arg) for arg in iterable.args)
+    return False
+
+
+def _kernel_scalar_loops(
+    function: ast.FunctionDef | ast.AsyncFunctionDef, filename: str
+) -> list[Finding]:
+    findings = []
+    for node in _walk_shallow(function):
+        if isinstance(node, ast.For) and _binds_union_values(node.iter):
+            findings.append(
+                Finding(
+                    "kernel-scalar-loop",
+                    f"{function.name}: for-statement binds union values "
+                    "one element at a time; restructure as a batch "
+                    "column operation (comprehensions over a column are "
+                    "fine), or justify why the loop must stay scalar",
+                    file=filename,
+                    line=node.lineno,
+                    source="lint",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
 def lint_source(source: str, filename: str) -> list[Finding]:
@@ -714,6 +789,7 @@ def lint_source(source: str, filename: str) -> list[Finding]:
         ]
     findings: list[Finding] = []
     server_code = "server" in Path(filename).parts
+    kernel_code = _is_kernel_module(filename)
     for node in ast.walk(tree):
         if isinstance(node, ast.ClassDef):
             findings.extend(_lock_discipline(node, filename))
@@ -723,6 +799,8 @@ def lint_source(source: str, filename: str) -> list[Finding]:
             findings.extend(_function_mutation_rules(node, filename))
             if isinstance(node, ast.AsyncFunctionDef) and server_code:
                 findings.extend(_async_blocking(node, filename))
+            if kernel_code:
+                findings.extend(_kernel_scalar_loops(node, filename))
     suppressions = suppressed_rules(source)
     kept = [f for f in findings if not is_suppressed(f, suppressions)]
     kept.sort(key=lambda f: (f.line or 0, f.rule))

@@ -27,10 +27,17 @@ The subpackage implements, bottom-up:
 """
 
 from repro.core.ftree import AggregateAttribute, FNode, FTree, PathConstraintError
-from repro.core.frep import Factorisation, FRNode
+from repro.core.frep import (
+    ColumnarFactorisation,
+    CUnion,
+    Factorisation,
+    FRNode,
+)
 
 __all__ = [
     "AggregateAttribute",
+    "ColumnarFactorisation",
+    "CUnion",
     "FDBEngine",
     "FNode",
     "FTree",

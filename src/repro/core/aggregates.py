@@ -27,11 +27,15 @@ from dataclasses import dataclass
 from itertools import product as _cartesian
 from typing import Any, Iterator, Sequence
 
-from repro.core.frep import FRNode
+from repro.core.frep import CUnion, FRNode, iter_entries
 from repro.core.ftree import AggregateAttribute, FNode
 from repro.expr import Attr, Expr, Term, linearise
 
-#: A fragment is a node together with its union of entries.
+#: A fragment is a node together with its union of entries.  Unions may
+#: be legacy (``list[FRNode]``) or columnar (:class:`CUnion`); every
+#: union-level evaluator dispatches on the type, so forests may mix
+#: layouts (the engine's group-value fragments are legacy one-entry
+#: unions even when the data fragments are columnar).
 FragmentItem = tuple[FNode, list]
 
 #: One γ component: an aggregation function over a bare attribute
@@ -53,10 +57,29 @@ class EmptyAggregateError(ValueError):
 # ---------------------------------------------------------------------------
 def count_union(node: FNode, union: list[FRNode]) -> int:
     """|⟦E⟧| for the fragment of ``node``: Σ over entries (disjoint union)."""
+    if type(union) is CUnion:
+        return _count_cunion(node, union)
     total = 0
     for entry in union:
         total += _entry_multiplicity(node, entry) * _children_count(node, entry)
     return total
+
+
+def _count_cunion(node: FNode, union: CUnion) -> int:
+    """Batch count: one comprehension pass per child column."""
+    values = union.values
+    cols = union.children
+    if node.aggregate is None:
+        acc = None  # all multiplicities are 1
+    else:
+        component = _count_component(node)
+        acc = [value[component] for value in values]
+    if not cols:
+        return len(values) if acc is None else sum(acc)
+    for child, col in zip(node.children, cols):
+        counts = [count_union(child, sub) for sub in col]
+        acc = counts if acc is None else [a * c for a, c in zip(acc, counts)]
+    return sum(acc)
 
 
 def count_forest(items: Sequence[FragmentItem]) -> int:
@@ -74,17 +97,25 @@ def _children_count(node: FNode, entry: FRNode) -> int:
     return product
 
 
-def _entry_multiplicity(node: FNode, entry: FRNode) -> int:
-    """Tuples represented by one singleton: 1, or c for ⟨count(X):c⟩."""
-    if node.aggregate is None:
-        return 1
+def _count_component(node: FNode) -> int:
     component = node.aggregate.count_component
     if component is None:
         raise CompositionError(
             f"cannot count over aggregate attribute {node.aggregate} "
             "that retains no count component (illegal composition, Prop. 2)"
         )
-    return entry.value[component]
+    return component
+
+
+def _value_multiplicity(node: FNode, value: Any) -> int:
+    """Tuples represented by one singleton: 1, or c for ⟨count(X):c⟩."""
+    if node.aggregate is None:
+        return 1
+    return value[_count_component(node)]
+
+
+def _entry_multiplicity(node: FNode, entry: FRNode) -> int:
+    return _value_multiplicity(node, entry.value)
 
 
 def empty_aggregate_components(functions: Sequence[Component]) -> tuple:
@@ -121,8 +152,35 @@ def forest_is_empty(items: Sequence[FragmentItem]) -> bool:
     return any(_union_is_empty(node, union) for node, union in items)
 
 
-def _union_is_empty(node: FNode, union: list[FRNode]) -> bool:
+def union_is_empty(node: FNode, union) -> bool:
+    """Whether one fragment represents zero tuples (either layout)."""
+    return _union_is_empty(node, union)
+
+
+def _union_is_empty(node: FNode, union) -> bool:
+    if type(union) is CUnion:
+        return _cunion_is_empty(node, union)
     return all(_entry_is_empty(node, entry) for entry in union)
+
+
+def _cunion_is_empty(node: FNode, union: CUnion) -> bool:
+    values = union.values
+    if not values:
+        return True
+    cols = union.children
+    children = node.children
+    component = (
+        node.aggregate.count_component if node.aggregate is not None else None
+    )
+    span = range(len(cols))
+    # Early exit on the first non-empty entry (the common case).
+    for i, value in enumerate(values):  # repro: allow[kernel-scalar-loop]
+        if component is not None and value[component] == 0:
+            continue
+        if any(_union_is_empty(children[c], cols[c][i]) for c in span):
+            continue
+        return False
+    return True
 
 
 def _entry_is_empty(node: FNode, entry: FRNode) -> bool:
@@ -141,6 +199,8 @@ def _entry_is_empty(node: FNode, entry: FRNode) -> bool:
 # ---------------------------------------------------------------------------
 def sum_union(attribute: str, node: FNode, union: list[FRNode]) -> Any:
     """Σ of ``attribute`` over ⟦fragment⟧."""
+    if type(union) is CUnion:
+        return _sum_cunion(attribute, node, union)
     carrier = _carries(node, attribute, "sum")
     total: Any = 0
     if carrier == "here":
@@ -161,6 +221,46 @@ def sum_union(attribute: str, node: FNode, union: list[FRNode]) -> Any:
     return total
 
 
+def _sum_cunion(attribute: str, node: FNode, union: CUnion) -> Any:
+    """Batch Σ: carrier resolved once per union, one pass per column."""
+    carrier = _carries(node, attribute, "sum")
+    values = union.values
+    cols = union.children
+    if carrier == "here":
+        component = (
+            None
+            if node.aggregate is None
+            else node.aggregate.sum_component(attribute)
+        )
+        acc = (
+            list(values)
+            if component is None
+            else [value[component] for value in values]
+        )
+        for child, col in zip(node.children, cols):
+            counts = [count_union(child, sub) for sub in col]
+            acc = [a * c for a, c in zip(acc, counts)]
+        return sum(acc)
+    # Below: exactly one child column carries the attribute; its partial
+    # sums are scaled by the counts of the sibling columns and by the
+    # entry multiplicities.
+    children = node.children
+    carrier_index = _locate_nodes(children, attribute, "sum")
+    acc = [
+        sum_union(attribute, children[carrier_index], sub)
+        for sub in cols[carrier_index]
+    ]
+    for c, child in enumerate(children):
+        if c == carrier_index:
+            continue
+        counts = [count_union(child, sub) for sub in cols[c]]
+        acc = [a * k for a, k in zip(acc, counts)]
+    if node.aggregate is not None:
+        component = _count_component(node)
+        acc = [a * value[component] for a, value in zip(acc, values)]
+    return sum(acc)
+
+
 def sum_forest(attribute: str, items: Sequence[FragmentItem]) -> Any:
     """Σ of ``attribute`` over a product: sum in its fragment × counts."""
     carrier_index = _locate(items, attribute, "sum")
@@ -179,6 +279,8 @@ def extremum_union(
     function: str, attribute: str, node: FNode, union: list[FRNode]
 ) -> Any:
     """min/max of ``attribute`` over ⟦fragment⟧ (multiplicity-free)."""
+    if type(union) is CUnion:
+        return _extremum_cunion(function, attribute, node, union)
     pick = min if function == "min" else max
     if not union:
         raise EmptyAggregateError(f"{function} over an empty fragment")
@@ -196,6 +298,32 @@ def extremum_union(
     return pick(
         extremum_forest(function, attribute, list(zip(node.children, entry.children)))
         for entry in union
+    )
+
+
+def _extremum_cunion(
+    function: str, attribute: str, node: FNode, union: CUnion
+) -> Any:
+    """Batch min/max; sortedness gives the atomic 'here' case in O(1)."""
+    pick = min if function == "min" else max
+    values = union.values
+    if not values:
+        raise EmptyAggregateError(f"{function} over an empty fragment")
+    carrier = _carries(node, attribute, function)
+    if carrier == "here":
+        component = (
+            None
+            if node.aggregate is None
+            else node.aggregate.component(function, attribute)
+        )
+        if component is None:
+            return values[0] if function == "min" else values[-1]
+        return pick(value[component] for value in values)
+    carrier_index = _locate_nodes(node.children, attribute, function)
+    child = node.children[carrier_index]
+    return pick(
+        extremum_union(function, attribute, child, sub)
+        for sub in union.children[carrier_index]
     )
 
 
@@ -253,10 +381,12 @@ def _carries(node: FNode, attribute: str, function: str) -> str:
     )
 
 
-def _locate(items: Sequence[FragmentItem], attribute: str, function: str) -> int:
+def _locate_nodes(
+    nodes: Sequence[FNode], attribute: str, function: str
+) -> int:
     carriers = [
         index
-        for index, (node, _) in enumerate(items)
+        for index, node in enumerate(nodes)
         if subtree_carries(node, attribute, function)
     ]
     if len(carriers) != 1:
@@ -265,6 +395,10 @@ def _locate(items: Sequence[FragmentItem], attribute: str, function: str) -> int
             f"a product; found {len(carriers)}"
         )
     return carriers[0]
+
+
+def _locate(items: Sequence[FragmentItem], attribute: str, function: str) -> int:
+    return _locate_nodes([node for node, _ in items], attribute, function)
 
 
 # ---------------------------------------------------------------------------
@@ -455,12 +589,12 @@ def _term_sum_fragment(
         needed = {a for factor in factors for a in factor.attributes()}
         return _flatten_sum(factors, [(node, union)], needed, stats)
     total: Any = 0
-    for entry in union:
+    for value, entry_children in iter_entries(union):
         prod: Any = 1
         for _ in here:
-            prod *= entry.value
+            prod *= value
         for child, assigned, child_union in zip(
-            node.children, child_factors, entry.children
+            node.children, child_factors, entry_children
         ):
             if assigned:
                 prod *= _term_sum_fragment(
@@ -562,7 +696,7 @@ def _iter_forest_bindings(
 def _iter_fragment_bindings(
     node: FNode, union: list, needed: set[str]
 ) -> Iterator[tuple[dict[str, Any], int]]:
-    for entry in union:
+    for value, entry_children in iter_entries(union):
         if node.aggregate is not None:
             if node.aggregate.over & needed:
                 raise CompositionError(
@@ -570,12 +704,12 @@ def _iter_fragment_bindings(
                     f"were aggregated into {node.aggregate}; the joint "
                     "values are no longer enumerable"
                 )
-            weight = _entry_multiplicity(node, entry)
+            weight = _value_multiplicity(node, value)
             base: dict[str, Any] = {}
         else:
             weight = 1
             base = {
-                name: entry.value
+                name: value
                 for name in node.attributes
                 if name in needed
             }
@@ -586,12 +720,12 @@ def _iter_fragment_bindings(
         ]
         for index, child in enumerate(node.children):
             if index not in relevant:
-                weight *= count_union(child, entry.children[index])
+                weight *= count_union(child, entry_children[index])
         if not relevant:
             yield base, weight
             continue
         child_items = [
-            (node.children[index], entry.children[index])
+            (node.children[index], entry_children[index])
             for index in relevant
         ]
         for child_binding, child_weight in _iter_forest_bindings(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.frep import Factorisation, FRNode
+from repro.core.frep import ColumnarFactorisation, CUnion, Factorisation, FRNode
 from repro.core.ftree import FNode, FTree, path_ftree
 from repro.relational.relation import Relation
 
@@ -31,13 +31,23 @@ class FactoriseError(ValueError):
     """Raised when a relation cannot be factorised over a given f-tree."""
 
 
-def factorise(relation: Relation, ftree: FTree, check: bool = False) -> Factorisation:
+def factorise(
+    relation: Relation,
+    ftree: FTree,
+    check: bool = False,
+    layout: str = "legacy",
+) -> Factorisation:
     """Factorise ``relation`` over ``ftree``.
 
     The f-tree's atomic attributes must cover the relation's schema
     exactly (aggregate nodes are not allowed — they only appear in
-    derived factorisations).
+    derived factorisations).  ``layout`` selects the physical
+    representation: ``"legacy"`` (per-singleton :class:`FRNode` objects)
+    or ``"columnar"`` (struct-of-arrays :class:`CUnion` built directly,
+    no conversion pass).
     """
+    if layout not in ("legacy", "columnar"):
+        raise FactoriseError(f"unknown factorisation layout {layout!r}")
     tree_attrs = ftree.atomic_attributes()
     for node in ftree.nodes():
         if node.is_aggregate:
@@ -52,11 +62,17 @@ def factorise(relation: Relation, ftree: FTree, check: bool = False) -> Factoris
         )
 
     position = {attr: i for i, attr in enumerate(relation.schema)}
+    builder = (
+        _build_union_local if layout == "legacy" else _build_cunion_local
+    )
     roots = [
-        _build_union(node, _project(relation.rows, node, position), position)
+        _build_union(
+            node, _project(relation.rows, node, position), position, builder
+        )
         for node in ftree.roots
     ]
-    fact = Factorisation(ftree, roots)
+    container = Factorisation if layout == "legacy" else ColumnarFactorisation
+    fact = container(ftree, roots)
     if check and sorted(fact.iter_tuples()) != sorted(
         _reorder(relation, fact.schema())
     ):
@@ -82,8 +98,11 @@ def _project(rows: Sequence[Row], node: FNode, position: dict[str, int]) -> list
 
 
 def _build_union(
-    node: FNode, rows: Sequence[Row], position: dict[str, int]
-) -> list[FRNode]:
+    node: FNode,
+    rows: Sequence[Row],
+    position: dict[str, int],
+    builder=None,
+) -> "list[FRNode] | CUnion":
     """Build the union for ``node`` from rows over its subtree attrs.
 
     ``rows`` use a local schema: the subtree's attributes sorted by their
@@ -91,34 +110,13 @@ def _build_union(
     """
     attrs = sorted(node.subtree_atomic_attributes(), key=position.__getitem__)
     local = {attr: i for i, attr in enumerate(attrs)}
-    return _build_union_local(node, list(rows), local)
+    return (builder or _build_union_local)(node, list(rows), local)
 
 
 def _build_union_local(
     node: FNode, rows: list[Row], local: dict[str, int]
 ) -> list[FRNode]:
-    class_cols = [local[a] for a in node.attributes]
-    head = class_cols[0]
-    groups: dict[object, list[Row]] = {}
-    for row in rows:
-        value = row[head]
-        for col in class_cols[1:]:
-            if row[col] != value:
-                raise FactoriseError(
-                    f"attributes {node.attributes!r} form an equivalence "
-                    f"class but hold different values {row!r}"
-                )
-        groups.setdefault(value, []).append(row)
-
-    child_locals = []
-    for child in node.children:
-        child_attrs = sorted(child.subtree_atomic_attributes(), key=local.__getitem__)
-        child_locals.append(
-            (
-                [local[a] for a in child_attrs],
-                {attr: i for i, attr in enumerate(child_attrs)},
-            )
-        )
+    _, groups, child_locals = _group_rows(node, rows, local)
 
     union: list[FRNode] = []
     for value in sorted(groups):
@@ -137,13 +135,72 @@ def _build_union_local(
     return union
 
 
+def _group_rows(
+    node: FNode, rows: list[Row], local: dict[str, int]
+) -> tuple[list[int], dict[object, list[Row]], list]:
+    """Shared grouping step of both layout builders."""
+    class_cols = [local[a] for a in node.attributes]
+    head = class_cols[0]
+    groups: dict[object, list[Row]] = {}
+    for row in rows:
+        value = row[head]
+        for col in class_cols[1:]:
+            if row[col] != value:
+                raise FactoriseError(
+                    f"attributes {node.attributes!r} form an equivalence "
+                    f"class but hold different values {row!r}"
+                )
+        groups.setdefault(value, []).append(row)
+
+    child_locals = []
+    for child in node.children:
+        child_attrs = sorted(
+            child.subtree_atomic_attributes(), key=local.__getitem__
+        )
+        child_locals.append(
+            (
+                [local[a] for a in child_attrs],
+                {attr: i for i, attr in enumerate(child_attrs)},
+            )
+        )
+    return class_cols, groups, child_locals
+
+
+def _build_cunion_local(
+    node: FNode, rows: list[Row], local: dict[str, int]
+) -> CUnion:
+    """Columnar twin of :func:`_build_union_local`: appends to columns."""
+    _, groups, child_locals = _group_rows(node, rows, local)
+    values = sorted(groups)
+    columns: tuple[list, ...] = tuple([] for _ in node.children)
+    for value in values:
+        block = groups[value]
+        for (cols, child_local), child, out_col in zip(
+            child_locals, node.children, columns
+        ):
+            seen = set()
+            child_rows = []
+            for row in block:
+                projected = tuple(row[c] for c in cols)
+                if projected not in seen:
+                    seen.add(projected)
+                    child_rows.append(projected)
+            out_col.append(_build_cunion_local(child, child_rows, child_local))
+    return CUnion(values, columns)
+
+
 def _reorder(relation: Relation, schema: Sequence[str]) -> list[Row]:
     """Rows of ``relation`` reordered to ``schema`` column order."""
     cols = [relation.schema.index(a) for a in schema]
     return [tuple(row[c] for c in cols) for row in relation.rows]
 
 
-def factorise_path(relation: Relation, key: str = "", order: Sequence[str] | None = None) -> Factorisation:
+def factorise_path(
+    relation: Relation,
+    key: str = "",
+    order: Sequence[str] | None = None,
+    layout: str = "legacy",
+) -> Factorisation:
     """Factorise a relation over the path f-tree of its own schema.
 
     Every relation admits this factorisation (its attributes are mutually
@@ -151,4 +208,4 @@ def factorise_path(relation: Relation, key: str = "", order: Sequence[str] | Non
     flat inputs.  ``order`` selects the root-to-leaf attribute order.
     """
     ftree = path_ftree(relation.schema, key or relation.name, order)
-    return factorise(relation, ftree)
+    return factorise(relation, ftree, layout=layout)

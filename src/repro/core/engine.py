@@ -44,7 +44,7 @@ from repro.core.enumerate import (
     supports_order,
 )
 from repro.core.fplan import ExecutionTrace, FPlan, SelectStep
-from repro.core.frep import Factorisation, FRNode
+from repro.core.frep import Factorisation, FRNode, iter_entries
 from repro.core.ftree import (
     AggregateAttribute,
     FNode,
@@ -233,14 +233,28 @@ class FDBEngine:
         ``"factorised"`` returns a :class:`FactorisedResult` (FDB f/o).
     optimizer:
         ``"greedy"`` (Section 5.2) or ``"exhaustive"`` (Section 5.1).
+    layout:
+        Physical representation of the factorisations the engine
+        operates on: ``"columnar"`` (struct-of-arrays unions, batch
+        kernels) or ``"legacy"`` (per-singleton node objects).
+        Registered views are converted on first use via their cached
+        layout twin; both layouts produce identical results.
     """
 
     name = "FDB"
 
-    def __init__(self, output: str = "flat", optimizer: str = "greedy") -> None:
+    def __init__(
+        self,
+        output: str = "flat",
+        optimizer: str = "greedy",
+        layout: str = "columnar",
+    ) -> None:
         if output not in ("flat", "factorised"):
             raise ValueError(f"unknown output mode {output!r}")
+        if layout not in ("legacy", "columnar"):
+            raise ValueError(f"unknown factorisation layout {layout!r}")
         self.output = output
+        self.layout = layout
         self.optimizer = (
             GreedyOptimizer() if optimizer == "greedy" else ExhaustiveOptimizer()
         )
@@ -452,6 +466,11 @@ class FDBEngine:
         for decision in decisions:
             if decision.registered is not None:
                 fact = decision.registered
+                fact = (
+                    fact.to_columnar()
+                    if self.layout == "columnar"
+                    else fact.to_legacy()
+                )
                 for old, new in decision.mapping.items():
                     fact = ops.rename(fact, old, new)
             else:
@@ -482,7 +501,10 @@ class FDBEngine:
                         name=relation.name,
                     )
                 fact = factorise_path(
-                    relation, key=decision.name, order=list(decision.order)
+                    relation,
+                    key=decision.name,
+                    order=list(decision.order),
+                    layout=self.layout,
                 )
             facts.append(fact)
 
@@ -1155,30 +1177,32 @@ def _collapse_partials(
     }
     assignment: dict[str, Any] = {}
 
-    def rebuild(node: FNode, union: list[FRNode], pending) -> tuple[FNode, list[FRNode]]:
+    def rebuild(node: FNode, union, pending) -> tuple[FNode, list[FRNode]]:
+        # ``union`` may be a legacy entry list or a columnar CUnion; the
+        # output is always a legacy union carrying the final aggregate.
         group_children = [i for i, c in enumerate(node.children) if is_group(c)]
         other_children = [i for i, c in enumerate(node.children) if not is_group(c)]
         new_union: list[FRNode] = []
         new_child_node: FNode | None = None
-        for entry in union:
+        for value, entry_children in iter_entries(union):
             for attr in node.attributes:
                 if attr in group_sources:
-                    assignment[attr] = entry.value
+                    assignment[attr] = value
             entry_pending = pending + [
-                (node.children[i], entry.children[i]) for i in other_children
+                (node.children[i], entry_children[i]) for i in other_children
             ]
             if group_children:
                 child_index = group_children[0]
                 child_node, child_union = (
                     node.children[child_index],
-                    entry.children[child_index],
+                    entry_children[child_index],
                 )
                 new_child_node, new_child_union = rebuild(
                     child_node, child_union, entry_pending
                 )
                 if not new_child_union:
                     continue
-                new_union.append(FRNode(entry.value, (new_child_union,)))
+                new_union.append(FRNode(value, (new_child_union,)))
             else:
                 items = entry_pending
                 if agg.forest_is_empty(items):
@@ -1189,11 +1213,11 @@ def _collapse_partials(
                     items = entry_pending + _group_value_fragments(
                         group_sources, assignment
                     )
-                    value = agg.evaluate_components(functions, items, stats)
+                    components = agg.evaluate_components(functions, items, stats)
                 else:
-                    value = evaluator.components(functions, items)
+                    components = evaluator.components(functions, items)
                 new_union.append(
-                    FRNode(entry.value, ([FRNode(value, ())],))
+                    FRNode(value, ([FRNode(components, ())],))
                 )
                 new_child_node = FNode(
                     AggregateAttribute(functions, frozenset(over), name),

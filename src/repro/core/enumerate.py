@@ -26,7 +26,7 @@ from __future__ import annotations
 from itertools import islice
 from typing import Any, Iterator, Sequence
 
-from repro.core.frep import Factorisation, FRNode
+from repro.core.frep import CUnion, Factorisation, FRNode
 from repro.core.ftree import FNode, FTree
 from repro.relational.sort import normalise_order
 
@@ -126,6 +126,36 @@ def restructure_for_order(ftree: FTree, order: Sequence) -> list[str]:
 # ---------------------------------------------------------------------------
 # Tuple enumeration
 # ---------------------------------------------------------------------------
+def _iter_union_entries(
+    union, descending: bool
+) -> Iterator[tuple[Any, tuple]]:
+    """``(value, child_fragments)`` in either layout, forwards or back.
+
+    The layout shim keeping enumeration constant-delay over both the
+    legacy and columnar representations (descending directions iterate
+    the sorted arrays backwards, Section 4.1).
+    """
+    if type(union) is CUnion:
+        values = union.values
+        cols = union.children
+        indices = (
+            range(len(values) - 1, -1, -1)
+            if descending
+            else range(len(values))
+        )
+        if not cols:
+            for i in indices:
+                yield values[i], ()
+        else:
+            for i in indices:
+                yield values[i], tuple(col[i] for col in cols)
+    else:
+        entries = reversed(union) if descending else union
+        for entry in entries:
+            yield entry.value, entry.children
+
+
+
 def iter_tuples(
     fact: Factorisation,
     order: Sequence = (),
@@ -165,12 +195,10 @@ def iter_tuples(
         descending = direction.get(node.name, False) or any(
             direction.get(name, False) for name in node.all_names
         )
-        entries = reversed(union) if descending else union
-        for entry in entries:
-            value = entry.value
+        for value, entry_children in _iter_union_entries(union, descending):
             for slot in slots:
                 row[slot] = value
-            children = list(zip(node.children, entry.children))
+            children = list(zip(node.children, entry_children))
             yield from generate(rest + children)
 
     iterator = generate(list(zip(fact.ftree.roots, fact.roots)))
@@ -259,12 +287,11 @@ def iter_group_contexts(
         descending = any(
             direction.get(name, False) for name in node.all_names
         )
-        entries = reversed(union) if descending else union
-        for entry in entries:
+        for value, entry_children in _iter_union_entries(union, descending):
             for name in node.all_names:
                 if name in group_set:
-                    assignment[name] = entry.value
-            children = list(zip(node.children, entry.children))
+                    assignment[name] = value
+            children = list(zip(node.children, entry_children))
             yield from generate(rest + children, leftovers)
             for name in node.all_names:
                 if name in group_set:

@@ -166,7 +166,9 @@ class ExecutionTrace:
     """Sizes, trees, and per-step wall time recorded while executing.
 
     ``seconds[i]`` is the wall-clock cost of applying ``steps[i]``
-    (``sizes[i]`` the size of its output factorisation) — the EXPLAIN
+    (``sizes[i]`` the singleton count of its output factorisation,
+    ``bytes[i]`` the resident container bytes of the same output, both
+    from one :meth:`Factorisation.size_info` walk) — the EXPLAIN
     ANALYZE evidence surfaced through ``Result.explain()``.
     ``expression_stats`` (a
     :class:`repro.core.aggregates.ExpressionStats`, when the engine
@@ -176,6 +178,7 @@ class ExecutionTrace:
 
     steps: list[str] = field(default_factory=list)
     sizes: list[int] = field(default_factory=list)
+    bytes: list[int] = field(default_factory=list)
     trees: list[FTree] = field(default_factory=list)
     seconds: list[float] = field(default_factory=list)
     expression_stats: object | None = None
@@ -184,9 +187,14 @@ class ExecutionTrace:
         lines = ["f-plan execution:"]
         timings: "list[float | None]" = list(self.seconds)
         timings.extend([None] * (len(self.steps) - len(timings)))
-        for step, size, spent in zip(self.steps, self.sizes, timings):
+        resident: "list[int | None]" = list(self.bytes)
+        resident.extend([None] * (len(self.steps) - len(resident)))
+        for step, size, spent, footprint in zip(
+            self.steps, self.sizes, timings, resident
+        ):
             timing = "" if spent is None else f"  {spent * 1000.0:8.3f} ms"
-            lines.append(f"  {step:<40} size={size}{timing}")
+            memory = "" if footprint is None else f"  {footprint}B"
+            lines.append(f"  {step:<40} size={size}{memory}{timing}")
         return "\n".join(lines)
 
 
@@ -226,6 +234,8 @@ class FPlan:
             current = step.apply(current)
             trace.seconds.append(clock.now() - started)
             trace.steps.append(str(step))
-            trace.sizes.append(current.size())
+            singletons, resident = current.size_info()
+            trace.sizes.append(singletons)
+            trace.bytes.append(resident)
             trace.trees.append(current.ftree)
         return current

@@ -17,10 +17,24 @@ The container :class:`Factorisation` pairs an f-tree with fragments per
 root and provides size accounting, flattening, and validation.  The
 structures are treated as immutable: operators build new spines and
 share unchanged fragments, so registered views can serve many queries.
+
+Two physical layouts represent the same logical structure:
+
+- the *legacy* layout boxes every singleton in an :class:`FRNode`;
+- the *columnar* layout (:class:`CUnion` / :class:`ColumnarFactorisation`)
+  stores each union as one contiguous value array plus per-child columns
+  of sub-unions aligned with it (struct-of-arrays), so batch kernels in
+  :mod:`repro.core.kernels` run one Python-level pass per union instead
+  of one per value.
+
+``iter_entries`` is the layout-generic access shim for cold paths;
+``to_columnar()``/``to_legacy()`` convert between the layouts (cached
+per factorisation, so repeated conversion is free).
 """
 
 from __future__ import annotations
 
+from sys import getsizeof
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.core.ftree import FNode, FTree
@@ -55,7 +69,9 @@ Forest = tuple  # one Union per f-tree root / per child
 class Factorisation:
     """A factorised relation: an f-tree plus one union per root."""
 
-    __slots__ = ("ftree", "roots")
+    __slots__ = ("ftree", "roots", "_twin")
+
+    layout = "legacy"
 
     def __init__(self, ftree: FTree, roots: Sequence[list[FRNode]]) -> None:
         if len(ftree.roots) != len(roots):
@@ -64,6 +80,33 @@ class Factorisation:
             )
         self.ftree = ftree
         self.roots: tuple[list[FRNode], ...] = tuple(roots)
+        self._twin: "Factorisation | None" = None
+
+    def __reduce__(self):
+        # Explicit so the cached layout twin never crosses pickle
+        # boundaries (shard workers receive just the structure).
+        return (self.__class__, (self.ftree, list(self.roots)))
+
+    # ------------------------------------------------------------------
+    # Layout conversion (cached: converting twice is free)
+    # ------------------------------------------------------------------
+    def to_legacy(self) -> "Factorisation":
+        return self
+
+    def to_columnar(self) -> "ColumnarFactorisation":
+        twin = self._twin
+        if twin is None:
+            memo: dict[int, CUnion] = {}
+            twin = ColumnarFactorisation(
+                self.ftree,
+                [
+                    _union_to_columnar(node, union, memo)
+                    for node, union in zip(self.ftree.roots, self.roots)
+                ],
+            )
+            twin._twin = self
+            self._twin = twin
+        return twin  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Schema
@@ -80,17 +123,45 @@ class Factorisation:
     # Size accounting (the paper's succinctness measure: #singletons)
     # ------------------------------------------------------------------
     def size(self) -> int:
-        """Number of singletons in the representation."""
-
-        def count_union(union: list[FRNode]) -> int:
-            total = 0
+        """Number of singletons in the representation (shared fragments
+        count once per occurrence)."""
+        total = 0
+        stack = list(self.roots)
+        while stack:
+            union = stack.pop()
+            total += len(union)
             for entry in union:
-                total += 1
-                for child in entry.children:
-                    total += count_union(child)
-            return total
+                stack.extend(entry.children)
+        return total
 
-        return sum(count_union(union) for union in self.roots)
+    def size_info(self) -> tuple[int, int]:
+        """``(singletons, resident_bytes)`` in one walk.
+
+        ``resident_bytes`` estimates the representation's *container*
+        structure (unions, entries, child tables) arithmetically from
+        container lengths and the fixed per-object sizes — pointer-slot
+        counting rather than ``sys.getsizeof`` per container, so the
+        walk stays cheap enough for per-step traces.  The singleton
+        value objects themselves are excluded because they are shared
+        identically between layouts.  Fragments shared by reference are
+        counted once per occurrence, matching ``size()``.
+        """
+        singles = 0
+        nbytes = 0
+        stack = list(self.roots)
+        while stack:
+            union = stack.pop()
+            nbytes += _LIST_BYTES + _PTR * len(union)
+            for entry in union:
+                singles += 1
+                children = entry.children
+                nbytes += _FRNODE_BYTES + _TUPLE_BYTES + _PTR * len(children)
+                stack.extend(children)
+        return singles, nbytes
+
+    def byte_size(self) -> int:
+        """Resident bytes of the container structure (see size_info)."""
+        return self.size_info()[1]
 
     def tuple_count(self) -> int:
         """Cardinality of the represented relation |⟦E⟧|.
@@ -270,3 +341,400 @@ def map_union_at(
         fact.ftree.roots[root_index], fact.roots[root_index], list(steps)
     )
     return Factorisation(new_ftree, new_roots)
+
+
+# ---------------------------------------------------------------------------
+# Columnar layout (struct-of-arrays)
+# ---------------------------------------------------------------------------
+class CUnion:
+    """One union in columnar layout.
+
+    ``values`` is the flat, strictly-ascending array of singleton values;
+    ``children`` is one column per f-tree child, each a list of
+    :class:`CUnion` aligned with ``values`` (``children[c][i]`` is the
+    child-``c`` fragment of entry ``i``).  An empty union still carries
+    the correct number of (empty) child columns so arity survives edits.
+
+    The class deliberately does **not** implement ``__iter__`` or
+    ``__getitem__``: code that has not been ported to batch access fails
+    loudly instead of silently mixing layouts.  Use
+    :func:`iter_entries` for layout-generic traversal.
+    """
+
+    __slots__ = ("values", "children")
+
+    def __init__(
+        self, values: list, children: Sequence[list["CUnion"]] = ()
+    ) -> None:
+        self.values = values
+        self.children: tuple[list[CUnion], ...] = tuple(children)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __bool__(self) -> bool:
+        return bool(self.values)
+
+    def __reduce__(self):
+        return (CUnion, (self.values, self.children))
+
+    def __repr__(self) -> str:
+        return f"CUnion({len(self.values)} values, {len(self.children)} cols)"
+
+
+# Fixed per-container sizes used by the arithmetic ``size_info`` walks:
+# variable-length containers contribute one pointer slot per element on
+# top of their empty-container header.
+_PTR = 8
+_LIST_BYTES = getsizeof([])
+_TUPLE_BYTES = getsizeof(())
+_FRNODE_BYTES = getsizeof(FRNode(0, ()))
+_CUNION_BYTES = getsizeof(CUnion([], ()))
+
+
+def empty_cunion(arity: int) -> CUnion:
+    """The empty union with ``arity`` child columns."""
+    return CUnion([], tuple([] for _ in range(arity)))
+
+
+def singleton_cunion(value: Any, children: Sequence[CUnion] = ()) -> CUnion:
+    """A one-entry columnar union."""
+    return CUnion([value], tuple([child] for child in children))
+
+
+def iter_entries(union) -> Iterator[tuple[Any, tuple]]:
+    """Yield ``(value, child_fragments)`` for either layout.
+
+    This is the compatibility surface for cold paths (enumeration,
+    expression machinery, IVM walks); hot kernels read the columns
+    directly instead.
+    """
+    if type(union) is CUnion:
+        values = union.values
+        cols = union.children
+        if not cols:
+            for value in values:
+                yield value, ()
+        else:
+            for i, value in enumerate(values):
+                yield value, tuple(col[i] for col in cols)
+    else:
+        for entry in union:
+            yield entry.value, entry.children
+
+
+def union_values(union) -> list:
+    """The value array of a union in either layout (may alias storage)."""
+    if type(union) is CUnion:
+        return union.values
+    return [entry.value for entry in union]
+
+
+def _value_tuple(node: FNode, value: Any) -> tuple:
+    """Like ``_entry_values`` but from a bare value."""
+    if node.is_aggregate:
+        return (value,)
+    return (value,) * len(node.attributes)
+
+
+def _union_to_columnar(
+    node: FNode, union: list[FRNode], memo: dict[int, CUnion]
+) -> CUnion:
+    cached = memo.get(id(union))
+    if cached is not None:
+        return cached
+    children = tuple(
+        [
+            _union_to_columnar(child, entry.children[c], memo)
+            for entry in union
+        ]
+        for c, child in enumerate(node.children)
+    )
+    out = CUnion([entry.value for entry in union], children)
+    memo[id(union)] = out
+    return out
+
+
+def _union_to_legacy(
+    node: FNode, union: CUnion, memo: dict[int, list]
+) -> list[FRNode]:
+    cached = memo.get(id(union))
+    if cached is not None:
+        return cached
+    cols = union.children
+    if not cols:
+        out = [FRNode(value, ()) for value in union.values]
+    else:
+        child_nodes = node.children
+        span = range(len(cols))
+        out = [
+            FRNode(
+                value,
+                tuple(
+                    _union_to_legacy(child_nodes[c], cols[c][i], memo)
+                    for c in span
+                ),
+            )
+            for i, value in enumerate(union.values)
+        ]
+    memo[id(union)] = out
+    return out
+
+
+class ColumnarFactorisation(Factorisation):
+    """A factorised relation in columnar (struct-of-arrays) layout.
+
+    ``roots`` holds one :class:`CUnion` per f-tree root.  The logical
+    reading, invariants, and API match :class:`Factorisation`; only the
+    physical layout differs, and the batch kernels in
+    :mod:`repro.core.kernels` dispatch on this type.
+    """
+
+    __slots__ = ()
+
+    layout = "columnar"
+
+    def __init__(self, ftree: FTree, roots: Sequence[CUnion]) -> None:
+        if len(ftree.roots) != len(roots):
+            raise FactorisationError(
+                f"{len(roots)} root fragments for {len(ftree.roots)} f-tree roots"
+            )
+        self.ftree = ftree
+        self.roots = tuple(roots)  # type: ignore[assignment]
+        self._twin = None
+
+    # ------------------------------------------------------------------
+    # Layout conversion
+    # ------------------------------------------------------------------
+    def to_columnar(self) -> "ColumnarFactorisation":
+        return self
+
+    def to_legacy(self) -> Factorisation:
+        twin = self._twin
+        if twin is None:
+            memo: dict[int, list] = {}
+            twin = Factorisation(
+                self.ftree,
+                [
+                    _union_to_legacy(node, union, memo)
+                    for node, union in zip(self.ftree.roots, self.roots)
+                ],
+            )
+            twin._twin = self
+            self._twin = twin
+        return twin
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        total = 0
+        stack = list(self.roots)
+        while stack:
+            union = stack.pop()
+            total += len(union.values)
+            for col in union.children:
+                stack.extend(col)
+        return total
+
+    def size_info(self) -> tuple[int, int]:
+        singles = 0
+        nbytes = 0
+        stack = list(self.roots)
+        while stack:
+            union = stack.pop()
+            count = len(union.values)
+            cols = union.children
+            singles += count
+            nbytes += (
+                _CUNION_BYTES
+                + _LIST_BYTES
+                + _PTR * count
+                + _TUPLE_BYTES
+                + _PTR * len(cols)
+            )
+            for col in cols:
+                nbytes += _LIST_BYTES + _PTR * len(col)
+                stack.extend(col)
+        return singles, nbytes
+
+    def tuple_count(self) -> int:
+        def count_union(union: CUnion) -> int:
+            cols = union.children
+            if not cols:
+                return len(union.values)
+            total = 0
+            for i in range(len(union.values)):
+                entry_total = 1
+                for col in cols:
+                    entry_total *= count_union(col[i])
+                total += entry_total
+            return total
+
+        product = 1
+        for union in self.roots:
+            product *= count_union(union)
+        return product
+
+    def is_empty(self) -> bool:
+        return (
+            any(not union.values for union in self.roots)
+            if self.roots
+            else False
+        )
+
+    # ------------------------------------------------------------------
+    # Flattening
+    # ------------------------------------------------------------------
+    def iter_tuples(self) -> Iterator[tuple]:
+        nodes = self.ftree.roots
+
+        def iter_forest(
+            items: Sequence[tuple[FNode, CUnion]]
+        ) -> Iterator[tuple]:
+            if not items:
+                yield ()
+                return
+            (node, union), rest = items[0], items[1:]
+            cols = union.children
+            child_nodes = node.children
+            span = range(len(cols))
+            for i, value in enumerate(union.values):
+                prefix_values = _value_tuple(node, value)
+                children = [(child_nodes[c], cols[c][i]) for c in span]
+                for mid in iter_forest(children):
+                    for suffix in iter_forest(rest):
+                        yield prefix_values + mid + suffix
+
+        yield from iter_forest(list(zip(nodes, self.roots)))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        def check_union(node: FNode, union: CUnion) -> None:
+            if type(union) is not CUnion:
+                raise FactorisationError(
+                    f"node {node.label()!r} of a columnar factorisation "
+                    f"holds a non-columnar union {union!r}"
+                )
+            if len(union.children) != len(node.children):
+                raise FactorisationError(
+                    f"union of node {node.label()!r} has "
+                    f"{len(union.children)} child columns for "
+                    f"{len(node.children)} f-tree children"
+                )
+            previous = None
+            for value in union.values:
+                if previous is not None and not previous < value:
+                    raise FactorisationError(
+                        f"union of node {node.label()!r} is not strictly "
+                        f"ascending: {previous!r} then {value!r}"
+                    )
+                previous = value
+                if node.is_aggregate and not isinstance(value, tuple):
+                    raise FactorisationError(
+                        f"aggregate node {node.label()!r} holds non-tuple "
+                        f"value {value!r}"
+                    )
+            for child_node, col in zip(node.children, union.children):
+                if len(col) != len(union.values):
+                    raise FactorisationError(
+                        f"child column of node {node.label()!r} has "
+                        f"{len(col)} fragments for {len(union.values)} values"
+                    )
+                for sub in col:
+                    check_union(child_node, sub)
+
+        for node, union in zip(self.ftree.roots, self.roots):
+            check_union(node, union)
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def pretty(self, limit: int = 40) -> str:
+        budget = [limit]
+
+        def render_union(node: FNode, union: CUnion, indent: int) -> list[str]:
+            lines: list[str] = []
+            cols = union.children
+            span = range(len(cols))
+            for i, value in enumerate(union.values):
+                if budget[0] <= 0:
+                    lines.append("  " * indent + "...")
+                    break
+                budget[0] -= 1
+                lines.append("  " * indent + f"⟨{node.label()}:{value!r}⟩")
+                for c in span:
+                    lines.extend(
+                        render_union(node.children[c], cols[c][i], indent + 1)
+                    )
+            return lines
+
+        lines: list[str] = []
+        for node, union in zip(self.ftree.roots, self.roots):
+            lines.extend(render_union(node, union, 0))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarFactorisation(schema={self.schema()!r}, "
+            f"size={self.size()}, tuples={self.tuple_count()})"
+        )
+
+
+def empty_columnar_like(ftree: FTree) -> ColumnarFactorisation:
+    """The empty relation over ``ftree`` in columnar layout."""
+    return ColumnarFactorisation(
+        ftree, [empty_cunion(len(node.children)) for node in ftree.roots]
+    )
+
+
+def map_cunion_at(
+    fact: ColumnarFactorisation,
+    root_index: int,
+    steps: Sequence[int],
+    transform: Callable[[FNode, CUnion], CUnion],
+    new_ftree: FTree,
+) -> ColumnarFactorisation:
+    """Columnar twin of :func:`map_union_at` (same pruning semantics).
+
+    The transform must return a :class:`CUnion` with the child-column
+    arity of the (possibly reshaped) target node; entries whose
+    transformed fragment becomes empty are filtered out of the parent's
+    value array *and every sibling column* so alignment is preserved.
+    """
+    target_node = fact.ftree.roots[root_index]
+    for step in steps:
+        target_node = target_node.children[step]
+
+    def rebuild(node: FNode, union: CUnion, remaining: Sequence[int]) -> CUnion:
+        if not remaining:
+            return transform(node, union)
+        step, rest = remaining[0], remaining[1:]
+        cols = union.children
+        child_node = node.children[step]
+        new_col: list[CUnion] = []
+        keep: list[int] = []
+        for i, sub in enumerate(cols[step]):
+            new_child = rebuild(child_node, sub, rest)
+            if not new_child.values:
+                continue  # empty fragment: the entry represents ∅, prune it
+            keep.append(i)
+            new_col.append(new_child)
+        if len(keep) == len(union.values):
+            values = union.values
+            children = cols[:step] + (new_col,) + cols[step + 1 :]
+        else:
+            values = [union.values[i] for i in keep]
+            children = tuple(
+                new_col if c == step else [cols[c][i] for i in keep]
+                for c in range(len(cols))
+            )
+        return CUnion(values, children)
+
+    new_roots = list(fact.roots)
+    new_roots[root_index] = rebuild(
+        fact.ftree.roots[root_index], fact.roots[root_index], list(steps)
+    )
+    return ColumnarFactorisation(new_ftree, new_roots)

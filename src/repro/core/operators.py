@@ -31,7 +31,12 @@ from bisect import bisect_left
 from typing import Any, Sequence
 
 from repro.core import aggregates as agg
-from repro.core.frep import Factorisation, FRNode, map_union_at
+from repro.core.frep import (
+    ColumnarFactorisation,
+    Factorisation,
+    FRNode,
+    map_union_at,
+)
 from repro.core.ftree import (
     AggregateAttribute,
     FNode,
@@ -44,6 +49,19 @@ from repro.query import Comparison
 #: When True, swap verifies that fragments independent of the swapped
 #: node really are identical across contexts (costly; used in tests).
 STRICT_SWAP_CHECKS = False
+
+_kernels_module = None
+
+
+def _kernels():
+    """The columnar batch kernels, imported lazily (they import us)."""
+    global _kernels_module
+    if _kernels_module is None:
+        from repro.core import kernels
+
+        _kernels_module = kernels
+    return _kernels_module
+
 
 _dep_counter = [0]
 
@@ -102,6 +120,8 @@ def swap(fact: Factorisation, child_name: str) -> Factorisation:
     Linear in the size of the affected fragments: each (a, b) pair is
     visited once; the union over B is assembled sorted.
     """
+    if type(fact) is ColumnarFactorisation:
+        return _kernels().swap_c(fact, child_name)
     ftree = fact.ftree
     node_b = ftree.node(child_name)
     node_a = ftree.parent(node_b)
@@ -195,6 +215,8 @@ def _merged_node(node_a: FNode, node_b: FNode) -> FNode:
 
 def merge_siblings(fact: Factorisation, name_a: str, name_b: str) -> Factorisation:
     """σ_{A=B} for siblings: intersect the two sorted unions (linear)."""
+    if type(fact) is ColumnarFactorisation:
+        return _kernels().merge_siblings_c(fact, name_a, name_b)
     ftree = fact.ftree
     node_a, node_b = ftree.node(name_a), ftree.node(name_b)
     _require_siblings(ftree, node_a, node_b)
@@ -303,6 +325,8 @@ def absorb(
     (binary search in the sorted union) and its children are spliced in
     place; contexts with no match are pruned.
     """
+    if type(fact) is ColumnarFactorisation:
+        return _kernels().absorb_c(fact, ancestor_name, descendant_name)
     ftree = fact.ftree
     node_anc = ftree.node(ancestor_name)
     node_desc = ftree.node(descendant_name)
@@ -370,6 +394,8 @@ def absorb(
 # ---------------------------------------------------------------------------
 def select_constant(fact: Factorisation, condition: Comparison) -> Factorisation:
     """σ_{AθC}: filter the union of A's node in every context."""
+    if type(fact) is ColumnarFactorisation:
+        return _kernels().select_constant_c(fact, condition)
     ftree = fact.ftree
     node = ftree.node(condition.attribute)
     component: int | None = None
@@ -422,6 +448,8 @@ def remove_leaf(fact: Factorisation, name: str) -> Factorisation:
     No duplicate elimination is ever needed: distinct sibling structure
     is untouched, so the remaining representation stays a set.
     """
+    if type(fact) is ColumnarFactorisation:
+        return _kernels().remove_leaf_c(fact, name)
     ftree = fact.ftree
     node = ftree.node(name)
     if node.children:
@@ -480,7 +508,7 @@ def remove_class_attribute(fact: Factorisation, attribute: str) -> Factorisation
             tuple(a for a in current.attributes if a != attribute)
         )
 
-    return Factorisation(fact.ftree.map_nodes(relabel), fact.roots)
+    return fact.__class__(fact.ftree.map_nodes(relabel), fact.roots)
 
 
 # ---------------------------------------------------------------------------
@@ -503,7 +531,7 @@ def rename(fact: Factorisation, old: str, new: str) -> Factorisation:
         attributes = tuple(new if a == old else a for a in current.attributes)
         return current.with_attributes(attributes)
 
-    return Factorisation(fact.ftree.map_nodes(relabel), fact.roots)
+    return fact.__class__(fact.ftree.map_nodes(relabel), fact.roots)
 
 
 # ---------------------------------------------------------------------------
@@ -520,6 +548,8 @@ def nest_under(fact: Factorisation, name: str, target_sibling: str) -> Factorisa
     factorisation of an aggregate query requires (the aggregate value
     depends on every group attribute).
     """
+    if type(fact) is ColumnarFactorisation:
+        return _kernels().nest_under_c(fact, name, target_sibling)
     ftree = fact.ftree
     node = ftree.node(name)
     target = ftree.node(target_sibling)
@@ -571,6 +601,8 @@ def nest_root_under(fact: Factorisation, root_name: str, target: str) -> Factori
     fragment is context-free and can be shared under every value of the
     target node.
     """
+    if type(fact) is ColumnarFactorisation:
+        return _kernels().nest_root_under_c(fact, root_name, target)
     ftree = fact.ftree
     node = ftree.node(root_name)
     if ftree.parent(node) is not None:
@@ -605,8 +637,11 @@ def nest_root_under(fact: Factorisation, root_name: str, target: str) -> Factori
 # ---------------------------------------------------------------------------
 def product(left: Factorisation, right: Factorisation) -> Factorisation:
     """E1 × E2: concatenate the forests (disjoint attribute names)."""
+    if left.layout != right.layout:
+        left = left.to_columnar()
+        right = right.to_columnar()
     ftree = FTree(left.ftree.roots + right.ftree.roots)
-    return Factorisation(ftree, left.roots + right.roots)
+    return left.__class__(ftree, left.roots + right.roots)
 
 
 # ---------------------------------------------------------------------------
@@ -721,6 +756,10 @@ def apply_aggregation(
     The value ``v`` is computed by the linear-time recursive algorithms
     in :mod:`repro.core.aggregates`, once per context of U's parent.
     """
+    if type(fact) is ColumnarFactorisation:
+        return _kernels().apply_aggregation_c(
+            fact, parent_name, child_names, functions, name
+        )
     ftree = fact.ftree
     parent, indices = _resolve_subtrees(ftree, parent_name, child_names)
     new_ftree, agg_name = aggregate_tree(

@@ -72,6 +72,10 @@ _WRITER_WAIT = metrics().histogram(
 _PINNED = metrics().gauge(
     "repro_pinned_snapshots", "Versions currently pinned by live snapshots."
 ).labels()
+_STORE_BYTES = metrics().gauge(
+    "repro_store_bytes",
+    "Resident container bytes across registered factorised views.",
+).labels()
 
 #: Retained change-log length; older records force full re-preparation.
 MAX_LOG = 512
@@ -384,7 +388,19 @@ class Database:
         """Register a factorised materialised view."""
         with self._lock:
             self.factorised[name] = factorisation
+            self._update_store_bytes()
             self._record_registration(name)
+
+    def _update_store_bytes(self) -> None:
+        """Refresh the resident-bytes gauge over every factorised view."""
+        _STORE_BYTES.set(
+            float(
+                sum(
+                    fact.size_info()[1]
+                    for fact in self.factorised.values()
+                )
+            )
+        )
 
     def _record_registration(self, name: str) -> None:
         version = self.version + 1
@@ -794,6 +810,8 @@ class Database:
                 # The view's own flat copy is now stale; it refreshes
                 # from the maintained factorisation on next access.
                 self._stale_flat.add(view_name)
+        if view_deltas:
+            self._update_store_bytes()
         return view_deltas
 
     def _rebuild_view(
@@ -807,9 +825,14 @@ class Database:
     ) -> "Factorisation":
         """Fall back to re-factorising a view after a failed splice."""
         from repro.core.build import factorise
+        from repro.core.frep import ColumnarFactorisation
         from repro.ivm.delta import DeltaError
         from repro.ivm.maintain import contributors
         from repro.relational.operators import multiway_join
+
+        layout = (
+            "columnar" if isinstance(fact, ColumnarFactorisation) else "legacy"
+        )
 
         if any(node.is_aggregate for node in fact.ftree.nodes()):
             raise DeltaError(
@@ -844,7 +867,7 @@ class Database:
                         row for row in fresh.rows if row not in doomed
                     ]
                 source = fresh
-            rebuilt = factorise(source, fact.ftree)
+            rebuilt = factorise(source, fact.ftree, layout=layout)
             if rebuilt.tuple_count() == len(set(source.rows)):
                 return rebuilt
             # The updated relation no longer satisfies the f-tree's join
@@ -852,7 +875,9 @@ class Database:
             # of the subtree projections).  Every relation admits a path
             # factorisation (Section 2.1), so re-register over the path
             # f-tree — keeping each node's dependency keys for routing.
-            return factorise(source, _path_fallback_tree(fact.ftree))
+            return factorise(
+                source, _path_fallback_tree(fact.ftree), layout=layout
+            )
         missing = sorted(key for key in contributors(fact) if key not in self)
         if missing:
             raise DeltaError(
@@ -867,7 +892,7 @@ class Database:
                 f"view {view_name!r} cannot be rebuilt: its contributors "
                 f"do not produce attributes {absent!r}"
             )
-        return factorise(joined.project(attributes), fact.ftree)
+        return factorise(joined.project(attributes), fact.ftree, layout=layout)
 
     def _append_log(self, record: LogRecord) -> None:
         """Append one record, truncating with respect for pinned readers.

@@ -29,6 +29,14 @@ Two maintenance modes exist:
 Both modes report the exact view-level delta (rows added and removed,
 in the factorisation's schema order) so that downstream consumers —
 live aggregate views, forwarded SQL backends — can update additively.
+
+The splice/prune machinery is layout-generic: a view registered as a
+:class:`repro.core.frep.ColumnarFactorisation` is maintained by
+splicing its value arrays and child columns as contiguous ranges (one
+slice per union, not one object per singleton), while legacy
+``FRNode`` views keep the original entry-level edits.  Each union
+carries its own layout, so mixed forests — a columnar view holding a
+legacy fragment built elsewhere — maintain correctly too.
 """
 
 from __future__ import annotations
@@ -39,7 +47,14 @@ from itertools import product as iter_product
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.core.build import factorise
-from repro.core.frep import Factorisation, FRNode, _entry_values
+from repro.core.frep import (
+    CUnion,
+    Factorisation,
+    FRNode,
+    _value_tuple,
+    empty_cunion,
+    iter_entries,
+)
 from repro.core.ftree import FNode, FTree
 from repro.ivm.delta import DeltaError
 from repro.relational.operators import multiway_join
@@ -104,21 +119,107 @@ def contributors(fact: Factorisation) -> frozenset[str]:
 
 
 # ---------------------------------------------------------------------------
+# Union access layer: one edit vocabulary over both layouts
+# ---------------------------------------------------------------------------
+def _u_len(union) -> int:
+    return len(union.values) if type(union) is CUnion else len(union)
+
+
+def _u_value(union, index: int) -> Any:
+    if type(union) is CUnion:
+        return union.values[index]
+    return union[index].value
+
+
+def _u_children(union, index: int) -> tuple:
+    """The child fragments of entry ``index`` (a tuple of unions)."""
+    if type(union) is CUnion:
+        return tuple(col[index] for col in union.children)
+    return union[index].children
+
+
+def _u_insert(union, index: int, value: Any, children: tuple):
+    """A copy of ``union`` with a fresh entry spliced in at ``index``.
+
+    Columnar unions splice the value array and every child column as
+    contiguous ranges; an empty union grows its columns to the entry's
+    arity (``empty_cunion(0)`` placeholders carry none).
+    """
+    if type(union) is CUnion:
+        cols = union.children
+        if len(cols) != len(children):
+            cols = tuple([] for _ in children)
+        return CUnion(
+            union.values[:index] + [value] + union.values[index:],
+            tuple(
+                col[:index] + [child] + col[index:]
+                for col, child in zip(cols, children)
+            ),
+        )
+    return union[:index] + [FRNode(value, children)] + union[index:]
+
+
+def _u_replace(union, index: int, value: Any, children: tuple):
+    """A copy of ``union`` with entry ``index`` replaced."""
+    if type(union) is CUnion:
+        return CUnion(
+            union.values[:index] + [value] + union.values[index + 1 :],
+            tuple(
+                col[:index] + [child] + col[index + 1 :]
+                for col, child in zip(union.children, children)
+            ),
+        )
+    return union[:index] + [FRNode(value, children)] + union[index + 1 :]
+
+
+def _u_remove(union, index: int):
+    """A copy of ``union`` with entry ``index`` pruned."""
+    if type(union) is CUnion:
+        return CUnion(
+            union.values[:index] + union.values[index + 1 :],
+            tuple(
+                col[:index] + col[index + 1 :] for col in union.children
+            ),
+        )
+    return union[:index] + union[index + 1 :]
+
+
+def _u_clear(union):
+    """The empty union in ``union``'s layout."""
+    if type(union) is CUnion:
+        return empty_cunion(len(union.children))
+    return []
+
+
+def _u_make(columnar: bool, entries: Sequence[tuple], arity: int):
+    """A union from ``(value, children)`` pairs in the requested layout."""
+    if columnar:
+        return CUnion(
+            [value for value, _ in entries],
+            tuple(
+                [children[c] for _, children in entries]
+                for c in range(arity)
+            ),
+        )
+    return [FRNode(value, children) for value, children in entries]
+
+
+# ---------------------------------------------------------------------------
 # Enumeration helpers (local deltas are exact row sets)
 # ---------------------------------------------------------------------------
-def _iter_union(node: FNode, union: list[FRNode]) -> Iterator[Row]:
-    for entry in union:
-        yield from _iter_entry(node, entry)
+def _iter_union(node: FNode, union) -> Iterator[Row]:
+    for value, children in iter_entries(union):
+        yield from _iter_parts(node, value, children)
 
 
-def _iter_entry(node: FNode, entry: FRNode) -> Iterator[Row]:
-    values = _entry_values(node, entry)
-    for rest in _iter_children(node.children, entry.children):
+def _iter_parts(node: FNode, value: Any, children: Sequence) -> Iterator[Row]:
+    values = _value_tuple(node, value)
+    for rest in _iter_children(node.children, children):
         yield values + rest
 
 
 def _iter_children(
-    nodes: Sequence[FNode], unions: Sequence[list[FRNode]]
+    nodes: Sequence[FNode], unions: Sequence
 ) -> Iterator[Row]:
     if not nodes:
         yield ()
@@ -128,28 +229,34 @@ def _iter_children(
             yield head + rest
 
 
-def _union_count(node: FNode, union: list[FRNode]) -> int:
+def _union_count(node: FNode, union) -> int:
     """Tuples represented by one union (|⟦fragment⟧|)."""
-    return sum(_entry_count(node, entry) for entry in union)
+    return sum(
+        _parts_count(node, children) for _, children in iter_entries(union)
+    )
 
 
-def _entry_count(node: FNode, entry: FRNode) -> int:
+def _parts_count(node: FNode, children: Sequence) -> int:
     total = 1
-    for child_node, child_union in zip(node.children, entry.children):
+    for child_node, child_union in zip(node.children, children):
         total *= _union_count(child_node, child_union)
     return total
 
 
-def _expand_entry(
-    node: FNode, entry: FRNode, branch: int, delta_rows: Sequence[Row]
+def _expand_below(
+    node: FNode,
+    value: Any,
+    children: Sequence,
+    branch: int,
+    delta_rows: Sequence[Row],
 ) -> list[Row]:
     """Entry-level delta rows: the branch delta × the sibling fragments."""
     if not delta_rows:
         return []
-    values = _entry_values(node, entry)
+    values = _value_tuple(node, value)
     per_child: list[list[Row]] = []
     for index, (child_node, child_union) in enumerate(
-        zip(node.children, entry.children)
+        zip(node.children, children)
     ):
         if index == branch:
             per_child.append(list(delta_rows))
@@ -165,7 +272,7 @@ def _expand_entry(
 
 
 def _expand_forest(
-    items: Sequence[tuple[FNode, list[FRNode]]],
+    items: Sequence[tuple[FNode, Any]],
     index: int,
     local_rows: Sequence[Row],
 ) -> list[Row]:
@@ -187,23 +294,27 @@ def _expand_forest(
     return out
 
 
-def _find(union: list[FRNode], value: Any) -> int | None:
+def _find(union, value: Any) -> int | None:
     """Index of ``value`` in a sorted union, or None."""
     try:
-        index = bisect_left(union, value, key=lambda entry: entry.value)
+        if type(union) is CUnion:
+            index = bisect_left(union.values, value)
+        else:
+            index = bisect_left(union, value, key=lambda entry: entry.value)
     except TypeError as error:  # incomparable value for this column
         raise DeltaError(
             f"value {value!r} is not comparable with the column's values: "
             f"{error}"
         ) from None
-    if index < len(union) and union[index].value == value:
+    if index < _u_len(union) and _u_value(union, index) == value:
         return index
     return None
 
 
-def _insert_sorted(union: list[FRNode], entry: FRNode) -> list[FRNode]:
-    index = bisect_left(union, entry.value, key=lambda e: e.value)
-    return union[:index] + [entry] + union[index:]
+def _insertion_point(union, value: Any) -> int:
+    if type(union) is CUnion:
+        return bisect_left(union.values, value)
+    return bisect_left(union, value, key=lambda entry: entry.value)
 
 
 # ---------------------------------------------------------------------------
@@ -294,12 +405,12 @@ def direct_insert(
             ) from None
         if added:
             splice.added.append(_reorder(view, schema))
-    return Factorisation(fact.ftree, roots)
+    return type(fact)(fact.ftree, roots)
 
 
 def _direct_insert_row(
-    ftree: FTree, roots: list[list[FRNode]], view: _RowView, splice: _Splice
-) -> tuple[list[list[FRNode]], bool]:
+    ftree: FTree, roots: list, view: _RowView, splice: _Splice
+) -> tuple[list, bool]:
     results = [
         _direct_splice_union(node, union, view, splice)
         for node, union in zip(ftree.roots, roots)
@@ -320,8 +431,8 @@ def _direct_insert_row(
 def _require_rectangular(
     verb: str,
     changed: list[int],
-    results: Sequence[tuple[list[FRNode], bool, bool]],
-    siblings: Sequence[tuple[FNode, list[FRNode]]],
+    results: Sequence[tuple],
+    siblings: Sequence[tuple[FNode, Any]],
 ) -> None:
     """Exactness of a one-row change against sibling branches.
 
@@ -354,38 +465,49 @@ def _require_rectangular(
 
 
 def _direct_splice_union(
-    node: FNode, union: list[FRNode], view: _RowView, splice: _Splice
-) -> tuple[list[FRNode], bool, bool]:
+    node: FNode, union, view: _RowView, splice: _Splice
+) -> tuple:
     """Returns ``(new_union, added_anything, exact)``."""
     value = view.node_value(node)
     index = _find(union, value)
     if index is None:
-        entry = _entry_from_row(node, view, splice)
-        return _insert_sorted(union, entry), True, True
-    entry = union[index]
+        columnar = type(union) is CUnion
+        splice.nodes_touched += 1
+        subs = tuple(
+            _fresh_union(child, view, splice, columnar)
+            for child in node.children
+        )
+        at = _insertion_point(union, value)
+        return _u_insert(union, at, value, subs), True, True
+    children = _u_children(union, index)
     results = [
         _direct_splice_union(child, child_union, view, splice)
-        for child, child_union in zip(node.children, entry.children)
+        for child, child_union in zip(node.children, children)
     ]
     changed = [i for i, (_, added, _) in enumerate(results) if added]
     if not changed:
         return union, False, True
     _require_rectangular(
-        "insert", changed, results, list(zip(node.children, entry.children))
+        "insert", changed, results, list(zip(node.children, children))
     )
     splice.nodes_touched += 1
-    new_entry = FRNode(value, tuple(result[0] for result in results))
-    return union[:index] + [new_entry] + union[index + 1 :], True, True
+    new_children = tuple(result[0] for result in results)
+    return _u_replace(union, index, value, new_children), True, True
 
 
-def _entry_from_row(node: FNode, view: _RowView, splice: _Splice) -> FRNode:
-    """A fresh entry representing exactly the row's subtree projection."""
+def _fresh_union(
+    node: FNode, view: _RowView, splice: _Splice, columnar: bool
+):
+    """A one-entry union representing exactly the row's subtree projection."""
     splice.nodes_touched += 1
     value = view.node_value(node)
-    children = tuple(
-        [_entry_from_row(child, view, splice)] for child in node.children
+    subs = tuple(
+        _fresh_union(child, view, splice, columnar)
+        for child in node.children
     )
-    return FRNode(value, children)
+    if columnar:
+        return CUnion([value], tuple([sub] for sub in subs))
+    return [FRNode(value, subs)]
 
 
 def direct_delete(
@@ -418,30 +540,30 @@ def direct_delete(
             continue
         roots = _direct_delete_row(fact.ftree, roots, view, splice)
         splice.removed.append(_reorder(view, schema))
-    return Factorisation(fact.ftree, roots)
+    return type(fact)(fact.ftree, roots)
 
 
-def _contains(node: FNode, union: list[FRNode], view: _RowView) -> bool:
+def _contains(node: FNode, union, view: _RowView) -> bool:
     index = _find(union, view.node_value(node))
     if index is None:
         return False
-    entry = union[index]
+    children = _u_children(union, index)
     return all(
         _contains(child, child_union, view)
-        for child, child_union in zip(node.children, entry.children)
+        for child, child_union in zip(node.children, children)
     )
 
 
 def _direct_delete_row(
-    ftree: FTree, roots: list[list[FRNode]], view: _RowView, splice: _Splice
-) -> list[list[FRNode]]:
+    ftree: FTree, roots: list, view: _RowView, splice: _Splice
+) -> list:
     items = list(zip(ftree.roots, roots))
     total = 1
     for node, union in items:
         total *= _union_count(node, union)
     if total == 1:
         splice.nodes_touched += len(roots)
-        return [[] for _ in roots]
+        return [_u_clear(union) for union in roots]
     big = [i for i, (node, union) in enumerate(items) if _union_count(node, union) > 1]
     if len(big) != 1:
         raise IndependenceViolation(
@@ -456,29 +578,28 @@ def _direct_delete_row(
 
 
 def _direct_prune_union(
-    node: FNode, union: list[FRNode], view: _RowView, splice: _Splice
-) -> list[FRNode]:
+    node: FNode, union, view: _RowView, splice: _Splice
+):
     index = _find(union, view.node_value(node))
     assert index is not None  # containment was checked
-    entry = union[index]
+    value = _u_value(union, index)
+    children = _u_children(union, index)
     splice.nodes_touched += 1
-    if _entry_count(node, entry) == 1:
-        return union[:index] + union[index + 1 :]
-    items = list(zip(node.children, entry.children))
+    if _parts_count(node, children) == 1:
+        return _u_remove(union, index)
+    items = list(zip(node.children, children))
     big = [i for i, (child, child_union) in enumerate(items) if _union_count(child, child_union) > 1]
     if len(big) != 1:
         raise IndependenceViolation(
-            f"one-row delete below {node.label()!r}={entry.value!r} would "
+            f"one-row delete below {node.label()!r}={value!r} would "
             "leave a non-product remainder (the remaining combinations "
             "are not representable over this f-tree)"
         )
     branch = big[0]
     child, child_union = items[branch]
     new_child = _direct_prune_union(child, child_union, view, splice)
-    children = (
-        entry.children[:branch] + (new_child,) + entry.children[branch + 1 :]
-    )
-    return union[:index] + [FRNode(entry.value, children)] + union[index + 1 :]
+    new_children = children[:branch] + (new_child,) + children[branch + 1 :]
+    return _u_replace(union, index, value, new_children)
 
 
 # ---------------------------------------------------------------------------
@@ -587,21 +708,21 @@ def _routed(
         roots[route.root_index] = union
         splice.added.extend(expanded_added)
         splice.removed.extend(expanded_removed)
-    return Factorisation(tree, roots)
+    return type(fact)(tree, roots)
 
 
 def _routed_walk(
     route: _Route,
     position: int,
     node: FNode,
-    union: list[FRNode],
+    union,
     view: _RowView,
     bindings: dict[str, Any],
     database: "Database",
     relation: str,
     splice: _Splice,
     kind: str,
-) -> tuple[list[FRNode] | None, list[Row], list[Row]]:
+) -> tuple:
     """Apply one row at one route level.
 
     Returns ``(new_union_or_None, added_rows, removed_rows)`` where the
@@ -631,20 +752,23 @@ def _routed_walk(
         if index is None:
             return None, [], []  # row never contributed
         if last:
-            entry = union[index]
-            removed = list(_iter_entry(node, entry))
+            removed = list(
+                _iter_parts(
+                    node, _u_value(union, index), _u_children(union, index)
+                )
+            )
             splice.nodes_touched += 1
-            return union[:index] + union[index + 1 :], [], removed
+            return _u_remove(union, index), [], removed
         return _routed_descend(
             route, position, node, union, index, view, bindings,
             database, relation, splice, kind,
         )
     # Non-owned route node: the change applies below every entry.
-    new_union: list[FRNode] = []
+    entries: list[tuple] = []
     added: list[Row] = []
     removed: list[Row] = []
     changed = False
-    for index, entry in enumerate(union):
+    for index in range(_u_len(union)):
         result, entry_added, entry_removed = _routed_entry(
             route, position, node, union, index, view, bindings,
             database, relation, splice, kind,
@@ -652,13 +776,18 @@ def _routed_walk(
         added.extend(entry_added)
         removed.extend(entry_removed)
         if result is _UNCHANGED:
-            new_union.append(entry)
+            entries.append(
+                (_u_value(union, index), _u_children(union, index))
+            )
         else:
             changed = True
             if result is not None:
-                new_union.append(result)
+                entries.append(result)
     if not changed:
         return None, added, removed
+    new_union = _u_make(
+        type(union) is CUnion, entries, len(node.children)
+    )
     return new_union, added, removed
 
 
@@ -669,7 +798,7 @@ def _routed_entry(
     route: _Route,
     position: int,
     node: FNode,
-    union: list[FRNode],
+    union,
     index: int,
     view: _RowView,
     bindings: dict[str, Any],
@@ -678,39 +807,40 @@ def _routed_entry(
     splice: _Splice,
     kind: str,
 ):
-    """Recurse below one entry; returns ``(_UNCHANGED | FRNode | None,
-    added, removed)`` with rows expanded to this node's subtree schema
-    (``None`` means the entry was pruned away)."""
-    entry = union[index]
+    """Recurse below one entry; returns ``(_UNCHANGED | (value,
+    children) | None, added, removed)`` with rows expanded to this
+    node's subtree schema (``None`` means the entry was pruned away)."""
+    value = _u_value(union, index)
+    children = _u_children(union, index)
     branch = route.steps[position]
     child = node.children[branch]
     entry_bindings = dict(bindings)
     for attribute in node.attributes:
-        entry_bindings[attribute] = entry.value
+        entry_bindings[attribute] = value
     new_child, child_added, child_removed = _routed_walk(
-        route, position + 1, child, entry.children[branch],
+        route, position + 1, child, children[branch],
         view, entry_bindings, database, relation, splice, kind,
     )
     if new_child is None:
         return _UNCHANGED, [], []
-    added = _expand_entry(node, entry, branch, child_added)
-    removed = _expand_entry(node, entry, branch, child_removed)
+    added = _expand_below(node, value, children, branch, child_added)
+    removed = _expand_below(node, value, children, branch, child_removed)
     splice.nodes_touched += 1
-    if not new_child:
+    if not _u_len(new_child):
         # ∅ absorption: an empty fragment kills the entry; everything
         # the entry represented is exactly the expanded removal.
         return None, added, removed
-    children = (
-        entry.children[:branch] + (new_child,) + entry.children[branch + 1 :]
+    new_children = (
+        children[:branch] + (new_child,) + children[branch + 1 :]
     )
-    return FRNode(entry.value, children), added, removed
+    return (value, new_children), added, removed
 
 
 def _routed_descend(
     route: _Route,
     position: int,
     node: FNode,
-    union: list[FRNode],
+    union,
     index: int,
     view: _RowView,
     bindings: dict[str, Any],
@@ -718,7 +848,7 @@ def _routed_descend(
     relation: str,
     splice: _Splice,
     kind: str,
-) -> tuple[list[FRNode] | None, list[Row], list[Row]]:
+) -> tuple:
     result, added, removed = _routed_entry(
         route, position, node, union, index, view, bindings,
         database, relation, splice, kind,
@@ -726,18 +856,19 @@ def _routed_descend(
     if result is _UNCHANGED:
         return None, added, removed
     if result is None:
-        return union[:index] + union[index + 1 :], added, removed
-    return union[:index] + [result] + union[index + 1 :], added, removed
+        return _u_remove(union, index), added, removed
+    value, children = result
+    return _u_replace(union, index, value, children), added, removed
 
 
 def _routed_fresh(
     node: FNode,
-    union: list[FRNode],
+    union,
     bindings: dict[str, Any],
     database: "Database",
     relation: str,
     splice: _Splice,
-) -> tuple[list[FRNode] | None, list[Row], list[Row]]:
+) -> tuple:
     """Insert at an owned node whose value is absent.
 
     The node's whole subtree fragment is rebuilt from the contributing
@@ -747,14 +878,16 @@ def _routed_fresh(
     package" and "new item joining existing packages": the join decides
     which entries belong here.
     """
-    fragment = _fragment_union(node, bindings, database, splice)
+    columnar = type(union) is CUnion
+    fragment = _fragment_union(node, bindings, database, splice, columnar)
     added: list[Row] = []
-    new_union = list(union)
+    new_union = union
     changed = False
-    for entry in fragment:
-        if _find(new_union, entry.value) is None:
-            new_union = _insert_sorted(new_union, entry)
-            added.extend(_iter_entry(node, entry))
+    for value, children in iter_entries(fragment):
+        if _find(new_union, value) is None:
+            at = _insertion_point(new_union, value)
+            new_union = _u_insert(new_union, at, value, children)
+            added.extend(_iter_parts(node, value, children))
             changed = True
     if not changed:
         return None, [], []
@@ -766,12 +899,14 @@ def _fragment_union(
     bindings: dict[str, Any],
     database: "Database",
     splice: _Splice,
-) -> list[FRNode]:
+    columnar: bool,
+):
     """Build the exact fragment for ``node``'s subtree under ``bindings``.
 
     Joins every contributing relation of the subtree (restricted to the
     binding values on shared attributes), projects onto the subtree's
-    attributes and factorises over the subtree itself.
+    attributes and factorises over the subtree itself — in the target
+    union's layout, so the merged entries splice without conversion.
     """
     keys: set[str] = set()
     for walk_node in node.walk():
@@ -798,7 +933,9 @@ def _fragment_union(
             )
     sub = joined.project(attributes)
     if not sub.rows:
-        return []
-    fragment = factorise(sub, FTree([node]))
+        return empty_cunion(len(node.children)) if columnar else []
+    fragment = factorise(
+        sub, FTree([node]), layout="columnar" if columnar else "legacy"
+    )
     splice.nodes_touched += fragment.size()
-    return list(fragment.roots[0])
+    return fragment.roots[0]

@@ -314,6 +314,90 @@ class TestObsAllocation:
 
 
 # ---------------------------------------------------------------------------
+# Kernel scalar loops (columnar batch discipline)
+# ---------------------------------------------------------------------------
+class TestKernelScalarLoop:
+    KERNEL = "src/repro/core/kernels.py"
+
+    def test_for_over_union_values_attribute(self):
+        findings = lint(
+            """
+            def swap_c(union):
+                for value in union.values:
+                    process(value)
+            """,
+            self.KERNEL,
+        )
+        assert rules_of(findings) == ["kernel-scalar-loop"]
+
+    def test_enumerate_over_values_local(self):
+        findings = lint(
+            """
+            def gamma_c(union):
+                values = union.values
+                for i, value in enumerate(values):
+                    process(i, value)
+            """,
+            self.KERNEL,
+        )
+        assert rules_of(findings) == ["kernel-scalar-loop"]
+
+    def test_index_loop_over_contexts_is_batch_idiom(self):
+        findings = lint(
+            """
+            def merge_c(union):
+                values = union.values
+                for i in range(len(values)):
+                    merge(union.children[0][i], union.children[1][i])
+            """,
+            self.KERNEL,
+        )
+        assert findings == []
+
+    def test_dict_values_call_is_not_a_union(self):
+        findings = lint(
+            """
+            def flush(table):
+                for bucket in table.values():
+                    bucket.clear()
+            """,
+            self.KERNEL,
+        )
+        assert findings == []
+
+    def test_comprehension_over_column_is_sanctioned(self):
+        findings = lint(
+            """
+            def fold_c(union):
+                return [score(v) for v in union.values]
+            """,
+            self.KERNEL,
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_kernel_modules(self):
+        snippet = """
+            def iter_entries(union):
+                for value in union.values:
+                    yield value
+            """
+        assert lint(snippet, "src/repro/core/frep.py") == []
+        assert lint(snippet, "src/repro/ivm/kernels.py") == []
+
+    def test_allow_comment_escapes(self):
+        findings = lint(
+            """
+            def scan_c(union):
+                for value in union.values:  # repro: allow[kernel-scalar-loop]
+                    if live(value):
+                        return False
+            """,
+            self.KERNEL,
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions and report plumbing
 # ---------------------------------------------------------------------------
 class TestSuppressions:

@@ -1,0 +1,172 @@
+"""Seeded layout-parity properties: columnar vs legacy unions.
+
+The columnar kernel (`repro.core.kernels`) must be observationally
+identical to the legacy per-node operators: same rows in the same
+order, same singleton accounting in execution traces, across the full
+named workload, seeded random queries, IVM deltas spliced into each
+layout, and sharded ``fdb-parallel`` runs over columnar-registered
+views.  Every random source is seeded so failures replay exactly.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro import connect
+from repro.core.engine import FDBEngine
+from repro.data.workloads import FULL_WORKLOAD, build_workload_database
+from tests.shard.test_random_parity import _assert_parity, _random_query
+
+SEED = "columnar-parity/2013"
+
+
+def _columnar_database(scale=0.1, seed=7):
+    """A workload database whose views are registered columnar."""
+    database = build_workload_database(scale=scale, seed=seed)
+    for name in list(database.factorised):
+        database.add_factorised(
+            name, database.get_factorised(name).to_columnar()
+        )
+    return database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_workload_database(scale=0.1, seed=7)
+
+
+# ---------------------------------------------------------------------------
+# Full named workload: rows, ordering, trace accounting
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(FULL_WORKLOAD))
+def test_full_workload_exact_parity(db, name):
+    query = FULL_WORKLOAD[name].query
+    legacy = connect(db, engine="fdb", layout="legacy").execute(query)
+    columnar = connect(db, engine="fdb", layout="columnar").execute(query)
+    assert columnar.schema == legacy.schema
+    assert list(columnar.rows) == list(legacy.rows)
+
+
+@pytest.mark.parametrize("name", sorted(FULL_WORKLOAD))
+def test_trace_size_accounting_matches(db, name):
+    """Singleton counts per plan step are layout-invariant; resident
+    bytes are layout-specific but always accounted (> 0)."""
+    query = FULL_WORKLOAD[name].query
+    _, _, legacy = FDBEngine(
+        output="flat", layout="legacy"
+    ).execute_traced(query, db)
+    _, _, columnar = FDBEngine(
+        output="flat", layout="columnar"
+    ).execute_traced(query, db)
+    # Aggregate placeholder names carry a process-global counter
+    # (``__agg_7``); normalise it so only the structure is compared.
+    def normalise(steps):
+        return [re.sub(r"__agg_\d+", "__agg", step) for step in steps]
+
+    assert normalise(columnar.steps) == normalise(legacy.steps)
+    assert columnar.sizes == legacy.sizes
+    assert len(columnar.bytes) == len(legacy.bytes)
+    assert all(b > 0 for b in columnar.bytes)
+    assert all(b > 0 for b in legacy.bytes)
+
+
+def test_registered_views_report_same_singletons(db):
+    for name in db.factorised:
+        legacy = db.get_factorised(name).to_legacy()
+        columnar = legacy.to_columnar()
+        legacy_singletons, legacy_bytes = legacy.size_info()
+        columnar_singletons, columnar_bytes = columnar.size_info()
+        assert columnar_singletons == legacy_singletons
+        assert legacy_bytes > 0 and columnar_bytes > 0
+
+
+# ---------------------------------------------------------------------------
+# Seeded random queries
+# ---------------------------------------------------------------------------
+def test_seeded_random_queries_agree(db):
+    rng = random.Random(SEED)
+    legacy = connect(db, engine="fdb", layout="legacy")
+    columnar = connect(db, engine="fdb", layout="columnar")
+    for _ in range(40):
+        query = _random_query(rng, db)
+        _assert_parity(query, legacy.execute(query), columnar.execute(query))
+
+
+# ---------------------------------------------------------------------------
+# IVM deltas spliced into each layout independently
+# ---------------------------------------------------------------------------
+def test_parity_after_ivm_deltas():
+    rng = random.Random(SEED + "/deltas")
+    legacy_db = build_workload_database(scale=0.1, seed=23)
+    columnar_db = _columnar_database(scale=0.1, seed=23)
+    legacy = connect(legacy_db, engine="fdb", layout="legacy")
+    columnar = connect(columnar_db, engine="fdb", layout="columnar")
+    packages = sorted({row[2] for row in legacy_db.flat("Orders").rows})
+    for step in range(8):
+        if step % 2 == 0:
+            row = (f"c{step:03d}", f"dCOL{step:05d}", rng.choice(packages))
+            legacy.insert("Orders", [row])
+            columnar.insert("Orders", [row])
+        else:
+            victim = rng.choice(legacy_db.flat("Orders").rows)
+            legacy.delete("Orders", [victim])
+            columnar.delete("Orders", [victim])
+        assert sorted(columnar_db.flat("Orders").rows) == sorted(
+            legacy_db.flat("Orders").rows
+        )
+        for _ in range(3):
+            query = _random_query(rng, legacy_db)
+            _assert_parity(
+                query, legacy.execute(query), columnar.execute(query)
+            )
+
+
+def test_maintained_views_stay_columnar_after_deltas():
+    from repro.core.frep import ColumnarFactorisation
+
+    database = _columnar_database(scale=0.1, seed=23)
+    session = connect(database, engine="fdb", layout="columnar")
+    packages = sorted({row[2] for row in database.flat("Orders").rows})
+    session.insert("Orders", [("c900", "dNEW00001", packages[0])])
+    session.delete("Orders", [database.flat("Orders").rows[0]])
+    for name in database.factorised:
+        fact = database.get_factorised(name)
+        assert isinstance(fact, ColumnarFactorisation), name
+
+
+# ---------------------------------------------------------------------------
+# Sharded runs over columnar-registered views
+# ---------------------------------------------------------------------------
+def test_sharded_parity_with_columnar_views():
+    rng = random.Random(SEED + "/shards")
+    database = _columnar_database(scale=0.1, seed=7)
+    reference = connect(database, engine="fdb", layout="legacy")
+    parallel = connect(database, engine="fdb-parallel", shards=3, workers=0)
+    for _ in range(20):
+        query = _random_query(rng, database)
+        _assert_parity(
+            query, reference.execute(query), parallel.execute(query)
+        )
+
+
+def test_sharded_parity_with_columnar_views_after_mutations():
+    rng = random.Random(SEED + "/shard-deltas")
+    database = _columnar_database(scale=0.1, seed=23)
+    reference = connect(database, engine="fdb", layout="columnar")
+    parallel = connect(database, engine="fdb-parallel", shards=3, workers=0)
+    packages = sorted({row[2] for row in database.flat("Orders").rows})
+    for step in range(6):
+        if step % 2 == 0:
+            parallel.insert(
+                "Orders",
+                [(f"c{step:03d}", f"dSHC{step:05d}", rng.choice(packages))],
+            )
+        else:
+            victim = rng.choice(database.flat("Orders").rows)
+            parallel.delete("Orders", [victim])
+        for _ in range(3):
+            query = _random_query(rng, database)
+            _assert_parity(
+                query, reference.execute(query), parallel.execute(query)
+            )

@@ -46,6 +46,12 @@ class TestMetricsEndpoint:
         assert "repro_ivm_maintenance_total" in families
         assert "repro_http_request_seconds" in families
         assert "repro_queries_total" in families
+        # PR 9's columnar-kernel series: resident view bytes plus the
+        # per-kernel latency histogram populated by the query above.
+        assert "repro_kernel_seconds" in families
+        store = families["repro_store_bytes"]
+        assert store["kind"] == "gauge"
+        assert store["samples"][("repro_store_bytes", ())] > 0.0
         http = families["repro_http_request_seconds"]
         assert http["kind"] == "histogram"
         count = http["samples"][

@@ -8,9 +8,10 @@ Three passes, each skippable:
    database is checked against the §2 f-tree invariants and its
    schema partition.
 3. **Verify plans**: every FULL_WORKLOAD query is compiled (greedy
-   optimiser; ``--exhaustive`` adds the exhaustive one), its f-plan
-   replayed under the operator pre/post-conditions, its expression AST
-   type-checked, and its shard merge strategy validated.
+   and cost-based optimisers; ``--exhaustive`` adds the exhaustive
+   one), its f-plan replayed under the operator pre/post-conditions,
+   its expression AST type-checked, and its shard merge strategy
+   validated.
 
 Exit status 0 when no error-severity findings; 1 otherwise (warnings
 are printed but do not fail the run).  ``--json PATH`` writes the full
@@ -70,7 +71,7 @@ def _verify_pass(args: argparse.Namespace, report: Report) -> None:
         )
     print(f"verify: {views} registered view(s) checked")
 
-    optimizers = ["greedy"]
+    optimizers = ["greedy", "cost"]
     if args.exhaustive:
         optimizers.append("exhaustive")
     checked = 0

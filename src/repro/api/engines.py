@@ -143,13 +143,16 @@ class FDBBackend(Engine):
     def __init__(
         self,
         output: str = "flat",
-        optimizer: str = "greedy",
+        optimizer: str = "cost",
         layout: str = "columnar",
     ) -> None:
         self._engine = FDBEngine(output=output, optimizer=optimizer, layout=layout)
         self.name = "FDB" if output == "flat" else "FDB f/o"
         if layout == "legacy":
             self.name += " (legacy layout)"
+        # Cost-based plans depend on live statistics, so the prepared-
+        # query fingerprint must include the stats-cache epochs.
+        self.stats_sensitive = optimizer == "cost"
 
     @staticmethod
     def _package(result, plan, trace) -> EngineRun:

@@ -189,6 +189,9 @@ class Result:
         if self.maintenance is not None:
             # Appended outside the cache: the live stats keep counting.
             text += f"\nmaintenance: {self.maintenance.describe()}"
+        optimizer = self._optimizer_provenance(text)
+        if optimizer:
+            text += "\n" + "\n".join(optimizer)
         if self.trace is not None and getattr(self.trace, "seconds", None):
             # EXPLAIN ANALYZE: per-step wall time and intermediate sizes.
             text += "\n" + self.trace.describe()
@@ -214,6 +217,40 @@ class Result:
         for this execution, or ``None`` (non-FDB engines, or queries
         without expressions)."""
         return getattr(self.trace, "expression_stats", None)
+
+    def _optimizer_provenance(self, existing: str) -> list[str]:
+        """Estimated vs. observed cost lines for the executed plan.
+
+        The engine stamps the trace with the optimiser's provenance
+        (strategy, estimated result size in singletons, statistics
+        sources); the trace's per-step sizes give the observed side.
+        Engines whose explain text already names the optimiser and the
+        statistics sources (the FDB compile describe) contribute only
+        the estimated-vs-observed line here.
+        """
+        provenance = getattr(self.trace, "provenance", None)
+        if not provenance:
+            return []
+        lines = []
+        if "optimizer:" not in existing:
+            lines.append(f"optimizer: {provenance['strategy']}")
+        estimated = provenance.get("estimated_size")
+        sizes = getattr(self.trace, "sizes", None) or []
+        if estimated is not None:
+            observed = (
+                f", observed {sizes[-1]} (peak {max(sizes)})" if sizes else ""
+            )
+            lines.append(
+                f"cost: estimated {estimated:.0f} singletons{observed}"
+            )
+        sources = provenance.get("stats")
+        if sources and "statistics:" not in existing:
+            rendered = ", ".join(
+                f"{name} ({source}, {rows} rows)"
+                for name, (source, rows) in sources.items()
+            )
+            lines.append(f"statistics: {rendered}")
+        return lines
 
     def _expression_provenance(self) -> list[str]:
         lines: list[str] = []

@@ -29,6 +29,7 @@ unchanged fragments instead of mutating them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from itertools import islice
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
@@ -36,7 +37,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 from repro.core import aggregates as agg
 from repro.core import operators as ops
 from repro.core.build import factorise_path
-from repro.core.cost import Hypergraph
+from repro.core.cost import Hypergraph, estimated_tree_size, ftree_cost
 from repro.core.enumerate import (
     iter_group_contexts,
     iter_tuples,
@@ -53,16 +54,35 @@ from repro.core.ftree import (
     path_ftree,
 )
 from repro.core.optimizer import (
+    CostBasedOptimizer,
     ExhaustiveOptimizer,
     GreedyOptimizer,
     PlanContext,
 )
+from repro.obs.metrics import metrics
 from repro.query import AggregateSpec, Query, QueryError, natural_equalities
 from repro.relational.relation import Relation
 from repro.relational.sort import SortKey, normalise_order, sort_rows
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
     from repro.database import Database
+
+_OPTIMIZER_SECONDS = metrics().histogram(
+    "repro_optimizer_seconds",
+    "Time spent choosing an f-plan, per optimiser strategy.",
+    ("strategy",),
+)
+_OPTIMIZER_TIMERS = {
+    "greedy": _OPTIMIZER_SECONDS.labels("greedy"),
+    "exhaustive": _OPTIMIZER_SECONDS.labels("exhaustive"),
+    "cost": _OPTIMIZER_SECONDS.labels("cost"),
+}
+
+_OPTIMIZERS = {
+    "greedy": GreedyOptimizer,
+    "exhaustive": ExhaustiveOptimizer,
+    "cost": CostBasedOptimizer,
+}
 
 
 class FactorisedResult:
@@ -210,10 +230,14 @@ class FDBCompiled:
     plan: FPlan
     ftree: "FTree | None" = None
     hypergraph: "Hypergraph | None" = None
+    # Optimiser provenance: strategy, estimated final-tree size, and
+    # the statistics sources the estimate was computed from (None for
+    # plans costed purely asymptotically).
+    provenance: "dict | None" = None
 
     def lite(self) -> "FDBCompiled":
         """A copy without the explain-only payload (cheap to pickle)."""
-        return FDBCompiled(self.query, self.plan)
+        return FDBCompiled(self.query, self.plan, provenance=self.provenance)
 
 
 class FDBEngine:
@@ -232,7 +256,9 @@ class FDBEngine:
         ``"flat"`` enumerates result tuples (the paper's FDB);
         ``"factorised"`` returns a :class:`FactorisedResult` (FDB f/o).
     optimizer:
-        ``"greedy"`` (Section 5.2) or ``"exhaustive"`` (Section 5.1).
+        ``"greedy"`` (Section 5.2), ``"exhaustive"`` (Section 5.1), or
+        ``"cost"`` (data-driven search over ``repro.stats`` estimates,
+        falling back to exhaustive when no statistics are available).
     layout:
         Physical representation of the factorisations the engine
         operates on: ``"columnar"`` (struct-of-arrays unions, batch
@@ -246,18 +272,22 @@ class FDBEngine:
     def __init__(
         self,
         output: str = "flat",
-        optimizer: str = "greedy",
+        optimizer: str = "cost",
         layout: str = "columnar",
     ) -> None:
         if output not in ("flat", "factorised"):
             raise ValueError(f"unknown output mode {output!r}")
         if layout not in ("legacy", "columnar"):
             raise ValueError(f"unknown factorisation layout {layout!r}")
+        if optimizer not in _OPTIMIZERS:
+            raise ValueError(
+                f"unknown optimizer {optimizer!r} "
+                f"(expected one of {sorted(_OPTIMIZERS)})"
+            )
         self.output = output
         self.layout = layout
-        self.optimizer = (
-            GreedyOptimizer() if optimizer == "greedy" else ExhaustiveOptimizer()
-        )
+        self.optimizer_name = optimizer
+        self.optimizer = _OPTIMIZERS[optimizer]()
 
     # ------------------------------------------------------------------
     # Public API
@@ -276,8 +306,35 @@ class FDBEngine:
         catalogue changes shape — data mutations never stale a plan.
         """
         query, ftree, hypergraph, ctx = self.planning_inputs(query, database)
+        started = time.perf_counter()
         plan = self.optimizer.plan(ftree, ctx)
-        return FDBCompiled(query, plan, ftree, hypergraph)
+        _OPTIMIZER_TIMERS[self.optimizer_name].observe(
+            time.perf_counter() - started
+        )
+        provenance = self._provenance(plan, ftree, ctx)
+        return FDBCompiled(query, plan, ftree, hypergraph, provenance)
+
+    def _provenance(
+        self, plan: FPlan, ftree: FTree, ctx: PlanContext
+    ) -> dict:
+        """Optimiser provenance for explain: strategy + estimated cost."""
+        final = plan.simulate(ftree)[-1]
+        if ctx.stats:
+            estimated = estimated_tree_size(
+                final, ctx.hypergraph, ctx.stats, ctx.scale
+            )
+            sources = {
+                name: (record.source, record.rows)
+                for name, record in sorted(ctx.stats.items())
+            }
+        else:
+            estimated = ftree_cost(final, ctx.hypergraph, ctx.scale)
+            sources = None
+        return {
+            "strategy": self.optimizer_name,
+            "estimated_size": estimated,
+            "stats": sources,
+        }
 
     def planning_inputs(
         self, query: Query, database: "Database"
@@ -294,8 +351,13 @@ class FDBEngine:
         with.
         """
         query = _with_effective_projection(query, database)
-        ftree, hypergraph, equalities = self._input_shape(query, database)
+        decisions, _, hypergraph, equalities = self._input_decisions(
+            query, database
+        )
+        ftree = self._shape_from_decisions(decisions)
         ctx = self._plan_context(query, ftree, hypergraph, equalities)
+        if self.optimizer_name == "cost":
+            ctx.stats = self._planning_stats(database, decisions, equalities)
         return query, ftree, hypergraph, ctx
 
     def execute_planned(
@@ -314,6 +376,7 @@ class FDBEngine:
         trace = ExecutionTrace()
         stats = agg.ExpressionStats()
         trace.expression_stats = stats
+        trace.provenance = compiled.provenance
 
         # Constant selections first (Section 5.1: evaluated in one
         # pass); expression selections were pushed into the inputs by
@@ -353,12 +416,21 @@ class FDBEngine:
         """
         from repro.core.cost import s_parameter
 
-        query = _with_effective_projection(query, database)
-        ftree, hypergraph, equalities = self._input_shape(query, database)
-        ctx = self._plan_context(query, ftree, hypergraph, equalities)
+        query, ftree, hypergraph, ctx = self.planning_inputs(query, database)
         plan = self.optimizer.plan(ftree, ctx)
+        provenance = self._provenance(plan, ftree, ctx)
         trees = plan.simulate(ftree)
         lines = [f"query: {query}"]
+        lines.append(
+            f"optimizer: {provenance['strategy']} · estimated result size "
+            f"{provenance['estimated_size']:.0f} singletons"
+        )
+        if provenance["stats"]:
+            rendered = ", ".join(
+                f"{name} ({source}, {rows} rows)"
+                for name, (source, rows) in provenance["stats"].items()
+            )
+            lines.append(f"statistics: {rendered}")
         expression_selects = [c for c in query.comparisons if c.is_expression]
         if expression_selects:
             conditions = " ∧ ".join(str(c) for c in expression_selects)
@@ -527,6 +599,10 @@ class FDBEngine:
         decisions, _, hypergraph, equalities = self._input_decisions(
             query, database
         )
+        return self._shape_from_decisions(decisions), hypergraph, equalities
+
+    @staticmethod
+    def _shape_from_decisions(decisions: "list[_InputDecision]") -> FTree:
         trees: list[FTree] = []
         for decision in decisions:
             if decision.registered is not None:
@@ -539,7 +615,50 @@ class FDBEngine:
                 )
             trees.append(tree)
         roots = tuple(root for tree in trees for root in tree.roots)
-        return FTree(roots), hypergraph, equalities
+        return FTree(roots)
+
+    def _planning_stats(
+        self,
+        database: "Database",
+        decisions: "list[_InputDecision]",
+        equalities: tuple,
+    ) -> "dict | None":
+        """Statistics for the cost-based optimiser, keyed per input.
+
+        Pulls each input's record through the process-global
+        :func:`repro.stats.stats_cache`, applies the natural-join
+        renames so attribute names match the planning hypergraph, and
+        cross-populates equivalence classes: a selection A=B bounds the
+        class by the smallest distinct count either side observed, so
+        relations covering the class through an equivalence-extended
+        edge inherit that entry.
+        """
+        from repro.stats import stats_cache
+
+        cache = stats_cache()
+        stats: dict = {}
+        for decision in decisions:
+            record = cache.relation_stats(database, decision.name)
+            if record is None:
+                continue
+            stats[decision.name] = record.renamed(decision.mapping)
+        if not stats:
+            return None
+        for cls in _equivalence_classes(equalities):
+            members = frozenset(cls)
+            for name, record in list(stats.items()):
+                held = members & set(record.attributes)
+                missing = members - set(record.attributes)
+                if not held or not missing:
+                    continue
+                best = min(
+                    (record.attributes[a] for a in held),
+                    key=lambda entry: entry.distinct,
+                )
+                stats[name] = record.extended(
+                    {attribute: best for attribute in missing}
+                )
+        return stats
 
     # ------------------------------------------------------------------
     # Planning context

@@ -182,6 +182,10 @@ class ExecutionTrace:
     trees: list[FTree] = field(default_factory=list)
     seconds: list[float] = field(default_factory=list)
     expression_stats: object | None = None
+    # Optimiser provenance of the executed plan (strategy, estimated
+    # size, statistics sources) — set by the engine so Result.explain
+    # can report estimated vs. observed cost.
+    provenance: "dict | None" = None
 
     def describe(self) -> str:
         lines = ["f-plan execution:"]

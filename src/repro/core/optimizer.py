@@ -25,10 +25,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.core import aggregates as agg
-from repro.core.cost import Hypergraph, ftree_cost
+from repro.core.cost import (
+    Hypergraph,
+    estimated_tree_size,
+    ftree_cost,
+    s_parameter,
+)
 from repro.core.fplan import (
     AbsorbStep,
     AggregateStep,
@@ -63,6 +68,12 @@ class PlanContext:
     attributes must stay atomic entirely (min/max expression arguments
     and opaque factors), leaving their evaluation to the engine's final
     expression pass.
+
+    ``stats`` optionally maps input names to :class:`repro.stats`
+    relation records (duck-typed: ``rows`` plus per-attribute
+    ``distinct`` counts); when present, :class:`CostBasedOptimizer`
+    prices candidate trees by estimated factorisation size instead of
+    the asymptotic ``scale``-based bound.
     """
 
     hypergraph: Hypergraph
@@ -73,6 +84,7 @@ class PlanContext:
     scale: float = 1024.0
     coupled: tuple[frozenset[str], ...] = ()
     protected: frozenset[str] = frozenset()
+    stats: "Mapping[str, Any] | None" = None
 
     def __post_init__(self) -> None:
         self.order = tuple(normalise_order(self.order))
@@ -185,7 +197,17 @@ def _eligible_children(
     blocked = _blocked_attributes(pending)
     children = tree.roots if parent is None else parent.children
     eligible = []
+    # Coupled attributes already folded on the path above ``parent``
+    # count against the group budget too: folding qty beneath a node
+    # that carries sum(price) partials nests the two aggregations on
+    # one root-to-leaf path, and the final expression pass cannot
+    # recover Σ price·qty from partials taken at different levels.
     combined_covered: set[str] = set()
+    node = parent
+    while node is not None:
+        if node.aggregate is not None:
+            combined_covered |= set(node.aggregate.over)
+        node = tree.parent(node)
     for child in children:
         names = child.subtree_names()
         if names & ctx.kept or names & blocked:
@@ -472,6 +494,100 @@ class ExhaustiveOptimizer:
         for node in tree.nodes():
             if tree.parent(node) is not None:
                 yield SwapStep(node.name), list(pending)
+
+
+# ---------------------------------------------------------------------------
+# Cost-based search (data-driven estimates, cover-bound pruning)
+# ---------------------------------------------------------------------------
+class CostBasedOptimizer(ExhaustiveOptimizer):
+    """Dijkstra over f-trees priced by *estimated* factorisation size.
+
+    Same search graph as :class:`ExhaustiveOptimizer` (Proposition 3's
+    permissible-operator edges), but an edge costs the estimated
+    singleton count of its output tree computed from live statistics
+    (``ctx.stats``): real cardinalities, distinct counts, and skew,
+    combined through the AGM/distinct-product bounds of
+    :func:`repro.core.cost.estimated_tree_size`.  The fractional edge
+    cover bound is retained as an admissible pruning heuristic — a
+    candidate whose s-parameter exceeds the worst s-parameter along the
+    greedy plan cannot win asymptotically and is discarded, keeping the
+    memoised search bounded.
+
+    Without statistics the search delegates to the exhaustive strategy;
+    past the state cap it falls back to the greedy plan.
+    """
+
+    def plan(self, ftree: FTree, ctx: PlanContext) -> FPlan:
+        if not ctx.stats:
+            return super().plan(ftree, ctx)
+        greedy_plan = GreedyOptimizer().plan(ftree, ctx)
+        budget = max(
+            (
+                s_parameter(tree, ctx.hypergraph)
+                for tree in greedy_plan.simulate(ftree)
+            ),
+            default=0.0,
+        )
+        size_memo: dict = {}
+        s_memo: dict = {}
+        # Shared across candidate trees: most differ in very few nodes,
+        # so their per-path estimates are overwhelmingly repeats.
+        node_memo: dict = {}
+
+        def tree_size(signature, tree: FTree) -> float:
+            cached = size_memo.get(signature)
+            if cached is None:
+                cached = estimated_tree_size(
+                    tree, ctx.hypergraph, ctx.stats, ctx.scale, node_memo
+                )
+                size_memo[signature] = cached
+            return cached
+
+        def tree_s(signature, tree: FTree) -> float:
+            cached = s_memo.get(signature)
+            if cached is None:
+                cached = s_parameter(tree, ctx.hypergraph)
+                s_memo[signature] = cached
+            return cached
+
+        start_pending = tuple(
+            eq for eq in ctx.equalities if not _same_node(ftree, eq)
+        )
+        heap: list[
+            tuple[float, int, FTree, tuple[Equality, ...], tuple[Step, ...]]
+        ] = []
+        counter = 0
+        heapq.heappush(heap, (0.0, counter, ftree, start_pending, ()))
+        seen: set = {(_signature(ftree), start_pending)}
+        expanded = 0
+        while heap:
+            cost, _, tree, pending, steps = heapq.heappop(heap)
+            if self._is_goal(tree, pending, ctx):
+                return FPlan(steps)
+            expanded += 1
+            if expanded > self.max_states:
+                break
+            for step, new_pending in self._edges(tree, pending, ctx):
+                new_tree = step.apply_tree(tree)
+                signature = _signature(new_tree)
+                if tree_s(signature, new_tree) > budget + 1e-9:
+                    continue
+                state = (signature, tuple(new_pending))
+                if state in seen:
+                    continue
+                seen.add(state)
+                counter += 1
+                heapq.heappush(
+                    heap,
+                    (
+                        cost + tree_size(signature, new_tree),
+                        counter,
+                        new_tree,
+                        tuple(new_pending),
+                        steps + (step,),
+                    ),
+                )
+        return greedy_plan
 
 
 def _signature(tree: FTree):

@@ -358,6 +358,10 @@ class Database:
         self.factorised: dict[str, "Factorisation"] = {}
         self.version = 0
         self.maintenance = MaintenanceStats()
+        # Cumulative changed-row counts per view since creation; the
+        # statistics cache (repro.stats) diffs these against the value
+        # captured at seed time to detect drift.
+        self._drift_rows: dict[str, float] = {}
         self._log: list[LogRecord] = []
         self._log_floor = 0  # versions ≤ this are no longer replayable
         self._stale_flat: set[str] = set()
@@ -451,6 +455,32 @@ class Database:
     def get_factorised(self, name: str) -> "Factorisation | None":
         """The factorised form of a view if one was registered."""
         return self.factorised.get(name)
+
+    def drift_rows(self, name: str) -> float:
+        """Cumulative changed rows recorded against a view.
+
+        The statistics cache compares this against the value captured
+        when it seeded to decide whether its estimates have drifted.
+        """
+        return self._drift_rows.get(name, 0.0)
+
+    def _record_drift(
+        self, name: str, changed: int, view_deltas: "dict[str, ViewDelta]"
+    ) -> None:
+        """Accumulate per-view changed-row counts (writer lock held)."""
+        from repro.ivm.maintain import drift_magnitude
+
+        self._drift_rows[name] = self._drift_rows.get(name, 0.0) + changed
+        for view_name, delta in view_deltas.items():
+            if view_name == name:
+                continue  # the base bump above already counted it
+            rows_now = 0
+            if delta.rebuilt:
+                fact = self.factorised.get(view_name)
+                rows_now = fact.tuple_count() if fact is not None else 0
+            self._drift_rows[view_name] = self._drift_rows.get(
+                view_name, 0.0
+            ) + drift_magnitude(delta, rows_now)
 
     def schema(self, name: str) -> tuple[str, ...]:
         """Attribute names of a view, whichever representation exists."""
@@ -667,6 +697,7 @@ class Database:
         view_deltas: "dict[str, ViewDelta]" = {}
         if rows:
             view_deltas = self._maintain_views(name, kind, rows, schema)
+            self._record_drift(name, len(rows), view_deltas)
 
         # 3. Commit: log first, then the version stamp, then the atomic
         #    state publication snapshots pin against.

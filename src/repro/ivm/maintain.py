@@ -96,6 +96,19 @@ class ViewDelta:
     nodes_touched: int = 0
 
 
+def drift_magnitude(delta: ViewDelta, view_rows: int = 0) -> float:
+    """Changed-row magnitude of one delta for statistics drift.
+
+    Incremental deltas report their exact row churn; a rebuild carries
+    no rows, so the caller passes the view's current cardinality and
+    the whole view counts as changed (its statistics are wholesale
+    stale either way).
+    """
+    if delta.rebuilt:
+        return float(max(view_rows, 1))
+    return float(len(delta.added) + len(delta.removed))
+
+
 @dataclass
 class _Splice:
     """Mutable bookkeeping threaded through one maintenance operation."""

@@ -170,12 +170,17 @@ class PreparedQuery:
     def _engine_key(self):
         return self._session._engine_cache_key(self._engine)
 
-    def _catalogue_fingerprint(self, database) -> tuple:
+    def _catalogue_fingerprint(self, backend: "Engine", database) -> tuple:
         """The current fingerprint, memoised per database version.
 
         Walking every registered view's f-tree is the costliest part of
         a cache hit; the fingerprint can only change when the version
-        does, so one computation serves all lookups in between.
+        does, so one computation serves all lookups in between.  For
+        stats-sensitive backends (cost-based optimiser) the fingerprint
+        also folds in the stats-cache epochs of the query's relations,
+        so drift past the re-optimisation threshold invalidates the
+        cached plan.  Memoising per version stays sound: drift counters
+        only move on mutations, which bump the version.
         """
         if (
             self._fingerprint_memo is not None
@@ -183,6 +188,13 @@ class PreparedQuery:
         ):
             return self._fingerprint_memo[1]
         fingerprint = catalogue_fingerprint(database, self._query.relations)
+        if getattr(backend, "stats_sensitive", False):
+            from repro.stats import stats_cache
+
+            epochs = stats_cache().epochs_for(
+                database, self._query.relations
+            )
+            fingerprint = fingerprint + (("stats-epochs",) + epochs,)
         self._fingerprint_memo = (database.version, fingerprint)
         return fingerprint
 
@@ -193,7 +205,7 @@ class PreparedQuery:
         handle's own retained artifact, a fresh compile.  Every path
         leaves both stores holding the current artifact.
         """
-        fingerprint = self._catalogue_fingerprint(database)
+        fingerprint = self._catalogue_fingerprint(backend, database)
         plans = self._session.caches.plans
         cache_key = (self._engine_key(), self._key)
         artifact = plans.lookup(cache_key, fingerprint)
@@ -241,7 +253,7 @@ class PreparedQuery:
         cache on the fast path, so the reported plan status keeps
         meaning "was optimisation skipped for this execution".
         """
-        fingerprint = self._catalogue_fingerprint(database)
+        fingerprint = self._catalogue_fingerprint(backend, database)
         if self._artifact is not MISS and self._fingerprint == fingerprint:
             return self._artifact
         return self._ensure_artifact(backend, database)

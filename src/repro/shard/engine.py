@@ -183,7 +183,7 @@ class ShardedFDBBackend(Engine):
         shards: int = 4,
         workers: int | None = None,
         key: str | None = None,
-        optimizer: str = "greedy",
+        optimizer: str = "cost",
     ) -> None:
         if shards < 1:
             raise ValueError(f"shard count must be at least 1, got {shards}")
@@ -195,6 +195,9 @@ class ShardedFDBBackend(Engine):
         self.workers = workers
         self.key = key
         self.optimizer = optimizer
+        # Cost-based plans depend on live statistics, so the prepared
+        # query fingerprint must include the stats-cache epochs.
+        self.stats_sensitive = optimizer == "cost"
         self.name = f"FDB∥{shards}"
         self._inner = FDBEngine(optimizer=optimizer)
         self._store: ShardStore | None = None
@@ -269,12 +272,40 @@ class ShardedFDBBackend(Engine):
         a different f-tree (tracked by ``store.local_rebuilds``).
         """
         assert artifact.shard_query is not None
+        if self._inner.optimizer_name == "cost":
+            self._merge_shard_stats(artifact.shard_query, store)
         artifact.shard_plans = tuple(
             self._inner.compile(artifact.shard_query, shard_db)
             for shard_db in store.databases
         )
         artifact.store_ref = weakref.ref(store)
         artifact.rebuilds = store.local_rebuilds
+
+    @staticmethod
+    def _merge_shard_stats(shard_query: Query, store: ShardStore) -> None:
+        """Prime every shard's stats cache with merged global estimates.
+
+        Each shard only sees its own slice of the data, so its local
+        statistics under-estimate distinct counts and cardinalities.
+        Cost-based planning should pick the same f-tree on every shard,
+        and it should reflect the *global* data distribution — so the
+        per-shard seeds are merged and pushed back into the cache for
+        each shard database before compiling.
+        """
+        from repro.stats import merge_relation_stats, stats_cache
+
+        cache = stats_cache()
+        for name in shard_query.relations:
+            parts = []
+            for shard_db in store.databases:
+                record = cache.relation_stats(shard_db, name)
+                if record is not None:
+                    parts.append(record)
+            if not parts:
+                continue
+            merged = merge_relation_stats(parts)
+            for shard_db in store.databases:
+                cache.prime(shard_db, {name: merged})
 
     def run_planned(
         self, artifact, query: Query, database: "Database", params=None

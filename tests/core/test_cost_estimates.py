@@ -1,0 +1,136 @@
+"""Data-driven cost estimates and the scipy-free covering-LP path.
+
+The pure-Python vertex-enumeration solver must reproduce the scipy
+``linprog`` optimum exactly on the classical hypergraphs (the LP's
+optimal value is what :func:`fractional_edge_cover` pins elsewhere);
+the estimation layer combines the AGM bound with distinct-count
+products and falls back to the asymptotic ``scale`` without stats.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import (
+    HAVE_SCIPY,
+    Hypergraph,
+    _greedy_cover,
+    _pure_cover_solve,
+    estimated_node_count,
+    estimated_plan_cost,
+    estimated_tree_size,
+)
+from repro.core.ftree import build_ftree
+from repro.stats.model import AttributeStats, RelationStats
+
+
+def _edges(mapping):
+    return {name: frozenset(attrs) for name, attrs in mapping.items()}
+
+
+TRIANGLE = _edges({"R": "ab", "S": "bc", "T": "ca"})
+PATH3 = _edges({"R": "ab", "S": "bc"})
+STAR = _edges({"R": "ax", "S": "bx", "T": "cx"})
+
+
+@pytest.mark.parametrize(
+    "edges,attrs,expected",
+    [
+        (TRIANGLE, "abc", 1.5),
+        (PATH3, "abc", 2.0),
+        (PATH3, "b", 1.0),
+        (STAR, "abcx", 3.0),
+    ],
+)
+def test_pure_cover_matches_known_optima(edges, attrs, expected):
+    rho, weights = _pure_cover_solve(
+        sorted(edges), sorted(attrs), edges
+    )
+    assert rho == pytest.approx(expected)
+    # The weights must themselves be a fractional cover.
+    for attribute in attrs:
+        covering = sum(
+            weight
+            for name, weight in weights.items()
+            if attribute in edges[name]
+        )
+        assert covering >= 1 - 1e-9
+
+
+@pytest.mark.skipif(not HAVE_SCIPY, reason="scipy not installed")
+@pytest.mark.parametrize("edges", [TRIANGLE, PATH3, STAR])
+def test_pure_cover_agrees_with_scipy(edges):
+    attrs = sorted(set().union(*edges.values()))
+    hypergraph = Hypergraph(edges)
+    rho, _ = _pure_cover_solve(sorted(edges), attrs, edges)
+    assert rho == pytest.approx(hypergraph.fractional_edge_cover(attrs))
+
+
+def test_greedy_cover_is_an_upper_bound():
+    attrs = sorted(set().union(*TRIANGLE.values()))
+    rho, weights = _greedy_cover(sorted(TRIANGLE), attrs, TRIANGLE)
+    assert rho >= 1.5
+    assert all(weight == 1.0 for weight in weights.values())
+
+
+def test_cover_weights_expose_the_optimal_basis():
+    hypergraph = Hypergraph(TRIANGLE)
+    weights = hypergraph.cover_weights("abc")
+    assert sum(weights.values()) == pytest.approx(1.5)
+    assert all(w == pytest.approx(0.5) for w in weights.values())
+
+
+# ---------------------------------------------------------------------------
+# Estimation layer
+# ---------------------------------------------------------------------------
+def _stats(**relations):
+    out = {}
+    for name, (rows, distincts) in relations.items():
+        out[name] = RelationStats(
+            name=name,
+            rows=rows,
+            attributes={
+                attribute: AttributeStats(distinct=distinct, total=rows)
+                for attribute, distinct in distincts.items()
+            },
+        )
+    return out
+
+
+def test_estimated_node_count_prefers_tighter_bound():
+    hypergraph = Hypergraph(PATH3)
+    stats = _stats(R=(100, {"a": 100, "b": 4}), S=(100, {"b": 7, "c": 50}))
+    # AGM for {b}: rows^weight = 100, distinct product: min(4, 7) = 4.
+    assert estimated_node_count(hypergraph, ["b"], stats) == 4.0
+    # AGM for {a, b}: one relation covers both — 100 < 100 × 4.
+    assert estimated_node_count(hypergraph, ["a", "b"], stats) == 100.0
+
+
+def test_estimated_node_count_falls_back_to_scale():
+    hypergraph = Hypergraph(PATH3)
+    assert (
+        estimated_node_count(hypergraph, ["b"], {}, scale=64.0) == 64.0
+    )
+    assert estimated_node_count(hypergraph, [], {}) == 1.0
+
+
+def test_estimated_tree_size_rewards_small_side_roots():
+    edges = _edges({"V": "jxy"})
+    hypergraph = Hypergraph(edges)
+    stats = _stats(V=(1000, {"j": 10, "x": 500, "y": 5}))
+    x_up = build_ftree([("x", [("j", ["y"])])])
+    y_up = build_ftree([("y", [("j", ["x"])])])
+    assert estimated_tree_size(
+        x_up, hypergraph, stats
+    ) > estimated_tree_size(y_up, hypergraph, stats)
+
+
+def test_estimated_plan_cost_sums_trees():
+    edges = _edges({"V": "jxy"})
+    hypergraph = Hypergraph(edges)
+    stats = _stats(V=(1000, {"j": 10, "x": 500, "y": 5}))
+    tree = build_ftree([("j", ["x", "y"])])
+    single = estimated_tree_size(tree, hypergraph, stats)
+    assert estimated_plan_cost(
+        [tree, tree], hypergraph, stats
+    ) == pytest.approx(2 * single)

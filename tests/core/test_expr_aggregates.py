@@ -162,6 +162,20 @@ def test_exhaustive_optimizer_handles_expressions(branch_db):
     assert sorted(result.rows) == [(1, 150), (2, 20)]
 
 
+@pytest.mark.parametrize("optimizer", ["greedy", "exhaustive", "cost"])
+def test_ungrouped_product_aggregate_all_optimizers(branch_db, optimizer):
+    """Regression: the searching strategies once folded qty beneath the
+    node already carrying sum(price) partials — nesting both halves of
+    a coupled term on one root-to-leaf path, which the final expression
+    pass cannot recover (CompositionError).  Coupled attributes already
+    aggregated on the ancestor path now count against the γ budget."""
+    query = branch_query(group_by=())
+    result, _, _ = FDBEngine(optimizer=optimizer).execute_traced(
+        query, branch_db
+    )
+    assert result.rows == [(170,)]
+
+
 def test_expression_stats_describe():
     stats = agg.ExpressionStats()
     stats.native_terms = 2
